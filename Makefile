@@ -1,0 +1,29 @@
+# Convenience wrapper around dune. See README.md.
+
+.PHONY: all build test bench examples clean reproduce
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/fraud_detection.exe
+	dune exec examples/sensor_network.exe
+	dune exec examples/crowdsourcing.exe
+	dune exec examples/robust_summaries.exe
+
+# Full reproduction run: tests and the Table-1 harness, outputs captured.
+reproduce:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+clean:
+	dune clean

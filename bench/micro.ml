@@ -1,0 +1,75 @@
+(* Bechamel micro-benchmarks: one [Test.make] per Table-1 row, measuring
+   the end-to-end solve kernel on a small fixed instance. *)
+
+open Bechamel
+module Planted = Cso_workload.Planted
+module Rgen = Cso_workload.Relational_gen
+open Cso_core
+
+let rng seed = Random.State.make [| seed; 13 |]
+
+let tests () =
+  (* Fixed instances built once; the staged closures only solve. *)
+  let sc =
+    Cso_setcover.Set_cover.make ~n_elements:6
+      [ [ 0; 1; 2 ]; [ 3; 4; 5 ]; [ 0; 3 ]; [ 1; 4 ]; [ 2; 5 ] ]
+  in
+  let cso_gen = (Planted.cso ~f:2 (rng 1) ~n:30 ~m:6 ~k:2 ~z:2).Planted.instance in
+  let cso_dis = (Planted.cso (rng 2) ~n:80 ~m:8 ~k:2 ~z:2).Planted.instance in
+  let gcso_gen = (Planted.gcso_overlapping (rng 3) ~n:100 ~k:2 ~z:2).Planted.geo in
+  let gcso_dis = (Planted.gcso_disjoint (rng 4) ~n:150 ~m:10 ~k:2 ~z:2).Planted.geo in
+  let rcto1_w = Rgen.rcto1 (rng 5) ~n1:16 ~n2:8 ~k:2 ~z:1 in
+  let rcto_w = Rgen.rcto (rng 6) ~n1:12 ~n2:6 ~k:1 ~z:1 in
+  let rcro_w = Rgen.rcro (rng 7) ~n1:80 ~n2:20 ~k:2 ~z:3 in
+  Test.make_grouped ~name:"table1"
+    [
+      Test.make ~name:"R1.hardness-reduction"
+        (Staged.stage (fun () ->
+             Hardness.solve_set_cover
+               ~solver:(fun i -> (Cso_general.solve i).Cso_general.solution)
+               sc ~k:2));
+      Test.make ~name:"R2.cso-lp"
+        (Staged.stage (fun () -> Cso_general.solve cso_gen));
+      Test.make ~name:"R3.cso-coreset"
+        (Staged.stage (fun () -> Cso_disjoint.solve cso_dis));
+      Test.make ~name:"R4.gcso-mwu"
+        (Staged.stage (fun () -> Gcso_general.solve ~eps:0.3 ~rounds:40 gcso_gen));
+      Test.make ~name:"R5.gcso-coreset"
+        (Staged.stage (fun () -> Gcso_disjoint.solve ~eps:0.3 ~rounds:40 gcso_dis));
+      Test.make ~name:"R6.rcto1"
+        (Staged.stage (fun () ->
+             Rcto1.solve ~eps:0.3 ~rounds:40 rcto1_w.Rgen.instance
+               rcto1_w.Rgen.tree ~k:2 ~z:1));
+      Test.make ~name:"R7.rcto-fpt"
+        (Staged.stage (fun () ->
+             Rcto.solve ~rng:(rng 8) ~iters:20 rcto_w.Rgen.instance
+               rcto_w.Rgen.tree ~k:1 ~z:1));
+      Test.make ~name:"R8.rcro-sampling"
+        (Staged.stage (fun () ->
+             Rcro.solve ~rng:(rng 9) rcro_w.Rgen.instance rcro_w.Rgen.tree ~k:2
+               ~z:3));
+    ]
+
+let run () =
+  let cfg =
+    Benchmark.cfg ~limit:20 ~quota:(Time.second 0.5) ~kde:None ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] (tests ()) in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> Util.fmt_time (t /. 1e9)
+        | _ -> "n/a"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  Util.print_table ~title:"Bechamel micro-benchmarks (one per Table-1 row)"
+    [ "kernel"; "time per solve" ]
+    (List.sort compare !rows)

@@ -1,0 +1,377 @@
+(* csokit: command-line front end for the clustering-with-set-outliers
+   library.
+
+     csokit gcso --points pts.csv --rects rects.csv -k 3 -z 2
+     csokit cso  --points pts.csv --sets sets.txt   -k 3 -z 2 --algo lp
+     csokit gen  --kind sensors --out /tmp/demo     -n 200
+
+   CSV formats:
+   - points: one point per line, comma-separated coordinates;
+   - rects:  one rectangle per line, lo1,hi1,lo2,hi2,... ("-inf"/"inf"
+     allowed);
+   - sets:   one set per line, whitespace-separated 0-based point ids. *)
+
+module Rect = Cso_geom.Rect
+module Instance = Cso_core.Instance
+module Geo_instance = Cso_core.Geo_instance
+module Formats = Cso_io.Formats
+
+let print_solution ?(json = false) ?(set_name = "set")
+    (sol : Instance.solution) ~cost =
+  if json then begin
+    let ints l = String.concat "," (List.map string_of_int l) in
+    Fmt.pr "{\"centers\":[%s],\"outliers\":[%s],\"cost\":%g}@."
+      (ints sol.Instance.centers)
+      (ints sol.Instance.outliers)
+      cost
+  end
+  else begin
+    Fmt.pr "centers: %a@." Fmt.(list ~sep:(any ", ") int) sol.Instance.centers;
+    Fmt.pr "outlier %ss: %a@." set_name
+      Fmt.(list ~sep:(any ", ") int)
+      sol.Instance.outliers;
+    Fmt.pr "clustering cost: %g@." cost
+  end
+
+(* --- gcso command --- *)
+
+let guard f =
+  try f () with
+  | Invalid_argument msg | Failure msg -> `Error (false, msg)
+
+let run_gcso json points_file rects_file k z algo eps rounds =
+ guard @@ fun () ->
+  let g = Formats.load_geo_instance ~points:points_file ~rects:rects_file ~k ~z in
+  if not json then
+    Fmt.pr "GCSO: n = %d points, m = %d rectangles, f = %d@."
+      (Array.length g.Geo_instance.points)
+      (Array.length g.Geo_instance.rects)
+      (Geo_instance.frequency g);
+  let sol =
+    match algo with
+    | `Mwu ->
+        (Cso_core.Gcso_general.solve ~eps ?rounds g).Cso_core.Gcso_general.solution
+    | `Coreset ->
+        (Cso_core.Gcso_disjoint.solve ~eps ?rounds g).Cso_core.Gcso_disjoint.solution
+    | `Lp ->
+        (Cso_core.Cso_general.solve (Geo_instance.to_cso g))
+          .Cso_core.Cso_general.solution
+  in
+  print_solution ~json ~set_name:"rectangle" sol ~cost:(Geo_instance.cost g sol);
+  `Ok ()
+
+(* --- cso command --- *)
+
+let run_cso json points_file sets_file k z algo =
+ guard @@ fun () ->
+  let t = Formats.load_cso_instance ~points:points_file ~sets:sets_file ~k ~z in
+  if not json then
+    Fmt.pr "CSO: n = %d points, m = %d sets, f = %d@." (Instance.n_elements t)
+      (Instance.n_sets t) (Instance.frequency t);
+  let sol =
+    match algo with
+    | `Lp -> (Cso_core.Cso_general.solve t).Cso_core.Cso_general.solution
+    | `Coreset -> (Cso_core.Cso_disjoint.solve t).Cso_core.Cso_disjoint.solution
+    | `Exact -> (
+        match Cso_core.Exact.solve t with
+        | Some (sol, _) -> sol
+        | None -> failwith "instance too large for --algo exact")
+    | `Kmedian -> Cso_core.Kmedian.local_search t
+    | `Kmeans -> Cso_core.Kmedian.local_search ~objective:Cso_core.Kmedian.Means t
+  in
+  print_solution ~json sol ~cost:(Instance.cost t sol);
+  (match algo with
+  | `Kmedian when not json ->
+      Fmt.pr "k-median objective: %g@." (Cso_core.Kmedian.cost t sol)
+  | `Kmeans when not json ->
+      Fmt.pr "k-means objective: %g@."
+        (Cso_core.Kmedian.cost ~objective:Cso_core.Kmedian.Means t sol)
+  | `Kmedian | `Kmeans | `Lp | `Coreset | `Exact -> ());
+  `Ok ()
+
+(* --- relational command --- *)
+
+let print_points label pts =
+  Fmt.pr "%s:@." label;
+  List.iter (fun p -> Fmt.pr "  %s@." (Cso_metric.Point.to_string p)) pts
+
+let print_tuples label tups =
+  Fmt.pr "%s:@." label;
+  List.iter
+    (fun (rel, tup) ->
+      Fmt.pr "  relation %d: (%s)@." rel
+        (String.concat ", "
+           (Array.to_list (Array.map Formats.float_to_string tup))))
+    tups
+
+let json_relational centers tuples =
+  let pt p =
+    "[" ^ String.concat "," (Array.to_list (Array.map Formats.float_to_string p)) ^ "]"
+  in
+  Fmt.pr "{\"centers\":[%s],\"outlier_tuples\":[%s]}@."
+    (String.concat "," (List.map pt centers))
+    (String.concat ","
+       (List.map
+          (fun (rel, tup) -> Printf.sprintf "{\"rel\":%d,\"tuple\":%s}" rel (pt tup))
+          tuples))
+
+let run_relational json schema files k z algo dirty iters =
+ guard @@ fun () ->
+  let inst, tree = Cso_io.Relational_io.load ~schema ~files in
+  if not json then
+    Fmt.pr "relational: %s, N = %d, |Q(I)| = %d@." schema
+      (Cso_relational.Instance.size inst)
+      (Cso_relational.Yannakakis.count inst tree);
+  (match algo with
+  | `Rcto1 ->
+      let r = Cso_core.Rcto1.solve ~dirty_rel:dirty inst tree ~k ~z in
+      let tuples = List.map (fun t -> (dirty, t)) r.Cso_core.Rcto1.outlier_tuples in
+      if json then json_relational r.Cso_core.Rcto1.centers tuples
+      else begin
+        print_points "centers (join results)" r.Cso_core.Rcto1.centers;
+        print_tuples "outlier tuples" tuples;
+        Fmt.pr "certified cost upper bound: %g@." r.Cso_core.Rcto1.cost_upper
+      end
+  | `Rcto -> (
+      match Cso_core.Rcto.solve ?iters inst tree ~k ~z with
+      | None -> failwith "rcto: no valid random partition found; raise --iters"
+      | Some r ->
+          if json then
+            json_relational r.Cso_core.Rcto.centers r.Cso_core.Rcto.outlier_tuples
+          else begin
+            print_points "centers (join results)" r.Cso_core.Rcto.centers;
+            print_tuples "outlier tuples" r.Cso_core.Rcto.outlier_tuples;
+            Fmt.pr "valid iterations: %d / %d@." r.Cso_core.Rcto.successes
+              r.Cso_core.Rcto.iterations
+          end)
+  | `Rcro ->
+      let r = Cso_core.Rcro.solve inst tree ~k ~z in
+      if json then json_relational r.Cso_core.Rcro.centers []
+      else begin
+        print_points "centers (join results)" r.Cso_core.Rcro.centers;
+        Fmt.pr
+          "join results farther than %g from every center are the outliers \
+           (|Q(I)| = %d, sampled %d)@."
+          r.Cso_core.Rcro.threshold r.Cso_core.Rcro.join_size
+          r.Cso_core.Rcro.sample_size
+      end);
+  `Ok ()
+
+(* --- gen command --- *)
+
+let wrote path = Fmt.pr "wrote %s@." path
+
+let run_gen kind out n k z seed =
+  let rng = Random.State.make [| seed |] in
+  (match kind with
+  | `Sensors ->
+      let w = Cso_workload.Planted.gcso_disjoint rng ~n ~m:(4 * z) ~k ~z in
+      let g = w.Cso_workload.Planted.geo in
+      Formats.write_points (out ^ ".points.csv") g.Geo_instance.points;
+      wrote (out ^ ".points.csv");
+      Formats.write_rects (out ^ ".rects.csv") g.Geo_instance.rects;
+      wrote (out ^ ".rects.csv");
+      Fmt.pr "planted optimum <= %g; faulty sensors: %a@."
+        w.Cso_workload.Planted.g_opt_upper
+        Fmt.(list ~sep:(any ", ") int)
+        w.Cso_workload.Planted.g_bad_sets
+  | `Fraud ->
+      let w = Cso_workload.Planted.gcso_overlapping rng ~n ~k ~z in
+      let g = w.Cso_workload.Planted.geo in
+      Formats.write_points (out ^ ".points.csv") g.Geo_instance.points;
+      wrote (out ^ ".points.csv");
+      Formats.write_rects (out ^ ".rects.csv") g.Geo_instance.rects;
+      wrote (out ^ ".rects.csv");
+      Fmt.pr "planted optimum <= %g@." w.Cso_workload.Planted.g_opt_upper
+  | `Relational ->
+      let w =
+        Cso_workload.Relational_gen.rcto1 rng ~n1:n ~n2:(max 4 (n / 3)) ~k ~z
+      in
+      let files = [ out ^ ".r1.csv"; out ^ ".r2.csv" ] in
+      Cso_io.Relational_io.save w.Cso_workload.Relational_gen.instance ~files;
+      List.iter wrote files;
+      Fmt.pr "schema: %s@."
+        (Cso_io.Relational_io.schema_to_spec
+           w.Cso_workload.Relational_gen.instance.Cso_relational.Instance.schema);
+      Fmt.pr "planted optimum <= %g; %d bad tuples in R1@."
+        w.Cso_workload.Relational_gen.opt_upper
+        (List.length w.Cso_workload.Relational_gen.bad_tuples)
+  | `Cso ->
+      let w = Cso_workload.Planted.cso rng ~n ~m:(4 * max 1 z) ~k ~z in
+      let t = w.Cso_workload.Planted.instance in
+      Formats.write_points (out ^ ".points.csv")
+        w.Cso_workload.Planted.points;
+      wrote (out ^ ".points.csv");
+      Formats.write_sets (out ^ ".sets.txt")
+        (Array.to_list t.Instance.sets);
+      wrote (out ^ ".sets.txt");
+      Fmt.pr "planted optimum <= %g; bad sets: %a@."
+        w.Cso_workload.Planted.opt_upper
+        Fmt.(list ~sep:(any ", ") int)
+        w.Cso_workload.Planted.bad_sets);
+  `Ok ()
+
+(* --- cmdliner wiring --- *)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  if verbose then Logs.Src.set_level Cso_core.Log.src (Some Logs.Debug)
+
+open Cmdliner
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print solver progress.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable output.")
+
+let points_arg =
+  Arg.(
+    required
+    & opt (some non_dir_file) None
+    & info [ "points" ] ~docv:"FILE" ~doc:"CSV of points, one per line.")
+
+let k_arg =
+  Arg.(required & opt (some int) None & info [ "k" ] ~docv:"K" ~doc:"Centers.")
+
+let z_arg =
+  Arg.(
+    required & opt (some int) None & info [ "z" ] ~docv:"Z" ~doc:"Outlier sets.")
+
+let eps_arg =
+  Arg.(value & opt float 0.3 & info [ "eps" ] ~doc:"MWU approximation slack.")
+
+let rounds_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "rounds" ] ~doc:"Cap on MWU iterations per radius guess.")
+
+let gcso_cmd =
+  let rects_arg =
+    Arg.(
+      required
+      & opt (some non_dir_file) None
+      & info [ "rects" ] ~docv:"FILE" ~doc:"CSV of rectangles.")
+  in
+  let algo_arg =
+    Arg.(
+      value
+      & opt (enum [ ("mwu", `Mwu); ("coreset", `Coreset); ("lp", `Lp) ]) `Mwu
+      & info [ "algo" ] ~doc:"mwu (Sec 3.2), coreset (Sec 3.3, f=1), lp (Sec 2.2).")
+  in
+  Cmd.v
+    (Cmd.info "gcso" ~doc:"Geometric clustering with rectangle outliers")
+    Term.(
+      ret
+        (const (fun v j a b c d e f g ->
+             setup_logs v;
+             run_gcso j a b c d e f g)
+        $ verbose_arg $ json_arg $ points_arg $ rects_arg $ k_arg $ z_arg
+        $ algo_arg $ eps_arg $ rounds_arg))
+
+let cso_cmd =
+  let sets_arg =
+    Arg.(
+      required
+      & opt (some non_dir_file) None
+      & info [ "sets" ] ~docv:"FILE" ~doc:"Outlier sets, point ids per line.")
+  in
+  let algo_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("lp", `Lp); ("coreset", `Coreset); ("exact", `Exact);
+               ("kmedian", `Kmedian); ("kmeans", `Kmeans) ])
+          `Lp
+      & info [ "algo" ]
+          ~doc:
+            "lp (Sec 2.2), coreset (Sec 2.3, f=1), exact, or the kmedian / \
+             kmeans extension heuristics.")
+  in
+  Cmd.v
+    (Cmd.info "cso" ~doc:"General-metric clustering with set outliers")
+    Term.(
+      ret
+        (const (fun v j a b c d e ->
+             setup_logs v;
+             run_cso j a b c d e)
+        $ verbose_arg $ json_arg $ points_arg $ sets_arg $ k_arg $ z_arg
+        $ algo_arg))
+
+let gen_cmd =
+  let kind_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("sensors", `Sensors); ("fraud", `Fraud); ("cso", `Cso);
+               ("relational", `Relational) ])
+          `Sensors
+      & info [ "kind" ] ~doc:"Workload family.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "cso-demo" & info [ "out" ] ~docv:"PREFIX" ~doc:"Output prefix.")
+  in
+  let n_arg = Arg.(value & opt int 200 & info [ "n" ] ~doc:"Points.") in
+  let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Clusters.") in
+  let z_arg = Arg.(value & opt int 2 & info [ "z" ] ~doc:"Outlier sets.") in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate planted demo workloads as CSV")
+    Term.(
+      ret (const run_gen $ kind_arg $ out_arg $ n_arg $ k_arg $ z_arg $ seed_arg))
+
+let relational_cmd =
+  let schema_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "schema" ] ~docv:"SPEC"
+          ~doc:"Schema spec, e.g. 'R1(A,B);R2(B,C)'.")
+  in
+  let rel_arg =
+    Arg.(
+      non_empty & opt_all non_dir_file []
+      & info [ "rel" ] ~docv:"FILE"
+          ~doc:"Relation CSV, one per relation, in schema order.")
+  in
+  let algo_arg =
+    Arg.(
+      value
+      & opt (enum [ ("rcto1", `Rcto1); ("rcto", `Rcto); ("rcro", `Rcro) ]) `Rcto1
+      & info [ "algo" ]
+          ~doc:
+            "rcto1 (tuple outliers from one relation, Sec 4.1.1), rcto (any \
+             relation, Sec 4.1.2), rcro (result outliers, App E).")
+  in
+  let dirty_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "dirty" ] ~doc:"Dirty relation index for rcto1 (default 0).")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "iters" ] ~doc:"Random partitions for rcto.")
+  in
+  Cmd.v
+    (Cmd.info "relational"
+       ~doc:"Relational k-center clustering with tuple/result outliers")
+    Term.(
+      ret
+        (const (fun v j a b c d e f g ->
+             setup_logs v;
+             run_relational j a b c d e f g)
+        $ verbose_arg $ json_arg $ schema_arg $ rel_arg $ k_arg $ z_arg
+        $ algo_arg $ dirty_arg $ iters_arg))
+
+let main =
+  Cmd.group
+    (Cmd.info "csokit" ~version:"1.0.0"
+       ~doc:"Clustering with set outliers (PODS 2025) toolkit")
+    [ gcso_cmd; cso_cmd; relational_cmd; gen_cmd ]
+
+let () = exit (Cmd.eval main)

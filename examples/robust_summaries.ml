@@ -1,0 +1,80 @@
+(* Robust data summaries under every objective: k-center vs k-median vs
+   k-means with set outliers, on the same data-integration instance.
+
+   Readings aggregated from five upstream providers; one provider ships
+   corrupted records. Discarding up to z whole providers and summarizing
+   the rest with k representatives is CSO under the max objective
+   (paper, Definition 1.1) and our k-median / k-means extension (the
+   future-work direction of Section 5) under the sum objectives.
+
+   Run with: dune exec examples/robust_summaries.exe
+*)
+
+module Space = Cso_metric.Space
+module Instance = Cso_core.Instance
+module Cso_general = Cso_core.Cso_general
+module Kmedian = Cso_core.Kmedian
+
+let rng = Random.State.make [| 77 |]
+
+let () =
+  let k = 2 and z = 1 in
+  (* Providers 0..3 are honest and report two market segments; provider
+     4 is corrupted. *)
+  let segment s =
+    let cx, cy = if s = 0 then (10.0, 10.0) else (60.0, 40.0) in
+    [| cx +. Random.State.float rng 3.0; cy +. Random.State.float rng 3.0 |]
+  in
+  let honest p =
+    Array.to_list (Array.init 12 (fun i -> (p, segment (i mod 2))))
+  in
+  let corrupt =
+    Array.to_list
+      (Array.init 8 (fun _ ->
+           ( 4,
+             [|
+               Random.State.float rng 500.0; Random.State.float rng 500.0;
+             |] )))
+  in
+  let tagged = List.concat_map honest [ 0; 1; 2; 3 ] @ corrupt in
+  let points = Array.of_list (List.map snd tagged) in
+  let providers = List.map fst tagged in
+  let sets =
+    List.init 5 (fun p ->
+        List.concat
+          (List.mapi (fun i q -> if q = p then [ i ] else []) providers))
+  in
+  let t = Instance.make (Space.of_points points) ~sets ~k ~z in
+  Format.printf "robust-summaries: %d records from 5 providers, k=%d, z=%d@."
+    (Array.length points) k z;
+
+  let show name sol objective_value =
+    Format.printf "%-10s discards provider(s) %s; centers %s; %s@." name
+      (String.concat ", " (List.map string_of_int sol.Instance.outliers))
+      (String.concat ", "
+         (List.map
+            (fun i -> Cso_metric.Point.to_string points.(i))
+            sol.Instance.centers))
+      objective_value
+  in
+
+  (* k-center with set outliers (the paper). *)
+  let center_sol = (Cso_general.solve t).Cso_general.solution in
+  show "k-center" center_sol
+    (Printf.sprintf "max distance = %.2f" (Instance.cost t center_sol));
+
+  (* k-median / k-means extensions. *)
+  let median_sol = Kmedian.local_search t in
+  show "k-median" median_sol
+    (Printf.sprintf "sum of distances = %.2f" (Kmedian.cost t median_sol));
+  (match Kmedian.lp_lower_bound t with
+  | Some lb ->
+      Format.printf
+        "           (LP lower bound %.2f -> certified ratio %.3f)@." lb
+        (Kmedian.cost t median_sol /. lb)
+  | None -> ());
+
+  let means_sol = Kmedian.local_search ~objective:Kmedian.Means t in
+  show "k-means" means_sol
+    (Printf.sprintf "sum of squares = %.2f"
+       (Kmedian.cost ~objective:Kmedian.Means t means_sol))

@@ -1,0 +1,53 @@
+module Space = Cso_metric.Space
+module Gonzalez = Cso_kcenter.Gonzalez
+
+(* Cluster the surviving elements; return (centers, radius, farthest). *)
+let recluster (t : Instance.t) outliers =
+  match Instance.surviving t outliers with
+  | [] -> ([], 0.0, None)
+  | survivors ->
+      let subset = Array.of_list survivors in
+      let centers, radius = Gonzalez.run t.Instance.space ~subset ~k:t.Instance.k in
+      let far = ref None and far_d = ref neg_infinity in
+      List.iter
+        (fun p ->
+          let _, d = Space.nearest_center t.Instance.space ~centers p in
+          if d > !far_d then begin
+            far_d := d;
+            far := Some p
+          end)
+        survivors;
+      (centers, radius, !far)
+
+let solve (t : Instance.t) =
+  let outliers = ref [] in
+  (try
+     for _ = 1 to t.Instance.z do
+       match recluster t !outliers with
+       | _, radius, Some far when radius > 0.0 ->
+           (* Discard the largest not-yet-chosen set containing the
+              farthest point. *)
+           let candidates =
+             List.filter
+               (fun j -> not (List.mem j !outliers))
+               t.Instance.membership.(far)
+           in
+           let best =
+             List.fold_left
+               (fun acc j ->
+                 match acc with
+                 | Some b
+                   when List.length t.Instance.sets.(b)
+                        >= List.length t.Instance.sets.(j) ->
+                     acc
+                 | _ -> Some j)
+               None candidates
+           in
+           (match best with
+           | Some j -> outliers := j :: !outliers
+           | None -> raise Exit)
+       | _ -> raise Exit
+     done
+   with Exit -> ());
+  let centers, _, _ = recluster t !outliers in
+  { Instance.centers; outliers = List.rev !outliers }

@@ -1,0 +1,15 @@
+(** A natural greedy baseline for CSO (not from the paper).
+
+    What a practitioner would try first: repeat [z] times — find the
+    point farthest from the current Gonzalez centers and discard one
+    candidate set containing it (largest first); then recluster. This
+    respects the budgets exactly ([<= k] centers, [<= z] sets) but has
+    no approximation guarantee: it cannot coordinate set choices, so one
+    set covering several scattered outliers can be missed. The
+    [baseline_comparison] bench shows both regimes: on planted
+    independent junk it matches the LP algorithm; on coordinated-outlier
+    instances its cost blows up while the LP stays constant-factor. *)
+
+val solve : Instance.t -> Instance.solution
+(** Greedy heuristic; always returns at most [k] centers and at most
+    [z] outlier sets. *)

@@ -1,0 +1,265 @@
+module Space = Cso_metric.Space
+module Gonzalez = Cso_kcenter.Gonzalez
+
+type report = {
+  solution : Instance.solution;
+  radius : float;
+  coreset_elements : int;
+  coreset_sets : int;
+}
+
+type attempt =
+  | Solved of Instance.solution
+  | Skip
+
+(* Phase 1: per-set Gonzalez. Returns the forced outliers H_0 and, for
+   every surviving set, its 2r-separated center elements. *)
+let per_set_centers (t : Instance.t) ~r =
+  let s = t.Instance.space in
+  let h0 = ref [] in
+  let kept = ref [] in
+  Array.iteri
+    (fun j elements ->
+      let subset = Array.of_list elements in
+      let centers, rad = Gonzalez.run s ~subset ~k:t.Instance.k in
+      if rad > 2.0 *. r then h0 := j :: !h0
+      else begin
+        (* Sparsify: drop centers within 2r of an earlier kept center. *)
+        let keep = ref [] in
+        List.iter
+          (fun c ->
+            if
+              not
+                (List.exists (fun c' -> s.Space.dist c c' <= 2.0 *. r) !keep)
+            then keep := c :: !keep)
+          centers;
+        kept := (j, List.rev !keep) :: !kept
+      end)
+    t.Instance.sets;
+  (!h0, List.rev !kept)
+
+(* Phase 2: repeatedly remove 15r-balls around elements whose 10r-ball
+   meets more than [zbar] distinct sets. Mutates [alive]. Returns the
+   ball memberships removed (the family X) or [None] if more than [k]
+   balls were needed (certifying the guess is too small). *)
+let prune_dense_balls (t : Instance.t) ~r ~zbar ~alive ~set_of ~elems =
+  let s = t.Instance.space in
+  let nb = Array.length elems in
+  let x = ref [] in
+  let k_used = ref 0 in
+  let distinct_sets_near i =
+    let seen = Hashtbl.create 16 in
+    for l = 0 to nb - 1 do
+      if alive.(l) && s.Space.dist elems.(i) elems.(l) <= 10.0 *. r then
+        Hashtbl.replace seen set_of.(l) ()
+    done;
+    Hashtbl.length seen
+  in
+  let exception Too_many in
+  try
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let i = ref 0 in
+      while !i < nb do
+        if alive.(!i) && distinct_sets_near !i > zbar then begin
+          (* Remove the 15r-ball around this element. *)
+          let members = ref [] in
+          for l = 0 to nb - 1 do
+            if alive.(l) && s.Space.dist elems.(!i) elems.(l) <= 15.0 *. r
+            then begin
+              alive.(l) <- false;
+              members := l :: !members
+            end
+          done;
+          x := (!i, !members) :: !x;
+          incr k_used;
+          if !k_used > t.Instance.k then raise Too_many;
+          changed := true
+        end;
+        incr i
+      done
+    done;
+    Some (List.rev !x)
+  with Too_many -> None
+
+let solve_at (t : Instance.t) ~r =
+  if Instance.frequency t > 1 then
+    invalid_arg "Cso_disjoint.solve_at: sets must be disjoint (f = 1)";
+  let h0, kept = per_set_centers t ~r in
+  let zbar = t.Instance.z - List.length h0 in
+  if zbar < 0 then Skip
+  else begin
+    (* Flatten the kept centers; remember their set. *)
+    let elems =
+      Array.of_list (List.concat_map (fun (_, cs) -> cs) kept)
+    in
+    let set_of =
+      Array.of_list
+        (List.concat_map (fun (j, cs) -> List.map (fun _ -> j) cs) kept)
+    in
+    let alive = Array.make (Array.length elems) true in
+    match prune_dense_balls t ~r ~zbar ~alive ~set_of ~elems with
+    | None -> Skip
+    | Some x ->
+        let k' = t.Instance.k - List.length x in
+        (* Coreset elements and sets that still have a member. *)
+        let live_idx = ref [] in
+        for l = Array.length elems - 1 downto 0 do
+          if alive.(l) then live_idx := l :: !live_idx
+        done;
+        let live_idx = Array.of_list !live_idx in
+        let live_sets =
+          List.sort_uniq compare
+            (Array.to_list (Array.map (fun l -> set_of.(l)) live_idx))
+        in
+        if Array.length live_idx = 0 then begin
+          (* Everything was pruned into balls: the ball representatives
+             plus the forced outliers already form a solution. *)
+          let centers =
+            List.filter_map (fun (i, _) -> Some elems.(i)) x
+          in
+          let mask = Instance.covered_mask t h0 in
+          let centers = List.filter (fun c -> not (mask.(c))) centers in
+          Solved { Instance.centers; outliers = h0 }
+        end
+        else if
+          List.length live_sets
+          > min (Instance.n_sets t) (max 1 (2 * t.Instance.k * t.Instance.z))
+        then Skip
+        else if k' <= 0 then begin
+          (* Pruning consumed the whole center budget: the surviving sets
+             must all become outliers. *)
+          if List.length live_sets <= zbar then begin
+            let outliers = h0 @ live_sets in
+            let mask = Instance.covered_mask t outliers in
+            let centers =
+              List.filter_map
+                (fun (_, members) ->
+                  List.find_map
+                    (fun l ->
+                      let e = elems.(l) in
+                      if mask.(e) then None else Some e)
+                    members)
+                x
+            in
+            Solved { Instance.centers; outliers }
+          end
+          else Skip
+        end
+        else begin
+          (* Sub-instance over the live coreset elements. *)
+          let sub_space =
+            Space.create ~size:(Array.length live_idx)
+              ~dist:(fun a b ->
+                t.Instance.space.Space.dist elems.(live_idx.(a))
+                  elems.(live_idx.(b)))
+          in
+          let set_rank = Hashtbl.create 16 in
+          List.iteri (fun rank j -> Hashtbl.add set_rank j rank) live_sets;
+          let sub_sets = Array.make (List.length live_sets) [] in
+          Array.iteri
+            (fun a l ->
+              let rank = Hashtbl.find set_rank set_of.(l) in
+              sub_sets.(rank) <- a :: sub_sets.(rank))
+            live_idx;
+          let sub =
+            Instance.make sub_space ~sets:(Array.to_list sub_sets) ~k:k'
+              ~z:zbar
+          in
+          match
+            Cso_general.solve_at ~cover_mult:10.0 ~removal_mult:20.0 sub ~r
+          with
+          | None -> Skip
+          | Some sub_sol ->
+              let live_sets_arr = Array.of_list live_sets in
+              let outliers =
+                h0
+                @ List.map (fun j -> live_sets_arr.(j)) sub_sol.Instance.outliers
+              in
+              let mask = Instance.covered_mask t outliers in
+              let centers =
+                List.map
+                  (fun a -> elems.(live_idx.(a)))
+                  sub_sol.Instance.centers
+              in
+              (* One representative per removed ball, avoiding chosen
+                 outlier sets. *)
+              let ball_reps =
+                List.filter_map
+                  (fun (_, members) ->
+                    List.find_map
+                      (fun l ->
+                        let e = elems.(l) in
+                        if mask.(e) then None else Some e)
+                      members)
+                  x
+              in
+              Solved
+                {
+                  Instance.centers = centers @ ball_reps;
+                  outliers;
+                }
+        end
+  end
+
+(* Remark after Theorem 2.6: when km < n, binary-search only the
+   pairwise distances among the per-set Gonzalez centers (plus a safe
+   top) instead of all n^2 distances; the approximation constant grows
+   by O(1). *)
+let center_lattice (t : Instance.t) =
+  let s = t.Instance.space in
+  let centers =
+    Array.of_list
+      (List.concat_map
+         (fun elements ->
+           fst (Gonzalez.run s ~subset:(Array.of_list elements) ~k:t.Instance.k))
+         (Array.to_list t.Instance.sets))
+  in
+  let acc = ref [ 0.0 ] in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b -> if i < j then acc := s.Space.dist a b :: !acc)
+        centers)
+    centers;
+  let sorted = List.sort_uniq compare !acc in
+  let top = List.fold_left max 0.0 sorted in
+  Array.of_list (sorted @ [ 4.0 *. top ])
+
+let solve t =
+  let n = Instance.n_elements t in
+  let km = t.Instance.k * Instance.n_sets t in
+  let dists =
+    if km < n then center_lattice t
+    else Space.pairwise_distances t.Instance.space
+  in
+  let lo = ref 0 and hi = ref (Array.length dists - 1) in
+  let best = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    match solve_at t ~r:dists.(mid) with
+    | Solved sol ->
+        Log.debug (fun m ->
+            m "cso-coreset: r=%g solved (|C|=%d |H|=%d)" dists.(mid)
+              (List.length sol.Instance.centers)
+              (List.length sol.Instance.outliers));
+        best := Some (sol, dists.(mid));
+        hi := mid - 1
+    | Skip ->
+        Log.debug (fun m -> m "cso-coreset: r=%g skipped" dists.(mid));
+        lo := mid + 1
+  done;
+  match !best with
+  | Some (solution, radius) ->
+      (* Re-derive the final coreset sizes for reporting. *)
+      let h0, kept = per_set_centers t ~r:radius in
+      ignore h0;
+      let n_elems = List.fold_left (fun acc (_, cs) -> acc + List.length cs) 0 kept in
+      {
+        solution;
+        radius;
+        coreset_elements = n_elems;
+        coreset_sets = List.length kept;
+      }
+  | None -> assert false (* the largest distance always solves *)

@@ -1,0 +1,38 @@
+(** Coreset-based (2, 2, O(1))-approximation for disjoint CSO
+    (Section 2.3, [f = 1]).
+
+    For each radius guess [r]:
+    + run Gonzalez inside every outlier set; sets that cannot be covered
+      by [k] balls of radius [2r] are forced outliers ([H_0]);
+    + keep only the (2r-separated) Gonzalez centers of the surviving
+      sets;
+    + repeatedly remove [15r]-balls around elements whose [10r]-ball
+      meets more than [z-bar] distinct sets (each such ball must contain a
+      full optimum cluster; [k] decreases accordingly);
+    + solve (LP2) — the LP of Section 2.2 with radii [10r] / [20r] — on
+      the remaining coreset and stitch the pieces back together.
+
+    Guarantee (Theorem 2.6): at most [2k] centers, [2z] outlier sets,
+    cost at most [30 rho*_{k,z}]. *)
+
+type report = {
+  solution : Instance.solution;
+  radius : float; (* smallest radius guess that succeeded *)
+  coreset_elements : int; (* |P'| at the final radius *)
+  coreset_sets : int; (* |H'| at the final radius *)
+}
+
+type attempt =
+  | Solved of Instance.solution
+  | Skip (* the guess is certifiably below the optimum: retry larger *)
+
+val solve_at : Instance.t -> r:float -> attempt
+(** One radius guess. Raises [Invalid_argument] if the instance has
+    frequency > 1 (sets must be disjoint). *)
+
+val solve : Instance.t -> report
+(** Full binary search. Following the remark after Theorem 2.6, when
+    [km < n] the search lattice is the pairwise distances among the
+    per-set Gonzalez centers (O(k^2 m^2) values) instead of all
+    pairwise distances, trading a constant factor in cost for the
+    cheaper sort. *)

@@ -1,0 +1,102 @@
+module Space = Cso_metric.Space
+module Simplex = Cso_lp.Simplex
+
+type report = {
+  solution : Instance.solution;
+  radius : float;
+  lp_solves : int;
+}
+
+let build_lp ?(cover_mult = 1.0) (t : Instance.t) ~r =
+  let n = Instance.n_elements t and m = Instance.n_sets t in
+  let nv = n + m in
+  let row coeffs = coeffs in
+  let centers_cap =
+    let a = Array.make nv 0.0 in
+    for i = 0 to n - 1 do
+      a.(i) <- 1.0
+    done;
+    (row a, Simplex.Le, float_of_int t.Instance.k)
+  in
+  let outliers_cap =
+    let a = Array.make nv 0.0 in
+    for j = 0 to m - 1 do
+      a.(n + j) <- 1.0
+    done;
+    (row a, Simplex.Le, float_of_int t.Instance.z)
+  in
+  let cover_r = cover_mult *. r in
+  let coverage =
+    List.init n (fun i ->
+        let a = Array.make nv 0.0 in
+        List.iter (fun j -> a.(n + j) <- 1.0) t.Instance.membership.(i);
+        List.iter
+          (fun l -> a.(l) <- 1.0)
+          (Space.ball t.Instance.space ~center:i ~radius:cover_r);
+        (row a, Simplex.Ge, 1.0))
+  in
+  {
+    Simplex.num_vars = nv;
+    objective = Array.make nv 0.0;
+    constraints = centers_cap :: outliers_cap :: coverage;
+    bounds = Simplex.box nv;
+  }
+
+(* Rounds a fractional (x, y) solution: threshold the set variables at
+   1/(2f), then greedily cover the surviving elements. *)
+let round ?(removal_mult = 2.0) (t : Instance.t) ~r ~sol =
+  let n = Instance.n_elements t and m = Instance.n_sets t in
+  let f = float_of_int (max 1 (Instance.frequency t)) in
+  let threshold = (1.0 /. (2.0 *. f)) -. 1e-9 in
+  let outliers = ref [] in
+  for j = m - 1 downto 0 do
+    if sol.(n + j) >= threshold then outliers := j :: !outliers
+  done;
+  let active = Array.make n false in
+  List.iter (fun i -> active.(i) <- true) (Instance.surviving t !outliers);
+  let centers = ref [] in
+  let removal = removal_mult *. r in
+  for i = 0 to n - 1 do
+    if active.(i) then begin
+      centers := i :: !centers;
+      for l = 0 to n - 1 do
+        if active.(l) && t.Instance.space.Space.dist i l <= removal then
+          active.(l) <- false
+      done
+    end
+  done;
+  { Instance.centers = List.rev !centers; outliers = !outliers }
+
+let solve_at ?cover_mult ?removal_mult t ~r =
+  let lp = build_lp ?cover_mult t ~r in
+  match Simplex.feasible_point lp with
+  | None -> None
+  | Some sol -> Some (round ?removal_mult t ~r ~sol)
+
+let solve t =
+  (* The binary search probes most pairwise distances many times over. *)
+  let t = if Instance.n_elements t <= 2048 then Instance.with_cached_space t else t in
+  let dists = Space.pairwise_distances t.Instance.space in
+  let lp_solves = ref 0 in
+  let lo = ref 0 and hi = ref (Array.length dists - 1) in
+  let best = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    incr lp_solves;
+    match solve_at t ~r:dists.(mid) with
+    | Some sol ->
+        Log.debug (fun m ->
+            m "cso-lp: r=%g feasible (|C|=%d |H|=%d)" dists.(mid)
+              (List.length sol.Instance.centers)
+              (List.length sol.Instance.outliers));
+        best := Some (sol, dists.(mid));
+        hi := mid - 1
+    | None ->
+        Log.debug (fun m -> m "cso-lp: r=%g infeasible" dists.(mid));
+        lo := mid + 1
+  done;
+  match !best with
+  | Some (solution, radius) -> { solution; radius; lp_solves = !lp_solves }
+  | None ->
+      (* Unreachable: the largest pairwise distance is always feasible. *)
+      assert false

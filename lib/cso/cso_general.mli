@@ -1,0 +1,34 @@
+(** LP-based (2, 2f, 2)-approximation for general CSO (Section 2.2).
+
+    For a radius guess [r] the algorithm solves (LP1); when feasible it
+    keeps the outlier sets with fractional value at least [1/(2f)] and
+    greedily picks centers among the surviving elements, clearing a
+    [2r]-ball around each pick. A binary search over the sorted pairwise
+    distances finds the smallest feasible guess.
+
+    Guarantees (Theorem 2.4): at most [2k] centers, at most [2fz] outlier
+    sets, cost at most [2 rho*_{k,z}]. *)
+
+type report = {
+  solution : Instance.solution;
+  radius : float;
+      (** The smallest feasible LP radius guess. Since (LP1) is feasible
+          at every [r >= rho*] (Lemma 2.3 i) and the guesses exhaust the
+          pairwise distances, [radius] is a {e certified lower bound} on
+          the optimum — so [cost /. radius <= 2] is a certified
+          per-instance approximation ratio, with no ground truth
+          needed. *)
+  lp_solves : int; (* number of LPs solved during the binary search *)
+}
+
+val solve_at : ?cover_mult:float -> ?removal_mult:float -> Instance.t ->
+  r:float -> Instance.solution option
+(** One guess: solves (LP1) with balls [B(p_i, cover_mult * r)] (default
+    [1.]) and rounds with removal radius [removal_mult * r] (default
+    [2.]). [None] when the LP is infeasible. The generalized radii are
+    what Section 2.3 calls (LP2): [cover_mult = 10.], [removal_mult =
+    20.]. *)
+
+val solve : Instance.t -> report
+(** Full binary search; always succeeds ([k >= 1] makes the largest
+    distance feasible). *)

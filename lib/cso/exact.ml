@@ -1,0 +1,58 @@
+(* All subsets of [items] of size at most [r], as lists. *)
+let rec subsets_up_to items r =
+  match (items, r) with
+  | _, 0 -> [ [] ]
+  | [], _ -> [ [] ]
+  | x :: rest, r ->
+      let without = subsets_up_to rest r in
+      let with_x = List.map (fun s -> x :: s) (subsets_up_to rest (r - 1)) in
+      without @ with_x
+
+let binom n r =
+  let r = min r (n - r) in
+  if r < 0 then 0
+  else begin
+    let acc = ref 1 in
+    for i = 0 to r - 1 do
+      acc := !acc * (n - i) / (i + 1)
+    done;
+    !acc
+  end
+
+let work_estimate n m k z =
+  let sets_choices = List.fold_left (fun acc i -> acc + binom m i) 0 (List.init (z + 1) Fun.id) in
+  let center_choices = List.fold_left (fun acc i -> acc + binom n i) 0 (List.init (k + 1) Fun.id) in
+  sets_choices * center_choices
+
+let solve ?(max_work = 5_000_000) (t : Instance.t) =
+  let n = Instance.n_elements t and m = Instance.n_sets t in
+  if work_estimate n m t.Instance.k t.Instance.z > max_work then None
+  else begin
+    let set_ids = List.init m Fun.id in
+    let best = ref None in
+    List.iter
+      (fun outliers ->
+        let survivors = Instance.surviving t outliers in
+        match survivors with
+        | [] ->
+            (* Everything outliered: cost 0 with any single valid center
+               — but a center must avoid the outlier sets, so no center
+               is needed; an empty center list has cost 0 on no points. *)
+            best := Some ({ Instance.centers = []; outliers }, 0.0)
+        | _ ->
+            let candidate_centers = subsets_up_to survivors t.Instance.k in
+            List.iter
+              (fun centers ->
+                if centers <> [] then begin
+                  let sol = { Instance.centers; outliers } in
+                  let c = Instance.cost t sol in
+                  match !best with
+                  | Some (_, b) when b <= c -> ()
+                  | _ -> best := Some (sol, c)
+                end)
+              candidate_centers)
+      (subsets_up_to set_ids t.Instance.z);
+    !best
+  end
+
+let opt_cost ?max_work t = Option.map snd (solve ?max_work t)

@@ -1,0 +1,13 @@
+(** Exact (exponential-time) CSO solver for tiny instances.
+
+    Enumerates all outlier-set families of size at most [z] and all
+    center sets of size at most [k]. Provides the ground-truth optimum
+    [rho*_{k,z}(P, H)] against which the approximation algorithms are
+    measured in tests and in the Table 1 benches. *)
+
+val solve : ?max_work:int -> Instance.t -> (Instance.solution * float) option
+(** [Some (optimal_solution, optimal_cost)], or [None] when the
+    enumeration would exceed [max_work] (default [5_000_000]) candidate
+    (H, C) pairs. *)
+
+val opt_cost : ?max_work:int -> Instance.t -> float option

@@ -1,0 +1,219 @@
+module Point = Cso_metric.Point
+module Bbd = Cso_geom.Bbd_tree
+module Range_tree = Cso_geom.Range_tree
+module Wspd = Cso_geom.Wspd
+module Mwu = Cso_lp.Mwu
+
+type prepared = {
+  g : Geo_instance.t;
+  bbd : Bbd.t;
+  rtree : Range_tree.t;
+  rect_nodes : int list array; (* canonical range-tree nodes per rectangle *)
+}
+
+let prepare (g : Geo_instance.t) =
+  let bbd = Bbd.build g.Geo_instance.points in
+  let rtree = Range_tree.build g.Geo_instance.points in
+  let rect_nodes =
+    Array.map (fun rect -> Range_tree.query_nodes rtree rect) g.Geo_instance.rects
+  in
+  { g; bbd; rtree; rect_nodes }
+
+(* Indices of the [k] largest weights. *)
+let top_k weights k =
+  let idx = Array.init (Array.length weights) Fun.id in
+  Array.sort (fun a b -> compare weights.(b) weights.(a)) idx;
+  Array.to_list (Array.sub idx 0 (min k (Array.length idx)))
+
+type oracle_sol = {
+  chosen_pts : int list;
+  chosen_rects : int list;
+  value : float;
+}
+
+let solve_at ?(eps = 0.3) ?rounds ?(cover_mult = 1.0) ?(removal_mult = 2.0)
+    ?on_round p ~r =
+  let g = p.g in
+  let n = Array.length g.Geo_instance.points in
+  let m = Array.length g.Geo_instance.rects in
+  let pts = g.Geo_instance.points in
+  let k = g.Geo_instance.k and z = g.Geo_instance.z in
+  if n = 0 then Some { Instance.centers = []; outliers = [] }
+  else begin
+    let rc = cover_mult *. r in
+    (* Canonical ball nodes per point: fixed for this guess, shared by
+       every Oracle and Update call. *)
+    let canon =
+      Array.init n (fun i ->
+          Bbd.ball_query p.bbd ~center:pts.(i) ~radius:rc ~eps)
+    in
+    let width = float_of_int (k + z) in
+    let oracle sigma =
+      (* w_l = sum of sigma over the points whose ball query captured l. *)
+      Bbd.reset_weights p.bbd;
+      Array.iteri
+        (fun i nodes ->
+          List.iter (fun u -> Bbd.add_weight p.bbd u sigma.(i)) nodes)
+        canon;
+      let w =
+        Array.init n (fun l ->
+            Bbd.fold_path_to_root p.bbd (Bbd.leaf_of_point p.bbd l) ~init:0.0
+              ~f:(fun acc u -> acc +. Bbd.get_weight p.bbd u))
+      in
+      (* tau_j = sigma-weight of the points inside rectangle j. *)
+      Range_tree.set_point_weights p.rtree sigma;
+      let tau =
+        Array.map
+          (fun nodes ->
+            List.fold_left
+              (fun acc u -> acc +. Range_tree.node_weight p.rtree u)
+              0.0 nodes)
+          p.rect_nodes
+      in
+      let chosen_pts = top_k w k in
+      let chosen_rects = top_k tau z in
+      let value =
+        List.fold_left (fun acc l -> acc +. w.(l)) 0.0 chosen_pts
+        +. List.fold_left (fun acc j -> acc +. tau.(j)) 0.0 chosen_rects
+      in
+      if value >= 1.0 -. 1e-12 then Some { chosen_pts; chosen_rects; value }
+      else None
+    in
+    let violation sol =
+      (* R1_i: chosen points captured by point i's ball query. *)
+      Bbd.reset_weights p.bbd;
+      List.iter
+        (fun l ->
+          Bbd.fold_path_to_root p.bbd (Bbd.leaf_of_point p.bbd l) ~init:()
+            ~f:(fun () u -> Bbd.add_weight2 p.bbd u 1.0))
+        sol.chosen_pts;
+      (* R2_i: chosen rectangles containing point i. *)
+      Range_tree.reset_weight2 p.rtree;
+      List.iter
+        (fun j ->
+          List.iter
+            (fun u -> Range_tree.add_weight2 p.rtree u 1.0)
+            p.rect_nodes.(j))
+        sol.chosen_rects;
+      Array.init n (fun i ->
+          let r1 =
+            List.fold_left
+              (fun acc u -> acc +. Bbd.get_weight2 p.bbd u)
+              0.0 canon.(i)
+          in
+          let r2 =
+            Range_tree.fold_point_paths p.rtree i ~init:0.0 ~f:(fun acc u ->
+                acc +. Range_tree.node_weight2 p.rtree u)
+          in
+          r1 +. r2 -. 1.0)
+    in
+    match
+      Mwu.run ~m:n ~width ~eps ?rounds ?on_round ~oracle ~violation ()
+    with
+    | Mwu.Infeasible -> None
+    | Mwu.Feasible sols ->
+        let t = float_of_int (List.length sols) in
+        let x_hat = Array.make n 0.0 and y_hat = Array.make m 0.0 in
+        List.iter
+          (fun sol ->
+            List.iter (fun l -> x_hat.(l) <- x_hat.(l) +. 1.0) sol.chosen_pts;
+            List.iter (fun j -> y_hat.(j) <- y_hat.(j) +. 1.0) sol.chosen_rects)
+          sols;
+        Array.iteri (fun i v -> x_hat.(i) <- v /. t) x_hat;
+        Array.iteri (fun j v -> y_hat.(j) <- v /. t) y_hat;
+        (* Round: keep rectangles with mass >= 1/(2f); greedily cover the
+           surviving points with balls of radius removal_mult * r. *)
+        let f = float_of_int (max 1 (Geo_instance.frequency g)) in
+        let threshold = (1.0 /. (2.0 *. f)) -. 1e-9 in
+        let outliers = ref [] in
+        for j = m - 1 downto 0 do
+          if y_hat.(j) >= threshold then outliers := j :: !outliers
+        done;
+        Range_tree.reset_marks p.rtree;
+        List.iter
+          (fun j ->
+            List.iter (fun u -> Range_tree.add_mark p.rtree u) p.rect_nodes.(j))
+          !outliers;
+        Bbd.reset_active p.bbd;
+        for i = 0 to n - 1 do
+          if Range_tree.marked_on_paths p.rtree i then
+            Bbd.deactivate p.bbd (Bbd.leaf_of_point p.bbd i)
+        done;
+        let centers = ref [] in
+        let removal = removal_mult *. r in
+        let rec greedy () =
+          match Bbd.root_repr p.bbd with
+          | None -> ()
+          | Some pi ->
+              centers := pi :: !centers;
+              let nodes =
+                Bbd.ball_query_active p.bbd ~center:pts.(pi) ~radius:removal
+                  ~eps
+              in
+              List.iter (Bbd.deactivate p.bbd) nodes;
+              (* The representative itself is always captured (distance
+                 0), but guard against a pathological miss. *)
+              if Bbd.point_is_active p.bbd pi then
+                Bbd.deactivate p.bbd (Bbd.leaf_of_point p.bbd pi);
+              greedy ()
+        in
+        greedy ();
+        Some { Instance.centers = List.rev !centers; outliers = !outliers }
+  end
+
+type report = {
+  solution : Instance.solution;
+  radius : float;
+  rounds_per_guess : int;
+  guesses : int;
+}
+
+let solve ?(eps = 0.3) ?rounds ?candidates g =
+  let p = prepare g in
+  let n = Array.length g.Geo_instance.points in
+  let gamma =
+    match candidates with
+    | Some c -> c
+    | None -> Wspd.candidate_distances ~eps g.Geo_instance.points
+  in
+  (* The WSPD only approximates the diameter; append a guess safely above
+     it so the binary search always has a feasible endpoint. *)
+  let gamma =
+    let len = Array.length gamma in
+    if len = 0 then [| 0.0 |]
+    else Array.append gamma [| 4.0 *. gamma.(len - 1) |]
+  in
+  let rounds_per_guess =
+    match rounds with
+    | Some r -> r
+    | None ->
+        Mwu.default_rounds ~m:(max 1 n)
+          ~width:(float_of_int (g.Geo_instance.k + g.Geo_instance.z))
+          ~eps
+  in
+  let guesses = ref 0 in
+  let lo = ref 0 and hi = ref (Array.length gamma - 1) in
+  let best = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    incr guesses;
+    match solve_at ~eps ~rounds:rounds_per_guess p ~r:gamma.(mid) with
+    | Some sol ->
+        Log.debug (fun m ->
+            m "gcso-mwu: r=%g feasible (|C|=%d |R|=%d)" gamma.(mid)
+              (List.length sol.Instance.centers)
+              (List.length sol.Instance.outliers));
+        best := Some (sol, gamma.(mid));
+        hi := mid - 1
+    | None ->
+        Log.debug (fun m -> m "gcso-mwu: r=%g infeasible" gamma.(mid));
+        lo := mid + 1
+  done;
+  match !best with
+  | Some (solution, radius) ->
+      { solution; radius; rounds_per_guess; guesses = !guesses }
+  | None ->
+      (* The largest WSPD distance exceeds half the diameter, where the
+         oracle is always feasible; unreachable for non-empty inputs. *)
+      let sol = { Instance.centers = []; outliers = [] } in
+      { solution = sol; radius = 0.0; rounds_per_guess; guesses = !guesses }

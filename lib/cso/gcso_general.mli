@@ -1,0 +1,41 @@
+(** MWU-based (2+eps, 2f, 2+eps)-approximation for general GCSO
+    (Section 3.2, Appendix C).
+
+    Solves the feasibility LP (LP3) with the multiplicative-weight-update
+    method; the Oracle and Update procedures run on a BBD tree (ball
+    canonical nodes, Section 3.1) and a range tree (rectangle canonical
+    nodes) instead of touching the constraint matrix, and the binary
+    search runs over the WSPD candidate distances instead of all pairwise
+    distances.
+
+    Guarantee (Theorem 3.2): at most [(2+eps)k] centers, [2fz] outlier
+    rectangles, cost at most [(2+eps) rho*_{k,z}]. *)
+
+type prepared
+(** Instance with its BBD tree, range tree and cached canonical node
+    sets; build once, then try many radius guesses. *)
+
+val prepare : Geo_instance.t -> prepared
+
+val solve_at : ?eps:float -> ?rounds:int -> ?cover_mult:float ->
+  ?removal_mult:float ->
+  ?on_round:(round:int -> max_violation:float -> unit) ->
+  prepared -> r:float -> Instance.solution option
+(** One radius guess: [None] when the MWU certifies (LP3) infeasible at
+    radius [cover_mult *. r] (default [1.]). [rounds] overrides the
+    theoretical [O((k+z) log n / eps^2)] iteration count. [removal_mult]
+    (default [2.]) is the rounding removal radius multiplier; Section 3.3
+    passes [10.] / [20.]. *)
+
+type report = {
+  solution : Instance.solution;
+  radius : float;
+  rounds_per_guess : int;
+  guesses : int;
+}
+
+val solve : ?eps:float -> ?rounds:int -> ?candidates:float array ->
+  Geo_instance.t -> report
+(** Binary search over the WSPD candidate distances; [candidates]
+    substitutes an explicit sorted guess lattice (e.g. all exact
+    pairwise distances, for the granularity ablation). *)

@@ -1,0 +1,28 @@
+(** GCSO problem instances (Definition 1.2): points in [R^d] with
+    hyper-rectangle outlier candidates.
+
+    Solutions reuse {!Instance.solution} ([outliers] index into [rects]).
+    [to_cso] converts to a general CSO instance (each rectangle becomes
+    the subset of points it contains) — used for validation, cost
+    evaluation and as input to the general algorithms. *)
+
+type t = private {
+  points : Cso_metric.Point.t array;
+  rects : Cso_geom.Rect.t array;
+  k : int;
+  z : int;
+  membership : int list array; (* rectangles containing each point *)
+}
+
+val make : points:Cso_metric.Point.t array -> rects:Cso_geom.Rect.t array ->
+  k:int -> z:int -> t
+(** Raises [Invalid_argument] when some point lies in no rectangle, or on
+    bad [k] / [z]. *)
+
+val dims : t -> int
+val frequency : t -> int
+
+val to_cso : t -> Instance.t
+
+val cost : t -> Instance.solution -> float
+val is_valid : t -> Instance.solution -> bool

@@ -1,0 +1,58 @@
+module Space = Cso_metric.Space
+module Set_cover = Cso_setcover.Set_cover
+
+(* Points 0..n'-1 sit at coordinates 1..n'; the k extra points q_j sit at
+   2n' + j. One dimension suffices (Appendix A). *)
+let reduce (sc : Set_cover.t) ~k ~z =
+  let n' = sc.Set_cover.n_elements in
+  let coord i = if i < n' then float_of_int (i + 1) else float_of_int ((2 * n') + (i - n') + 1) in
+  let n = n' + k in
+  let space = Space.create ~size:n ~dist:(fun a b -> abs_float (coord a -. coord b)) in
+  let element_sets = Array.to_list (Array.map (fun s -> s) sc.Set_cover.sets) in
+  let singleton_sets = List.init k (fun j -> [ n' + j ]) in
+  Instance.make space ~sets:(element_sets @ singleton_sets) ~k ~z
+
+let cover_of_solution (sc : Set_cover.t) ~k (sol : Instance.solution) =
+  ignore k;
+  let m' = Array.length sc.Set_cover.sets in
+  (* Sets with index < m' correspond to set-cover sets. *)
+  let chosen = List.filter (fun j -> j < m') sol.Instance.outliers in
+  let covered = Array.make sc.Set_cover.n_elements false in
+  List.iter
+    (fun j -> List.iter (fun e -> covered.(e) <- true) sc.Set_cover.sets.(j))
+    chosen;
+  (* Normalization (Appendix A): an element point chosen as center sits
+     at distance 0 from itself so the CSO cost ignores it; re-cover it
+     with any set containing it. *)
+  let extra = ref [] in
+  Array.iteri
+    (fun e c ->
+      if not c then begin
+        let j = ref (-1) in
+        Array.iteri
+          (fun idx s -> if !j < 0 && List.mem e s then j := idx)
+          sc.Set_cover.sets;
+        if !j >= 0 then begin
+          extra := !j :: !extra;
+          List.iter (fun e' -> covered.(e') <- true) sc.Set_cover.sets.(!j)
+        end
+      end)
+    covered;
+  let cover = List.sort_uniq compare (chosen @ !extra) in
+  if Set_cover.is_cover sc cover then Some cover else None
+
+let solve_set_cover ~solver (sc : Set_cover.t) ~k =
+  let m' = Array.length sc.Set_cover.sets in
+  let rec scan z =
+    if z > m' then None
+    else begin
+      let inst = reduce sc ~k ~z in
+      let sol = solver inst in
+      if Instance.cost inst sol = 0.0 then
+        match cover_of_solution sc ~k sol with
+        | Some cover -> Some (z, cover)
+        | None -> scan (z + 1)
+      else scan (z + 1)
+    end
+  in
+  scan 1

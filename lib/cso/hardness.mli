@@ -1,0 +1,30 @@
+(** The set-cover-to-CSO reduction of Section 2.1 / Appendix A, as
+    executable code.
+
+    [reduce sc ~k ~z] builds the CSO instance of Lemma 2.1: one point per
+    set-cover element on the real line, [k] extra isolated points far to
+    the right, one outlier set per set-cover set plus one singleton set
+    per extra point. Solving the CSO instance at cost 0 yields a set
+    cover; scanning [z = 1, 2, ...] with any [(1, f-zeta, gamma)]-style
+    CSO solver would therefore approximate set cover better than its
+    UGC-hardness allows — which is the paper's evidence that the [2fz]
+    outlier blow-up of Theorem 2.4 is near-optimal. *)
+
+val reduce : Cso_setcover.Set_cover.t -> k:int -> z:int -> Instance.t
+
+val cover_of_solution :
+  Cso_setcover.Set_cover.t -> k:int -> Instance.solution -> int list option
+(** Maps a zero-cost CSO solution back to a set cover (indices into the
+    set-cover instance), applying the normalization of Appendix A: any
+    element point left uncovered but chosen as center is re-covered by an
+    arbitrary set containing it. The solution must have cost 0 (check
+    with {!Instance.cost} first); [None] when the mapping fails to
+    produce a cover. *)
+
+val solve_set_cover :
+  solver:(Instance.t -> Instance.solution) ->
+  Cso_setcover.Set_cover.t -> k:int -> (int * int list) option
+(** Runs [solver] on the reduction for [z = 1, 2, ...] until a zero-cost
+    solution appears; returns [(z', cover)]. This is the reduction loop
+    of Lemma 2.1: the cover size relative to the optimum measures the
+    solver's outlier blow-up. *)

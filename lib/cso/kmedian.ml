@@ -1,0 +1,216 @@
+module Space = Cso_metric.Space
+module Simplex = Cso_lp.Simplex
+module Gonzalez = Cso_kcenter.Gonzalez
+
+type objective = Median | Means
+
+let phi objective d = match objective with Median -> d | Means -> d *. d
+
+let cost ?(objective = Median) (t : Instance.t) (sol : Instance.solution) =
+  let survivors = Instance.surviving t sol.Instance.outliers in
+  match (survivors, sol.Instance.centers) with
+  | [], _ -> 0.0
+  | _, [] -> infinity
+  | _ ->
+      List.fold_left
+        (fun acc p ->
+          let _, d =
+            Space.nearest_center t.Instance.space ~centers:sol.Instance.centers p
+          in
+          acc +. phi objective d)
+        0.0 survivors
+
+let local_search ?(objective = Median) ?(max_sweeps = 50) (t : Instance.t) =
+  let n = Instance.n_elements t and m = Instance.n_sets t in
+  let eval centers outliers = cost ~objective t { Instance.centers; outliers } in
+  (* Greedy start: Gonzalez centers, then remove the set with the best
+     objective drop, z times (rebuilding centers on the survivors). *)
+  let centers_for outliers =
+    match Instance.surviving t outliers with
+    | [] -> []
+    | survivors ->
+        fst
+          (Gonzalez.run t.Instance.space ~subset:(Array.of_list survivors)
+             ~k:t.Instance.k)
+  in
+  let outliers = ref [] in
+  for _ = 1 to t.Instance.z do
+    let cur = eval (centers_for !outliers) !outliers in
+    let best = ref None in
+    for j = 0 to m - 1 do
+      if not (List.mem j !outliers) then begin
+        let cand = j :: !outliers in
+        let c = eval (centers_for cand) cand in
+        if c < cur then
+          match !best with
+          | Some (_, bc) when bc <= c -> ()
+          | _ -> best := Some (j, c)
+      end
+    done;
+    match !best with Some (j, _) -> outliers := j :: !outliers | None -> ()
+  done;
+  let centers = ref (centers_for !outliers) in
+  let current = ref (eval !centers !outliers) in
+  (* Best-improvement sweeps: swap one center, or swap one outlier set. *)
+  let sweep () =
+    let improved = ref false in
+    (* Center swaps: replace c with any surviving non-center p. *)
+    let mask = Instance.covered_mask t !outliers in
+    (* Iterate over snapshots; a swapped-out element may reappear in the
+       snapshot, so re-check membership before building a candidate. *)
+    List.iter
+      (fun c ->
+        for p = 0 to n - 1 do
+          if
+            List.mem c !centers
+            && (not mask.(p))
+            && not (List.mem p !centers)
+          then begin
+              let cand = p :: List.filter (fun x -> x <> c) !centers in
+              let v = eval cand !outliers in
+              if v < !current -. 1e-12 then begin
+                centers := cand;
+                current := v;
+                improved := true
+              end
+            end
+          done)
+      !centers;
+    (* Outlier-set swaps: replace chosen set j with any other set j'. *)
+    List.iter
+      (fun j ->
+        for j' = 0 to m - 1 do
+          if List.mem j !outliers && not (List.mem j' !outliers) then begin
+              let cand_out = j' :: List.filter (fun x -> x <> j) !outliers in
+              let cand_centers = centers_for cand_out in
+              let v = eval cand_centers cand_out in
+              if v < !current -. 1e-12 then begin
+                outliers := cand_out;
+                centers := cand_centers;
+                current := v;
+                improved := true
+              end
+            end
+          done)
+      !outliers;
+    !improved
+  in
+  let sweeps = ref 0 in
+  while sweep () && !sweeps < max_sweeps do
+    incr sweeps
+  done;
+  { Instance.centers = !centers; outliers = !outliers }
+
+let lp_lower_bound ?(objective = Median) ?(max_elements = 30) (t : Instance.t)
+    =
+  let n = Instance.n_elements t and m = Instance.n_sets t in
+  if n > max_elements then None
+  else begin
+    (* Variable layout: x_c (n) | y_j (m) | a_ic (n * n, i-major). *)
+    let nv = n + m + (n * n) in
+    let xi c = c in
+    let yj j = n + j in
+    let aic i c = n + m + (i * n) + c in
+    let objective_row = Array.make nv 0.0 in
+    for i = 0 to n - 1 do
+      for c = 0 to n - 1 do
+        (* Maximize the negated cost. *)
+        objective_row.(aic i c) <-
+          -.phi objective (t.Instance.space.Space.dist i c)
+      done
+    done;
+    let row f =
+      let a = Array.make nv 0.0 in
+      f a;
+      a
+    in
+    let budget_x =
+      ( row (fun a ->
+            for c = 0 to n - 1 do
+              a.(xi c) <- 1.0
+            done),
+        Simplex.Le,
+        float_of_int t.Instance.k )
+    in
+    let budget_y =
+      ( row (fun a ->
+            for j = 0 to m - 1 do
+              a.(yj j) <- 1.0
+            done),
+        Simplex.Le,
+        float_of_int t.Instance.z )
+    in
+    let coverage =
+      List.init n (fun i ->
+          ( row (fun a ->
+                for c = 0 to n - 1 do
+                  a.(aic i c) <- 1.0
+                done;
+                List.iter (fun j -> a.(yj j) <- 1.0) t.Instance.membership.(i)),
+            Simplex.Ge,
+            1.0 ))
+    in
+    let capacity =
+      List.concat
+        (List.init n (fun i ->
+             List.init n (fun c ->
+                 ( row (fun a ->
+                       a.(aic i c) <- 1.0;
+                       a.(xi c) <- -1.0),
+                   Simplex.Le,
+                   0.0 ))))
+    in
+    let problem =
+      {
+        Simplex.num_vars = nv;
+        objective = objective_row;
+        constraints = (budget_x :: budget_y :: coverage) @ capacity;
+        bounds = Simplex.box nv;
+      }
+    in
+    match Simplex.solve problem with
+    | Simplex.Optimal { value; _ } -> Some (-.value)
+    | Simplex.Infeasible | Simplex.Unbounded -> None
+  end
+
+let exact ?(objective = Median) ?max_work (t : Instance.t) =
+  (* Reuse the k-center exact enumeration but score with the sum
+     objective: enumerate outlier families; for each, enumerate center
+     subsets. *)
+  ignore max_work;
+  match Exact.solve ?max_work t with
+  | None -> None
+  | Some _ ->
+      (* The search space fits; redo the scan with the sum objective. *)
+      let m = Instance.n_sets t in
+      let rec subsets items r =
+        match (items, r) with
+        | _, 0 -> [ [] ]
+        | [], _ -> [ [] ]
+        | x :: rest, r ->
+            subsets rest r
+            @ List.map (fun s -> x :: s) (subsets rest (r - 1))
+      in
+      let best = ref None in
+      List.iter
+        (fun outliers ->
+          let survivors = Instance.surviving t outliers in
+          match survivors with
+          | [] -> (
+              let sol = { Instance.centers = []; outliers } in
+              match !best with
+              | Some (_, b) when b <= 0.0 -> ()
+              | _ -> best := Some (sol, 0.0))
+          | _ ->
+              List.iter
+                (fun centers ->
+                  if centers <> [] then begin
+                    let sol = { Instance.centers; outliers } in
+                    let c = cost ~objective t sol in
+                    match !best with
+                    | Some (_, b) when b <= c -> ()
+                    | _ -> best := Some (sol, c)
+                  end)
+                (subsets survivors t.Instance.k))
+        (subsets (List.init m Fun.id) t.Instance.z);
+      !best

@@ -1,0 +1,41 @@
+(** k-median / k-means clustering with set outliers — the paper's stated
+    future-work direction (Section 5), implemented as a heuristic kit
+    {e beyond} the paper's results.
+
+    The objective replaces the max in Definition 1.1 with a sum:
+    minimize [sum_{p in P \ U H} phi(dist(p, C))] with [phi = id]
+    (median) or [phi = square] (means), under the same constraints
+    ([|C| <= k], [|H| <= z], no center inside a chosen outlier set).
+
+    Three tools, none claiming a proven factor:
+    - {!local_search}: swap-based heuristic (center swaps and outlier-set
+      swaps) from a greedy start;
+    - {!lp_lower_bound}: the natural LP relaxation solved exactly with
+      our simplex — a certified lower bound on the optimum, so
+      [local_search cost /. lp_lower_bound] is a per-instance certified
+      approximation ratio;
+    - {!exact}: exhaustive optimum for tiny instances. *)
+
+type objective = Median | Means
+
+val cost : ?objective:objective -> Instance.t -> Instance.solution -> float
+(** Sum objective of a solution ([objective] defaults to [Median]);
+    [infinity] if survivors exist but no center does. *)
+
+val local_search : ?objective:objective -> ?max_sweeps:int -> Instance.t ->
+  Instance.solution
+(** Greedy start (Gonzalez centers; sets removed by best objective
+    drop), then best-improvement sweeps over single center swaps and
+    single outlier-set swaps until a local optimum or [max_sweeps]
+    (default 50). Always budget-feasible and valid. *)
+
+val lp_lower_bound : ?objective:objective -> ?max_elements:int ->
+  Instance.t -> float option
+(** Optimum of the LP relaxation (assignment variables [a_ic <= x_c],
+    coverage [sum_c a_ic + sum_{j in L_i} y_j >= 1], budgets on [x] and
+    [y]). [None] when [n > max_elements] (default 30; the LP has
+    [n^2 + n + m] variables). *)
+
+val exact : ?objective:objective -> ?max_work:int -> Instance.t ->
+  (Instance.solution * float) option
+(** Exhaustive optimum, same search space as {!Exact.solve}. *)

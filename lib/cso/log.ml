@@ -1,0 +1,6 @@
+(* Library-wide log source. Enable with e.g.
+   Logs.Src.set_level Cso_core.Log.src (Some Logs.Debug). *)
+
+let src = Logs.Src.create "cso" ~doc:"Clustering with set outliers"
+
+include (val Logs.src_log src : Logs.LOG)

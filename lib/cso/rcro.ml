@@ -1,0 +1,59 @@
+module Point = Cso_metric.Point
+module Rel = Cso_relational
+module Yannakakis = Cso_relational.Yannakakis
+module Bbd_outliers = Cso_kcenter.Bbd_outliers
+
+type report = {
+  centers : Point.t list;
+  threshold : float;
+  join_size : int;
+  sample_size : int;
+  sample_outliers : int;
+}
+
+let solve ?rng ?(eps = 0.25) inst tree ~k ~z =
+  if k <= 0 then invalid_arg "Rcro.solve: k <= 0";
+  if z < 0 then invalid_arg "Rcro.solve: z < 0";
+  let rng = match rng with Some r -> r | None -> Random.State.make [| 5 |] in
+  let total = Yannakakis.count inst tree in
+  if total = 0 then
+    { centers = []; threshold = 0.0; join_size = 0; sample_size = 0;
+      sample_outliers = 0 }
+  else begin
+    let delta = float_of_int (max z 1) /. float_of_int total in
+    let tau_f =
+      4.0 *. float_of_int k *. log (float_of_int (max 2 total))
+      /. (eps *. eps *. delta)
+    in
+    let tau = min total (max (4 * k) (int_of_float tau_f)) in
+    let sample =
+      if tau >= total then Yannakakis.enumerate inst tree
+      else Yannakakis.sample ~rng inst tree tau
+    in
+    let budget =
+      int_of_float
+        (ceil
+           ((1.0 +. eps) *. float_of_int z /. float_of_int total
+          *. float_of_int (Array.length sample)))
+    in
+    let res = Bbd_outliers.run_on_all ~eps sample ~k ~budget in
+    {
+      centers = List.map (fun i -> sample.(i)) res.Bbd_outliers.centers;
+      threshold = res.Bbd_outliers.radius;
+      join_size = total;
+      sample_size = Array.length sample;
+      sample_outliers = res.Bbd_outliers.sample_outliers;
+    }
+  end
+
+let outliers_of report results =
+  let out = ref [] in
+  for i = Array.length results - 1 downto 0 do
+    let covered =
+      List.exists
+        (fun c -> Point.l2 c results.(i) <= report.threshold)
+        report.centers
+    in
+    if not covered then out := i :: !out
+  done;
+  !out

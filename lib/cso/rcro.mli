@@ -1,0 +1,28 @@
+(** Relational k-center with result outliers (RCRO, Appendix E).
+
+    RCRO is the standard k-center-with-outliers problem on [Q(I)]. Since
+    [|Q(I)|] may be far larger than [N], the algorithm samples
+    [tau = Theta(k log |Q(I)| / (eps^2 delta))] results through the
+    Lemma 4.1 oracle ([delta = z / |Q(I)|]) and runs the BBD-accelerated
+    greedy of [21, 22] on the sample.
+
+    Guarantee (Theorem E.3): [<= k] centers, [<= (1+eps)^2 z] result
+    outliers, cost [<= (3+eps) rho*_{k,z}(Q(I))], w.h.p. *)
+
+type report = {
+  centers : Cso_metric.Point.t list; (* at most k join results *)
+  threshold : float; (* results farther than this from every center are
+                        the outliers [T] *)
+  join_size : int; (* |Q(I)| *)
+  sample_size : int;
+  sample_outliers : int;
+}
+
+val solve : ?rng:Random.State.t -> ?eps:float ->
+  Cso_relational.Instance.t -> Cso_relational.Join_tree.t -> k:int ->
+  z:int -> report
+
+val outliers_of : report -> Cso_metric.Point.t array -> int list
+(** Indices of the materialized join results beyond the threshold — the
+    induced outlier set [T] (used by tests and benches, where [Q(I)] is
+    small enough to enumerate). *)

@@ -1,0 +1,29 @@
+(** Relational k-center with tuple outliers from any relation
+    (RCTO, Section 4.1.2, Appendix F).
+
+    Randomized FPT algorithm in [k] and [z]: over
+    [Theta(2^{g k + z} log N)] iterations, each tuple is thrown into
+    [I_1] or [I_2] with probability 1/2. With high probability some
+    iteration puts every tuple of the optimum centers into [I_1] and
+    every optimum outlier tuple into [I_2]; then clustering [Q(I_1)],
+    growing cubes of side [2(r_{S_1} + sqrt(d) r)] around the centers and
+    draining the complement cells through the Lemma 4.1 oracle yields at
+    most [g z] outlier tuples covering everything else.
+
+    Guarantee (Theorem 4.4): exactly [<= k] centers, [<= g z] outlier
+    tuples, cost [O(1) * rho-hat*_{k,z}], w.h.p. *)
+
+type report = {
+  centers : Cso_metric.Point.t list; (* at most k join results *)
+  outlier_tuples : (int * float array) list; (* (relation, tuple) *)
+  radius : float; (* the r-hat of the winning iteration *)
+  iterations : int; (* random partitions tried *)
+  successes : int; (* iterations that produced a valid solution *)
+}
+
+val solve : ?rng:Random.State.t -> ?iters:int ->
+  Cso_relational.Instance.t -> Cso_relational.Join_tree.t -> k:int ->
+  z:int -> report option
+(** [iters] overrides the [2^{g k + z} log N] default (cap it for large
+    parameters). [None] when no iteration succeeded — by Theorem 4.4
+    this happens with probability at most [1/N] at the default count. *)

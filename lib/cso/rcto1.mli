@@ -1,0 +1,26 @@
+(** Relational k-center with tuple outliers from one relation
+    (RCTO1, Section 4.1.1).
+
+    Outliers may only come from one designated relation (default:
+    relation 0, the paper's [R_1]). Each of its tuples [t] induces the
+    degenerate rectangle [rect_t], and these rectangles are pairwise
+    disjoint, so RCTO1 is a disjoint GCSO over [Q(I)]. The algorithm
+    builds the coreset relationally — one {!Cso_relational.Oracles.rel_cluster}
+    call per tuple of the dirty relation — then runs the pruning + MWU
+    stage of Section 3.3 on the (small) coreset without ever
+    materializing [Q(I)].
+
+    Guarantee (Theorem 4.3): at most [(2+eps)k] centers, [2z] outlier
+    tuples, cost [O(1) * rho-hat*_{k,z,1}]. *)
+
+type report = {
+  centers : Cso_metric.Point.t list; (* join results, at most (2+eps)k *)
+  outlier_tuples : float array list; (* tuples of the dirty relation *)
+  radius : float; (* the final binary-search guess *)
+  cost_upper : float; (* certified Euclidean covering cost of the output *)
+  coreset_size : int;
+}
+
+val solve : ?eps:float -> ?rounds:int -> ?dirty_rel:int ->
+  Cso_relational.Instance.t -> Cso_relational.Join_tree.t -> k:int ->
+  z:int -> report

@@ -1,0 +1,254 @@
+module Point = Cso_metric.Point
+
+type node = {
+  box : Rect.t;
+  parent : int;
+  left : int; (* -1 for leaves *)
+  right : int;
+  point : int; (* point index for leaves, -1 otherwise *)
+  count : int;
+  mutable weight : float;
+  mutable weight2 : float;
+  mutable active : bool;
+  mutable active_count : int;
+  mutable repr : int; (* an active point in the subtree, -1 if none *)
+}
+
+type t = {
+  pts : Point.t array;
+  mutable nodes : node array;
+  mutable n_nodes : int;
+  root : int;
+  leaf_of : int array;
+}
+
+let dummy_node =
+  {
+    box = Rect.unbounded 1;
+    parent = -1;
+    left = -1;
+    right = -1;
+    point = -1;
+    count = 0;
+    weight = 0.0;
+    weight2 = 0.0;
+    active = true;
+    active_count = 0;
+    repr = -1;
+  }
+
+let push t node =
+  if t.n_nodes = Array.length t.nodes then begin
+    let bigger = Array.make (max 16 (2 * t.n_nodes)) dummy_node in
+    Array.blit t.nodes 0 bigger 0 t.n_nodes;
+    t.nodes <- bigger
+  end;
+  t.nodes.(t.n_nodes) <- node;
+  t.n_nodes <- t.n_nodes + 1;
+  t.n_nodes - 1
+
+(* Widest dimension of the bounding box of [idx.(lo..hi-1)]. *)
+let widest_dim pts idx lo hi =
+  let d = Point.dim pts.(idx.(lo)) in
+  let best = ref 0 and best_w = ref neg_infinity in
+  for j = 0 to d - 1 do
+    let mn = ref infinity and mx = ref neg_infinity in
+    for i = lo to hi - 1 do
+      let x = pts.(idx.(i)).(j) in
+      if x < !mn then mn := x;
+      if x > !mx then mx := x
+    done;
+    let w = !mx -. !mn in
+    if w > !best_w then begin
+      best_w := w;
+      best := j
+    end
+  done;
+  !best
+
+let build pts =
+  let n = Array.length pts in
+  let t =
+    { pts; nodes = Array.make (max 1 (2 * n)) dummy_node; n_nodes = 0;
+      root = 0; leaf_of = Array.make n (-1) }
+  in
+  if n = 0 then t
+  else begin
+    let idx = Array.init n (fun i -> i) in
+    (* Builds the subtree over idx.(lo..hi-1); returns its node id. *)
+    let rec go parent lo hi =
+      let count = hi - lo in
+      let box = Rect.bounding_box (Array.init count (fun i -> pts.(idx.(lo + i)))) in
+      if count = 1 then begin
+        let p = idx.(lo) in
+        let id =
+          push t
+            { box; parent; left = -1; right = -1; point = p; count = 1;
+              weight = 0.0; weight2 = 0.0; active = true; active_count = 1;
+              repr = p }
+        in
+        t.leaf_of.(p) <- id;
+        id
+      end
+      else begin
+        let j = widest_dim pts idx lo hi in
+        let sub = Array.sub idx lo count in
+        Array.sort (fun a b -> compare pts.(a).(j) pts.(b).(j)) sub;
+        Array.blit sub 0 idx lo count;
+        let mid = lo + (count / 2) in
+        let id =
+          push t
+            { box; parent; left = -1; right = -1; point = -1; count;
+              weight = 0.0; weight2 = 0.0; active = true;
+              active_count = count; repr = idx.(lo) }
+        in
+        let l = go id lo mid in
+        let r = go id mid hi in
+        t.nodes.(id) <- { (t.nodes.(id)) with left = l; right = r };
+        id
+      end
+    in
+    ignore (go (-1) 0 n);
+    t
+  end
+
+let size t = Array.length t.pts
+let points t = t.pts
+let node_count t id = t.nodes.(id).count
+let node_active_count t id =
+  if t.nodes.(id).active then t.nodes.(id).active_count else 0
+let leaf_of_point t i = t.leaf_of.(i)
+let n_nodes t = t.n_nodes
+let parent t id = t.nodes.(id).parent
+let node_point t id = t.nodes.(id).point
+
+let ball_query_gen ~respect_active t ~center ~radius ~eps =
+  if Array.length t.pts = 0 then []
+  else begin
+    let out = ref [] in
+    let r_out = (1.0 +. eps) *. radius in
+    let rec go id =
+      let nd = t.nodes.(id) in
+      if respect_active && not nd.active then ()
+      else begin
+        let dmin = Rect.min_dist_to_point nd.box center in
+        if dmin > radius then ()
+        else
+          let dmax = Rect.max_dist_to_point nd.box center in
+          if dmax <= r_out then out := id :: !out
+          else if nd.left >= 0 then begin
+            go nd.left;
+            go nd.right
+          end
+            (* A leaf always satisfies dmax = dmin <= radius <= r_out here,
+               so this branch is unreachable for leaves. *)
+      end
+    in
+    go t.root;
+    !out
+  end
+
+let ball_query t ~center ~radius ~eps =
+  ball_query_gen ~respect_active:false t ~center ~radius ~eps
+
+let ball_query_active t ~center ~radius ~eps =
+  ball_query_gen ~respect_active:true t ~center ~radius ~eps
+
+let points_of_node t id =
+  let acc = ref [] in
+  let rec go id =
+    let nd = t.nodes.(id) in
+    if nd.point >= 0 then acc := nd.point :: !acc
+    else begin
+      go nd.left;
+      go nd.right
+    end
+  in
+  go id;
+  !acc
+
+let active_points_of_node t id =
+  let acc = ref [] in
+  let rec go id =
+    let nd = t.nodes.(id) in
+    if not nd.active then ()
+    else if nd.point >= 0 then acc := nd.point :: !acc
+    else begin
+      go nd.left;
+      go nd.right
+    end
+  in
+  go id;
+  !acc
+
+let fold_path_to_root t id ~init ~f =
+  let rec go acc id = if id < 0 then acc else go (f acc id) t.nodes.(id).parent in
+  go init id
+
+let reset_weights t =
+  for i = 0 to t.n_nodes - 1 do
+    t.nodes.(i).weight <- 0.0;
+    t.nodes.(i).weight2 <- 0.0
+  done
+
+let add_weight t id w = t.nodes.(id).weight <- t.nodes.(id).weight +. w
+let get_weight t id = t.nodes.(id).weight
+let add_weight2 t id w = t.nodes.(id).weight2 <- t.nodes.(id).weight2 +. w
+let get_weight2 t id = t.nodes.(id).weight2
+
+let reset_active t =
+  for i = 0 to t.n_nodes - 1 do
+    let nd = t.nodes.(i) in
+    nd.active <- true;
+    nd.active_count <- nd.count;
+    nd.repr <- (if nd.point >= 0 then nd.point else nd.repr)
+  done;
+  (* Recompute internal representatives bottom-up: node ids are assigned
+     pre-order so a simple reverse scan sees children before parents. *)
+  for i = t.n_nodes - 1 downto 0 do
+    let nd = t.nodes.(i) in
+    if nd.left >= 0 then nd.repr <- t.nodes.(nd.left).repr
+  done
+
+let eff t id = if t.nodes.(id).active then t.nodes.(id).active_count else 0
+
+let deactivate t id =
+  let nd = t.nodes.(id) in
+  nd.active <- false;
+  nd.active_count <- 0;
+  nd.repr <- -1;
+  let rec up pid =
+    if pid >= 0 then begin
+      let p = t.nodes.(pid) in
+      p.active_count <- eff t p.left + eff t p.right;
+      if p.active_count = 0 then begin
+        p.active <- false;
+        p.repr <- -1
+      end
+      else
+        p.repr <-
+          (if eff t p.left > 0 then t.nodes.(p.left).repr
+           else t.nodes.(p.right).repr);
+      up p.parent
+    end
+  in
+  up nd.parent
+
+let is_active t id = t.nodes.(id).active
+
+let root_active_count t =
+  if t.n_nodes = 0 then 0 else eff t t.root
+
+let root_repr t =
+  if t.n_nodes = 0 || not t.nodes.(t.root).active then None
+  else Some t.nodes.(t.root).repr
+
+let point_is_active t i =
+  fold_path_to_root t (leaf_of_point t i) ~init:true ~f:(fun acc id ->
+      acc && t.nodes.(id).active)
+
+let active_count_in_ball t ~center ~radius ~eps =
+  List.fold_left
+    (fun acc id -> acc + node_active_count t id)
+    0
+    (ball_query_active t ~center ~radius ~eps)

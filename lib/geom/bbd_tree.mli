@@ -1,0 +1,98 @@
+(** Balanced box-decomposition tree for approximate ball queries.
+
+    This implements the interface of the BBD tree of Arya–Mount used
+    throughout Section 3 of the paper, on top of a kd-tree box
+    decomposition (see DESIGN.md, substitution 2). The contract that all
+    algorithms rely on is the {e sandwich guarantee} of [ball_query]:
+
+    for query ball [B(c, r)] and parameter [eps], the returned canonical
+    nodes are pairwise disjoint and their point sets [U] satisfy
+    [B(c,r) cap P subseteq U subseteq B(c,(1+eps)r) cap P].
+
+    Nodes carry two mutable weight accumulators ([weight] used by the MWU
+    Oracle, [weight2] by Update) and an activity flag with active-point
+    counts and representatives (used by the rounding procedure of
+    Appendix C and the RCRO algorithm of Appendix E). *)
+
+type t
+
+val build : Cso_metric.Point.t array -> t
+(** Builds the tree; single-point leaves. Accepts the empty array. *)
+
+val size : t -> int
+(** Number of points. *)
+
+val points : t -> Cso_metric.Point.t array
+(** The underlying point array (do not mutate). *)
+
+val ball_query : t -> center:Cso_metric.Point.t -> radius:float ->
+  eps:float -> int list
+(** Canonical node ids with the sandwich guarantee above. *)
+
+val ball_query_active : t -> center:Cso_metric.Point.t -> radius:float ->
+  eps:float -> int list
+(** Like [ball_query] but never descends into deactivated nodes; canonical
+    nodes cover only active points. *)
+
+val points_of_node : t -> int -> int list
+(** All point indices stored under the node. *)
+
+val active_points_of_node : t -> int -> int list
+
+val node_count : t -> int -> int
+(** Number of points under the node. *)
+
+val node_active_count : t -> int -> int
+
+val leaf_of_point : t -> int -> int
+(** The leaf node holding point [i]. *)
+
+val n_nodes : t -> int
+(** Total node count; node ids are [0 .. n_nodes - 1] in pre-order
+    (every parent id is smaller than its children's). *)
+
+val parent : t -> int -> int
+(** Parent node id, [-1] at the root. *)
+
+val node_point : t -> int -> int
+(** The point stored at a leaf node, [-1] for internal nodes. *)
+
+val fold_path_to_root : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** [fold_path_to_root t node ~init ~f] folds [f] over the node ids on the
+    path from [node] (inclusive) to the root (inclusive). *)
+
+(** {2 Node weights} *)
+
+val reset_weights : t -> unit
+(** Zeroes both weight accumulators on every node. *)
+
+val add_weight : t -> int -> float -> unit
+val get_weight : t -> int -> float
+val add_weight2 : t -> int -> float -> unit
+val get_weight2 : t -> int -> float
+
+(** {2 Activity (deletion) support} *)
+
+val reset_active : t -> unit
+(** Marks every node active again. *)
+
+val deactivate : t -> int -> unit
+(** Deactivates a node (and logically its whole subtree), updating
+    active counts and representatives on the path to the root. *)
+
+val is_active : t -> int -> bool
+
+val root_active_count : t -> int
+(** Number of points not covered by any deactivated node. *)
+
+val root_repr : t -> int option
+(** Some representative active point, or [None] when all are inactive. *)
+
+val point_is_active : t -> int -> bool
+(** True iff no node on the path from point [i]'s leaf to the root has
+    been deactivated. *)
+
+val active_count_in_ball : t -> center:Cso_metric.Point.t -> radius:float ->
+  eps:float -> int
+(** Sum of active counts over the canonical nodes of the (active) query:
+    approximately [|B(c,r) cap active P|]. *)

@@ -1,0 +1,105 @@
+(* Per-node index sets with counters (Appendix D). [sets.(u)] maps a set
+   index j to the number of (point, canonical node) contributions it
+   owns at node u. After the deduplication pass, any root-to-leaf path
+   holds each index at most once, so path sums of [Hashtbl.length] count
+   distinct sets exactly. *)
+
+let prune_balls tree ~set_of ~inner ~outer ~eps ~threshold ~max_balls =
+  let n = Bbd_tree.size tree in
+  let pts = Bbd_tree.points tree in
+  let nn = Bbd_tree.n_nodes tree in
+  let sets : (int, int) Hashtbl.t array =
+    Array.init nn (fun _ -> Hashtbl.create 4)
+  in
+  (* Canonical inner-ball nodes per point; reused for every decrement. *)
+  let canon =
+    Array.init n (fun p ->
+        Bbd_tree.ball_query tree ~center:pts.(p) ~radius:inner ~eps)
+  in
+  (* Pass 1: charge every ball's contributions. *)
+  Array.iteri
+    (fun p nodes ->
+      let j = set_of.(p) in
+      List.iter
+        (fun u ->
+          let cur = Option.value ~default:0 (Hashtbl.find_opt sets.(u) j) in
+          Hashtbl.replace sets.(u) j (cur + 1))
+        nodes)
+    canon;
+  (* Pass 2: ancestor deduplication, merging counts upward. Node ids are
+     pre-order, so every ancestor is processed before its descendants
+     and its holdings are final. *)
+  for u = 0 to nn - 1 do
+    let held = Hashtbl.fold (fun j _ acc -> j :: acc) sets.(u) [] in
+    List.iter
+      (fun j ->
+        (* Nearest strict ancestor already holding j, if any. *)
+        let rec up v =
+          if v < 0 then None
+          else if Hashtbl.mem sets.(v) j then Some v
+          else up (Bbd_tree.parent tree v)
+        in
+        match up (Bbd_tree.parent tree u) with
+        | None -> ()
+        | Some v ->
+            let mine = Hashtbl.find sets.(u) j in
+            let theirs = Hashtbl.find sets.(v) j in
+            Hashtbl.replace sets.(v) j (theirs + mine);
+            Hashtbl.remove sets.(u) j)
+      held
+  done;
+  (* The unique holder of j on the path from u to the root. *)
+  let owner u j =
+    let rec up v =
+      if v < 0 then None
+      else if Hashtbl.mem sets.(v) j then Some v
+      else up (Bbd_tree.parent tree v)
+    in
+    up u
+  in
+  let distinct_sets_around p =
+    Bbd_tree.fold_path_to_root tree
+      (Bbd_tree.leaf_of_point tree p)
+      ~init:0
+      ~f:(fun acc v -> acc + Hashtbl.length sets.(v))
+  in
+  let remove_contributions p =
+    let j = set_of.(p) in
+    List.iter
+      (fun u ->
+        match owner u j with
+        | None -> () (* already fully decremented *)
+        | Some v ->
+            let c = Hashtbl.find sets.(v) j in
+            if c <= 1 then Hashtbl.remove sets.(v) j
+            else Hashtbl.replace sets.(v) j (c - 1))
+      canon.(p)
+  in
+  let balls = ref [] and n_balls = ref 0 in
+  let exception Too_many in
+  try
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for p = 0 to n - 1 do
+        if
+          Bbd_tree.point_is_active tree p
+          && distinct_sets_around p > threshold
+        then begin
+          let nodes =
+            Bbd_tree.ball_query_active tree ~center:pts.(p) ~radius:outer ~eps
+          in
+          let members =
+            List.concat_map (Bbd_tree.active_points_of_node tree) nodes
+          in
+          List.iter (Bbd_tree.deactivate tree) nodes;
+          List.iter remove_contributions members;
+          balls := (p, members) :: !balls;
+          incr n_balls;
+          if !n_balls > max_balls then raise Too_many;
+          changed := true
+        end
+      done
+    done;
+    Some (List.rev !balls)
+  with Too_many -> None

@@ -1,0 +1,31 @@
+(** The dense-region pruning structure of the paper's Appendix D.
+
+    Input: a BBD tree over points tagged with their (disjoint) owning
+    set. The coreset construction of Sections 2.3 / 3.3 must repeatedly
+    find a point whose [inner]-ball meets more than [threshold] distinct
+    sets, and remove the [outer]-ball around it. Appendix D implements
+    this with per-node {e index sets} [u.s] and counters [u.count(j)]:
+
+    - every point's approximate [inner]-ball charges its set's index to
+      the ball's canonical nodes;
+    - an ancestor-deduplication pass leaves each index on at most one
+      node per root-to-leaf path (counts merge upward), so the number of
+      distinct sets around a point is the plain sum of [|v.s|] along its
+      leaf-to-root path;
+    - removing a ball decrements the counters of its member points'
+      contributions, keeping every later count exact.
+
+    Ball membership uses the BBD sandwich guarantee, so "meets" is
+    within the usual [(1+eps)] slack of the paper. *)
+
+val prune_balls :
+  Bbd_tree.t -> set_of:int array -> inner:float -> outer:float ->
+  eps:float -> threshold:int -> max_balls:int ->
+  (int * int list) list option
+(** [prune_balls tree ~set_of ~inner ~outer ~eps ~threshold ~max_balls]
+    deactivates [outer]-balls around points whose [inner]-ball meets
+    more than [threshold] distinct sets, until no such point remains.
+    Returns the removed balls as [(center, members)] (indices into the
+    tree's points) or [None] once more than [max_balls] balls are
+    needed. The tree's activity flags are mutated (the caller usually
+    reads the survivors via {!Bbd_tree.point_is_active}). *)

@@ -1,0 +1,62 @@
+(** Multi-dimensional range tree with canonical nodes (Section 3.1).
+
+    Built over a point set [P] in [R^d]. A query rectangle is decomposed
+    into [O(log^d n)] pairwise-disjoint {e canonical nodes} of the
+    last-level (dimension [d-1]) subtrees whose point sets exactly
+    partition [rect cap P]. Canonical nodes are addressed by stable
+    integer ids and carry the mutable state the MWU implementation of the
+    paper needs:
+
+    - an {e aggregated weight} recomputed from per-point weights
+      ([set_point_weights], the node weight [u.s] of the Oracle);
+    - a second accumulator ([add_weight2], the [v.w] of Update);
+    - an integer {e mark} (the [u.list] occupancy of the Round procedure).
+
+    [fold_point_paths] visits, for a point [p], every node on the paths
+    from each last-level leaf storing [p] to the root of its last-level
+    subtree — the node set [U_i] of Appendix C. *)
+
+type t
+
+val build : Cso_metric.Point.t array -> t
+(** Accepts the empty array and any dimension [>= 1]. *)
+
+val size : t -> int
+
+val query_nodes : t -> Rect.t -> int list
+(** Canonical node ids whose point sets partition [rect cap P] exactly
+    (closed-interval containment). *)
+
+val report : t -> Rect.t -> int list
+(** Point indices inside the rectangle. *)
+
+val count : t -> Rect.t -> int
+
+val set_point_weights : t -> float array -> unit
+(** [set_point_weights t w] assigns weight [w.(i)] to point [i] and
+    recomputes every node's aggregated weight. [w] must have length
+    [size t]. *)
+
+val node_weight : t -> int -> float
+(** Aggregated weight of a canonical node (sum of its points' weights). *)
+
+val node_count : t -> int -> int
+
+val node_points : t -> int -> int list
+
+val add_weight2 : t -> int -> float -> unit
+val node_weight2 : t -> int -> float
+val reset_weight2 : t -> unit
+
+val add_mark : t -> int -> unit
+val node_mark : t -> int -> int
+val reset_marks : t -> unit
+
+val fold_point_paths : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Folds over the node ids of [U_i] (paths from the point's last-level
+    leaves to their subtree roots). A node id can appear at most once. *)
+
+val marked_on_paths : t -> int -> bool
+(** [marked_on_paths t i] is true iff some node of [U_i] has a non-zero
+    mark — i.e. point [i] lies in some rectangle previously recorded with
+    [add_mark] on its canonical nodes. *)

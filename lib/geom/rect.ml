@@ -1,0 +1,131 @@
+module Point = Cso_metric.Point
+
+type t = {
+  lo : float array;
+  hi : float array;
+}
+
+let make ~lo ~hi =
+  if Array.length lo <> Array.length hi then
+    invalid_arg "Rect.make: dimension mismatch";
+  Array.iteri
+    (fun i l ->
+      if l > hi.(i) then
+        invalid_arg
+          (Printf.sprintf "Rect.make: lo.(%d) = %g > hi.(%d) = %g" i l i
+             hi.(i)))
+    lo;
+  { lo; hi }
+
+let of_intervals ivs =
+  let lo = Array.of_list (List.map fst ivs) in
+  let hi = Array.of_list (List.map snd ivs) in
+  make ~lo ~hi
+
+let dim r = Array.length r.lo
+
+let unbounded d =
+  { lo = Array.make d neg_infinity; hi = Array.make d infinity }
+
+let contains r (p : Point.t) =
+  let n = dim r in
+  Array.length p = n
+  &&
+  let rec go i =
+    i >= n || (r.lo.(i) <= p.(i) && p.(i) <= r.hi.(i) && go (i + 1))
+  in
+  go 0
+
+let contains_rect outer inner =
+  let n = dim outer in
+  dim inner = n
+  &&
+  let rec go i =
+    i >= n
+    || (outer.lo.(i) <= inner.lo.(i)
+        && inner.hi.(i) <= outer.hi.(i)
+        && go (i + 1))
+  in
+  go 0
+
+let intersects a b =
+  let n = dim a in
+  dim b = n
+  &&
+  let rec go i =
+    i >= n || (a.lo.(i) <= b.hi.(i) && b.lo.(i) <= a.hi.(i) && go (i + 1))
+  in
+  go 0
+
+let inter a b =
+  if not (intersects a b) then None
+  else
+    Some
+      {
+        lo = Array.init (dim a) (fun i -> max a.lo.(i) b.lo.(i));
+        hi = Array.init (dim a) (fun i -> min a.hi.(i) b.hi.(i));
+      }
+
+let bounding_box pts =
+  if Array.length pts = 0 then invalid_arg "Rect.bounding_box: empty";
+  let d = Point.dim pts.(0) in
+  let lo = Array.copy pts.(0) and hi = Array.copy pts.(0) in
+  Array.iter
+    (fun p ->
+      for i = 0 to d - 1 do
+        if p.(i) < lo.(i) then lo.(i) <- p.(i);
+        if p.(i) > hi.(i) then hi.(i) <- p.(i)
+      done)
+    pts;
+  { lo; hi }
+
+let cube ~center ~side =
+  let h = side /. 2.0 in
+  {
+    lo = Array.map (fun x -> x -. h) center;
+    hi = Array.map (fun x -> x +. h) center;
+  }
+
+let min_dist_to_point r (p : Point.t) =
+  let acc = ref 0.0 in
+  for i = 0 to dim r - 1 do
+    let d =
+      if p.(i) < r.lo.(i) then r.lo.(i) -. p.(i)
+      else if p.(i) > r.hi.(i) then p.(i) -. r.hi.(i)
+      else 0.0
+    in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let max_dist_to_point r (p : Point.t) =
+  let acc = ref 0.0 in
+  (try
+     for i = 0 to dim r - 1 do
+       let d = max (abs_float (p.(i) -. r.lo.(i))) (abs_float (r.hi.(i) -. p.(i))) in
+       if d = infinity then raise Exit;
+       acc := !acc +. (d *. d)
+     done
+   with Exit -> acc := infinity);
+  if !acc = infinity then infinity else sqrt !acc
+
+let points_inside r pts =
+  let acc = ref [] in
+  for i = Array.length pts - 1 downto 0 do
+    if contains r pts.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let is_bounded r =
+  let rec go i =
+    i >= dim r
+    || (r.lo.(i) > neg_infinity && r.hi.(i) < infinity && go (i + 1))
+  in
+  go 0
+
+let pp fmt r =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt " x ")
+       (fun fmt (l, h) -> Format.fprintf fmt "[%g,%g]" l h))
+    (Array.to_list (Array.mapi (fun i l -> (l, r.hi.(i))) r.lo))

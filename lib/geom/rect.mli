@@ -1,0 +1,54 @@
+(** Axis-aligned hyper-rectangles in [R^d].
+
+    Bounds are closed intervals [ [lo_i, hi_i] ]; coordinates may be
+    [neg_infinity] / [infinity] so rectangles can be unbounded in some
+    dimensions (the paper's degenerate rectangles for relational tuples,
+    Section 4.1). A rectangle with [lo_i = hi_i] in some dimension is a
+    valid degenerate (flat) rectangle. *)
+
+type t = private {
+  lo : float array;
+  hi : float array;
+}
+
+val make : lo:float array -> hi:float array -> t
+(** Raises [Invalid_argument] if dimensions differ or some [lo_i > hi_i]. *)
+
+val of_intervals : (float * float) list -> t
+
+val dim : t -> int
+
+val unbounded : int -> t
+(** The whole of [R^d]. *)
+
+val contains : t -> Cso_metric.Point.t -> bool
+(** Closed containment test. *)
+
+val contains_rect : t -> t -> bool
+(** [contains_rect outer inner]. *)
+
+val intersects : t -> t -> bool
+(** Closed-interval overlap test. *)
+
+val inter : t -> t -> t option
+(** Intersection, [None] when empty. *)
+
+val bounding_box : Cso_metric.Point.t array -> t
+(** Smallest rectangle containing all points; raises on empty input. *)
+
+val cube : center:Cso_metric.Point.t -> side:float -> t
+(** Axis-aligned hypercube: the [L_inf] ball of radius [side /. 2.]. *)
+
+val min_dist_to_point : t -> Cso_metric.Point.t -> float
+(** Euclidean distance from the point to the rectangle (0 if inside). *)
+
+val max_dist_to_point : t -> Cso_metric.Point.t -> float
+(** Maximum Euclidean distance from the point to any point of the
+    rectangle; [infinity] when the rectangle is unbounded. *)
+
+val points_inside : t -> Cso_metric.Point.t array -> int list
+(** Indices of the points contained in the rectangle. *)
+
+val is_bounded : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+module Point = Cso_metric.Point
+
+type node = {
+  repr : int; (* a point index inside the node *)
+  center : Point.t;
+  radius : float; (* half-diagonal of the tight bounding box *)
+  left : node option;
+  right : node option;
+}
+
+let node_of_box pts idx lo hi =
+  let box = Rect.bounding_box (Array.init (hi - lo) (fun i -> pts.(idx.(lo + i)))) in
+  let center =
+    Array.init (Rect.dim box) (fun j -> (box.Rect.lo.(j) +. box.Rect.hi.(j)) /. 2.0)
+  in
+  let radius = Point.l2 center box.Rect.lo in
+  (center, radius)
+
+(* Fair-split tree: split the widest dimension of the bounding box at the
+   median point. Identical-coordinate inputs still split by index count. *)
+let build_tree pts =
+  let n = Array.length pts in
+  let idx = Array.init n (fun i -> i) in
+  let widest lo hi =
+    let d = Point.dim pts.(idx.(lo)) in
+    let best = ref 0 and best_w = ref neg_infinity in
+    for j = 0 to d - 1 do
+      let mn = ref infinity and mx = ref neg_infinity in
+      for i = lo to hi - 1 do
+        let x = pts.(idx.(i)).(j) in
+        if x < !mn then mn := x;
+        if x > !mx then mx := x
+      done;
+      if !mx -. !mn > !best_w then begin
+        best_w := !mx -. !mn;
+        best := j
+      end
+    done;
+    !best
+  in
+  let rec go lo hi =
+    let center, radius = node_of_box pts idx lo hi in
+    if hi - lo = 1 then
+      { repr = idx.(lo); center; radius; left = None; right = None }
+    else begin
+      let j = widest lo hi in
+      let sub = Array.sub idx lo (hi - lo) in
+      Array.sort (fun a b -> compare pts.(a).(j) pts.(b).(j)) sub;
+      Array.blit sub 0 idx lo (hi - lo);
+      let mid = lo + ((hi - lo) / 2) in
+      let l = go lo mid in
+      let r = go mid hi in
+      { repr = idx.(lo); center; radius; left = Some l; right = Some r }
+    end
+  in
+  if n = 0 then None else Some (go 0 n)
+
+let pairs ?(eps = 0.25) pts =
+  (* Separation 4/eps: representative distances then approximate every
+     cross pair within (1 +- eps). *)
+  let s = max (4.0 /. eps) 1.0 in
+  let acc = ref [] in
+  let well_separated u v =
+    let gap = Point.l2 u.center v.center -. u.radius -. v.radius in
+    gap >= s *. max u.radius v.radius
+  in
+  let rec find u v =
+    if well_separated u v then acc := (u.repr, v.repr) :: !acc
+    else if u.radius >= v.radius then
+      match (u.left, u.right) with
+      | Some l, Some r ->
+          find l v;
+          find r v
+      | _ ->
+          (* u is a leaf: v cannot also be a leaf here unless the two
+             points coincide; then split v instead. *)
+          (match (v.left, v.right) with
+          | Some l, Some r ->
+              find u l;
+              find u r
+          | _ -> acc := (u.repr, v.repr) :: !acc)
+    else
+      match (v.left, v.right) with
+      | Some l, Some r ->
+          find u l;
+          find u r
+      | _ -> (
+          match (u.left, u.right) with
+          | Some l, Some r ->
+              find l v;
+              find r v
+          | _ -> acc := (u.repr, v.repr) :: !acc)
+  in
+  let rec walk u =
+    match (u.left, u.right) with
+    | Some l, Some r ->
+        find l r;
+        walk l;
+        walk r
+    | _ -> ()
+  in
+  (match build_tree pts with None -> () | Some root -> walk root);
+  !acc
+
+let candidate_distances ?(eps = 0.25) pts =
+  let ps = pairs ~eps pts in
+  let ds = List.map (fun (a, b) -> Point.l2 pts.(a) pts.(b)) ps in
+  let arr = Array.of_list (0.0 :: ds) in
+  Array.sort compare arr;
+  let out = ref [] in
+  Array.iter
+    (fun d -> match !out with x :: _ when x = d -> () | _ -> out := d :: !out)
+    arr;
+  Array.of_list (List.rev !out)

@@ -1,0 +1,19 @@
+(** Well-Separated Pair Decomposition (Section 3.1, [15, 46]).
+
+    Built over a fair-split tree. Its role in the paper is to produce a
+    small set of {e candidate distances} [Gamma] such that every pairwise
+    distance of [P] is approximated within a [(1 +- eps)] factor by some
+    candidate; the binary searches of Sections 3.2/3.3 then run over
+    [Gamma] instead of all n^2 distances. *)
+
+val pairs : ?eps:float -> Cso_metric.Point.t array -> (int * int) list
+(** [pairs ~eps pts] returns representative point-index pairs, one per
+    well-separated pair of the decomposition with separation [2/eps].
+    For every [p <> q] there is a pair [(a, b)] with
+    [|dist a b - dist p q| <= eps *. dist p q]. *)
+
+val candidate_distances : ?eps:float -> Cso_metric.Point.t array ->
+  float array
+(** Sorted, deduplicated candidate distances (0. included): the array
+    [Gamma] of Algorithm 1. For every pairwise distance [delta] of the
+    input there is a candidate in [[(1-eps) delta, (1+eps) delta]]. *)

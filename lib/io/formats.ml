@@ -1,0 +1,101 @@
+module Point = Cso_metric.Point
+module Rect = Cso_geom.Rect
+
+let parse_float s =
+  match String.lowercase_ascii (String.trim s) with
+  | "inf" | "+inf" | "infinity" | "+infinity" -> infinity
+  | "-inf" | "-infinity" -> neg_infinity
+  | t -> (
+      match float_of_string_opt t with
+      | Some f -> f
+      | None -> failwith (Printf.sprintf "cannot parse float %S" s))
+
+let float_to_string x =
+  if x = infinity then "inf"
+  else if x = neg_infinity then "-inf"
+  else Printf.sprintf "%.17g" x
+
+let with_lines path f =
+  let ic = open_in path in
+  let rec go acc lineno =
+    match input_line ic with
+    | line ->
+        let trimmed = String.trim line in
+        let acc =
+          if trimmed = "" then acc
+          else
+            try f trimmed :: acc
+            with Failure msg ->
+              close_in ic;
+              failwith (Printf.sprintf "%s:%d: %s" path lineno msg)
+        in
+        go acc (lineno + 1)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go [] 1
+
+let write_lines path lines =
+  let oc = open_out path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+let read_points path =
+  Array.of_list
+    (with_lines path (fun line ->
+         String.split_on_char ',' line |> List.map parse_float |> Array.of_list))
+
+let write_points path pts =
+  write_lines path
+    (Array.to_list pts
+    |> List.map (fun p ->
+           String.concat "," (Array.to_list (Array.map float_to_string p))))
+
+let read_rects path =
+  Array.of_list
+    (with_lines path (fun line ->
+         let vals = String.split_on_char ',' line |> List.map parse_float in
+         let rec pair = function
+           | [] -> []
+           | lo :: hi :: rest -> (lo, hi) :: pair rest
+           | [ _ ] -> failwith "odd number of values on a rectangle line"
+         in
+         try Rect.of_intervals (pair vals)
+         with Invalid_argument msg -> failwith msg))
+
+let write_rects path rects =
+  write_lines path
+    (Array.to_list rects
+    |> List.map (fun (r : Rect.t) ->
+           String.concat ","
+             (List.concat
+                (List.init (Rect.dim r) (fun j ->
+                     [ float_to_string r.Rect.lo.(j); float_to_string r.Rect.hi.(j) ])))))
+
+let read_sets path =
+  with_lines path (fun line ->
+      String.split_on_char ' ' line
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match int_of_string_opt s with
+             | Some i -> i
+             | None -> failwith (Printf.sprintf "cannot parse id %S" s)))
+
+let write_sets path sets =
+  write_lines path
+    (List.map (fun s -> String.concat " " (List.map string_of_int s)) sets)
+
+let load_geo_instance ~points ~rects ~k ~z =
+  Cso_core.Geo_instance.make ~points:(read_points points)
+    ~rects:(read_rects rects) ~k ~z
+
+let load_cso_instance ~points ~sets ~k ~z =
+  let pts = read_points points in
+  Cso_core.Instance.make
+    (Cso_metric.Space.of_points pts)
+    ~sets:(read_sets sets) ~k ~z

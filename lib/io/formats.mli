@@ -1,0 +1,36 @@
+(** On-disk formats for points, rectangles and set families.
+
+    - points: CSV, one point per line, comma-separated coordinates;
+    - rects: CSV, one rectangle per line as [lo1,hi1,lo2,hi2,...];
+      ["inf"] / ["-inf"] denote unbounded sides;
+    - sets: text, one set per line, whitespace-separated 0-based point
+      ids.
+
+    All readers raise [Failure] with a [file:line] prefix on malformed
+    input; all writers produce files the readers round-trip exactly
+    (modulo float formatting at 17 significant digits). *)
+
+val read_points : string -> Cso_metric.Point.t array
+val write_points : string -> Cso_metric.Point.t array -> unit
+
+val read_rects : string -> Cso_geom.Rect.t array
+val write_rects : string -> Cso_geom.Rect.t array -> unit
+
+val read_sets : string -> int list list
+val write_sets : string -> int list list -> unit
+
+val load_geo_instance : points:string -> rects:string -> k:int -> z:int ->
+  Cso_core.Geo_instance.t
+(** Reads both files and builds the instance (validating coverage). *)
+
+val load_cso_instance : points:string -> sets:string -> k:int -> z:int ->
+  Cso_core.Instance.t
+(** Euclidean metric over the points file. *)
+
+val parse_float : string -> float
+(** Accepts ["inf"], ["+inf"], ["-inf"], ["infinity"] variants
+    (case-insensitive) besides ordinary float literals; raises
+    [Failure]. *)
+
+val float_to_string : float -> string
+(** Round-trip-safe rendering ([inf] / [-inf] for infinities). *)

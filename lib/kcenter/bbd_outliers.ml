@@ -1,0 +1,113 @@
+module Point = Cso_metric.Point
+module Bbd = Cso_geom.Bbd_tree
+module Wspd = Cso_geom.Wspd
+
+type result = {
+  centers : int list;
+  radius : float;
+  sample_size : int;
+  sample_outliers : int;
+}
+
+(* One greedy pass at radius guess [r] over the sampled tree: picks [k]
+   approximate-densest disks, deactivating 3r-balls. Returns the chosen
+   sample centers and the number of surviving (uncovered) samples. *)
+let greedy_pass tree ~k ~r ~eps =
+  Bbd.reset_active tree;
+  let tau = Bbd.size tree in
+  let pts = Bbd.points tree in
+  let centers = ref [] in
+  for _ = 1 to k do
+    let best = ref (-1) and best_count = ref (-1) in
+    for i = 0 to tau - 1 do
+      if Bbd.point_is_active tree i then begin
+        let c = Bbd.active_count_in_ball tree ~center:pts.(i) ~radius:r ~eps in
+        if c > !best_count then begin
+          best_count := c;
+          best := i
+        end
+      end
+    done;
+    if !best >= 0 then begin
+      centers := !best :: !centers;
+      let nodes =
+        Bbd.ball_query_active tree ~center:pts.(!best) ~radius:(3.0 *. r) ~eps
+      in
+      List.iter (Bbd.deactivate tree) nodes
+    end
+  done;
+  (List.rev !centers, Bbd.root_active_count tree)
+
+let run_on_all ?(eps = 0.25) pts ~k ~budget =
+  let n = Array.length pts in
+  if n = 0 then { centers = []; radius = 0.0; sample_size = 0; sample_outliers = 0 }
+  else begin
+    let tree = Bbd.build pts in
+    let gamma = Wspd.candidate_distances ~eps pts in
+    let lo = ref 0 and hi = ref (Array.length gamma - 1) in
+    let best = ref None in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let r = gamma.(mid) in
+      let centers, remaining = greedy_pass tree ~k ~r ~eps in
+      if remaining <= budget then begin
+        best := Some (centers, r, remaining);
+        hi := mid - 1
+      end
+      else lo := mid + 1
+    done;
+    let centers, r, remaining =
+      match !best with
+      | Some v -> v
+      | None ->
+          (* Defensive: retry at the largest guess. *)
+          let r = gamma.(Array.length gamma - 1) in
+          let centers, remaining = greedy_pass tree ~k ~r ~eps in
+          (centers, r, remaining)
+    in
+    {
+      centers;
+      radius = 3.0 *. (1.0 +. eps) *. r;
+      sample_size = n;
+      sample_outliers = remaining;
+    }
+  end
+
+let run ?rng ?(eps = 0.25) pts ~k ~z =
+  if k <= 0 then invalid_arg "Bbd_outliers.run: k <= 0";
+  if z < 0 then invalid_arg "Bbd_outliers.run: z < 0";
+  let n = Array.length pts in
+  if n = 0 then { centers = []; radius = 0.0; sample_size = 0; sample_outliers = 0 }
+  else begin
+    let rng = match rng with Some r -> r | None -> Random.State.make [| 42 |] in
+    let delta = float_of_int (max z 1) /. float_of_int n in
+    let tau_f =
+      4.0 *. float_of_int k *. log (float_of_int (max 2 n))
+      /. (eps *. eps *. delta)
+    in
+    let tau = min n (max (min n (4 * k)) (int_of_float tau_f)) in
+    let sample_idx =
+      if tau >= n then Array.init n (fun i -> i)
+      else Array.init tau (fun _ -> Random.State.int rng n)
+    in
+    let sample = Array.map (fun i -> pts.(i)) sample_idx in
+    (* Surviving-sample budget: (1 + eps) * delta * tau. *)
+    let budget =
+      int_of_float
+        (ceil
+           ((1.0 +. eps) *. float_of_int z /. float_of_int n
+          *. float_of_int tau))
+    in
+    let res = run_on_all ~eps sample ~k ~budget in
+    { res with centers = List.map (fun i -> sample_idx.(i)) res.centers }
+  end
+
+let outliers_at pts ~centers ~threshold =
+  let out = ref [] in
+  for i = Array.length pts - 1 downto 0 do
+    let covered =
+      List.exists (fun c -> Point.l2 pts.(c) pts.(i) <= threshold) centers
+    in
+    if not covered then out := i :: !out
+  done;
+  !out

@@ -1,0 +1,70 @@
+module Space = Cso_metric.Space
+
+type result = {
+  centers : int list;
+  outliers : int list;
+  radius : float;
+}
+
+let run_with_radius (s : Space.t) ~k ~z ~r =
+  let n = s.Space.size in
+  let covered = Array.make n false in
+  let centers = ref [] in
+  for _ = 1 to k do
+    (* Disk of radius r covering the most uncovered elements. *)
+    let best = ref (-1) and best_gain = ref (-1) in
+    for p = 0 to n - 1 do
+      let gain = ref 0 in
+      for q = 0 to n - 1 do
+        if (not covered.(q)) && s.Space.dist p q <= r then incr gain
+      done;
+      if !gain > !best_gain then begin
+        best := p;
+        best_gain := !gain
+      end
+    done;
+    if !best >= 0 && !best_gain > 0 then begin
+      centers := !best :: !centers;
+      (* Expanded disk: remove everything within 3r. *)
+      for q = 0 to n - 1 do
+        if s.Space.dist !best q <= 3.0 *. r then covered.(q) <- true
+      done
+    end
+  done;
+  let outliers = ref [] and n_out = ref 0 in
+  for q = n - 1 downto 0 do
+    if not covered.(q) then begin
+      outliers := q :: !outliers;
+      incr n_out
+    end
+  done;
+  if !n_out > z then None
+  else begin
+    let centers = List.rev !centers in
+    let inside = List.filter (fun q -> covered.(q)) (List.init n Fun.id) in
+    let radius = Space.cost s ~centers inside in
+    Some { centers; outliers = !outliers; radius }
+  end
+
+let run s ~k ~z =
+  if k <= 0 then invalid_arg "Charikar_outliers.run: k <= 0";
+  if z < 0 then invalid_arg "Charikar_outliers.run: z < 0";
+  let dists = Space.pairwise_distances s in
+  (* Binary search for the smallest feasible radius guess. *)
+  let lo = ref 0 and hi = ref (Array.length dists - 1) in
+  let best = ref None in
+  (* Ensure the largest distance works (it always does: one disk of
+     radius max covers everything). *)
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    match run_with_radius s ~k ~z ~r:dists.(mid) with
+    | Some res ->
+        best := Some res;
+        hi := mid - 1
+    | None -> lo := mid + 1
+  done;
+  match !best with
+  | Some res -> res
+  | None ->
+      (* Unreachable for non-empty spaces; handle the empty space. *)
+      { centers = []; outliers = []; radius = 0.0 }

@@ -1,0 +1,22 @@
+(** k-center clustering with [z] point outliers: the greedy 3-approximation
+    of Charikar, Khuller, Mount and Narasimhan [21].
+
+    Baseline for every outlier-clustering experiment, and the exact
+    algorithm that the sampling method of [22] / Appendix E runs on its
+    sample. Runs in O(n^2 log n) over a general metric space. *)
+
+type result = {
+  centers : int list; (* at most k *)
+  outliers : int list; (* the uncovered elements, at most z *)
+  radius : float; (* rho(centers, P \ outliers) <= 3 * opt *)
+}
+
+val run : Cso_metric.Space.t -> k:int -> z:int -> result
+(** Binary-searches the pairwise distances; for each guess [r] greedily
+    picks the disk [B(p, r)] covering the most uncovered elements and
+    removes [B(p, 3r)]. Succeeds when at most [z] elements remain. *)
+
+val run_with_radius : Cso_metric.Space.t -> k:int -> z:int -> r:float ->
+  result option
+(** Single guess: [Some result] if at most [z] elements remain uncovered
+    after [k] disks of radius [3r], else [None]. Exposed for tests. *)

@@ -1,0 +1,28 @@
+(** Gonzalez's farthest-point k-center algorithm [42].
+
+    2-approximation for k-center without outliers; the workhorse inside
+    the paper's coreset constructions (Section 2.3) where it is run
+    independently on every candidate outlier set. *)
+
+val run : ?first:int -> Cso_metric.Space.t -> subset:int array -> k:int ->
+  int list * float
+(** [run s ~subset ~k] clusters the elements [subset] of [s] and returns
+    [(centers, radius)] where [centers] (at most [k] of them, drawn from
+    [subset]) cover [subset] within [radius]. If [subset] has at most [k]
+    elements every element becomes a center and the radius is [0.].
+    [first] selects the initial center (defaults to [subset.(0)]).
+    Returns [([], 0.)] on an empty subset. *)
+
+val run_all : ?first:int -> Cso_metric.Space.t -> k:int -> int list * float
+(** [run_all s ~k] clusters all of [s]. *)
+
+val run_points : Cso_metric.Point.t array -> k:int -> int list * float
+(** Euclidean convenience wrapper (this is our Feder–Greene [40]
+    stand-in, see DESIGN.md substitution 3). *)
+
+val run_points_fast : Cso_metric.Point.t array -> k:int -> int list * float
+(** Same output as {!run_points}, bit for bit, but prunes distance
+    computations with the triangle inequality: when a new center [c] is
+    at distance [>= 2 d_i] from point [i]'s current center, [d(c, i)]
+    cannot improve [d_i] and is skipped. Large constant-factor speedups
+    on clustered inputs with many centers. *)

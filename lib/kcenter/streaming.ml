@@ -1,0 +1,84 @@
+module Point = Cso_metric.Point
+
+(* Each center carries [slack]: the certified maximum distance from the
+   center to any (possibly merged-away) point it is responsible for.
+   Coverage of the whole stream is max over centers of slack. *)
+type center = {
+  pt : Point.t;
+  mutable slack : float;
+}
+
+type t = {
+  k : int;
+  mutable centers : center list;
+  mutable tau : float;
+  mutable seen : int;
+}
+
+let create ~k =
+  if k <= 0 then invalid_arg "Streaming.create: k <= 0";
+  { k; centers = []; tau = 0.0; seen = 0 }
+
+let nearest t p =
+  List.fold_left
+    (fun acc c ->
+      let d = Point.l2 c.pt p in
+      match acc with Some (_, bd) when bd <= d -> acc | _ -> Some (c, d))
+    None t.centers
+
+(* Merge pass at threshold [tau]: keep a center if it is farther than
+   tau from every already-kept one; a dropped center hands its
+   responsibility (slack + distance) to the kept center absorbing it. *)
+let merge t =
+  let kept = ref [] in
+  List.iter
+    (fun c ->
+      match
+        List.find_opt (fun c' -> Point.l2 c.pt c'.pt <= t.tau) !kept
+      with
+      | None -> kept := c :: !kept
+      | Some absorber ->
+          absorber.slack <-
+            max absorber.slack (Point.l2 c.pt absorber.pt +. c.slack))
+    t.centers;
+  t.centers <- List.rev !kept
+
+let insert t p =
+  t.seen <- t.seen + 1;
+  match nearest t p with
+  | Some (c, d) when d <= t.tau ->
+      (* Covered: the center takes responsibility for p. *)
+      c.slack <- max c.slack d
+  | _ ->
+      t.centers <- { pt = p; slack = 0.0 } :: t.centers;
+      if List.length t.centers > t.k then begin
+        (* k + 1 centers pairwise > tau: raise the scale and merge until
+           we fit again. The initial tau = 0 bootstraps from the minimum
+           pairwise distance among the k + 1 distinct centers. *)
+        let min_pairwise () =
+          let m = ref infinity in
+          let arr = Array.of_list t.centers in
+          Array.iteri
+            (fun i a ->
+              Array.iteri
+                (fun j b ->
+                  if i < j then m := min !m (Point.l2 a.pt b.pt))
+                arr)
+            arr;
+          !m
+        in
+        while List.length t.centers > t.k do
+          t.tau <-
+            (if t.tau > 0.0 then 2.0 *. t.tau
+             else max (min_pairwise ()) 1e-300);
+          merge t
+        done
+      end
+
+let centers t = List.map (fun c -> c.pt) t.centers
+let threshold t = t.tau
+
+let radius_bound t =
+  List.fold_left (fun acc c -> max acc c.slack) 0.0 t.centers
+
+let count t = t.seen

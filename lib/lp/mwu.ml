@@ -1,0 +1,45 @@
+type 'a outcome =
+  | Feasible of 'a list
+  | Infeasible
+
+let default_rounds ~m ~width ~eps =
+  let t = 4.0 *. width *. log (float_of_int (max 2 m)) /. (eps *. eps) in
+  max 1 (int_of_float (ceil t))
+
+let run ~m ~width ~eps ?rounds ?on_round ~oracle ~violation () =
+  if m <= 0 then invalid_arg "Mwu.run: m <= 0";
+  let rounds =
+    match rounds with Some r -> r | None -> default_rounds ~m ~width ~eps
+  in
+  let sigma = Array.make m (1.0 /. float_of_int m) in
+  let sols = ref [] in
+  let rec go t =
+    if t > rounds then Feasible (List.rev !sols)
+    else
+      match oracle sigma with
+      | None -> Infeasible
+      | Some sol ->
+          sols := sol :: !sols;
+          let v = violation sol in
+          if Array.length v <> m then invalid_arg "Mwu.run: violation length";
+          (match on_round with
+          | None -> ()
+          | Some f ->
+              let worst = Array.fold_left min infinity v in
+              f ~round:t ~max_violation:(-.worst));
+          let total = ref 0.0 in
+          for i = 0 to m - 1 do
+            let delta = v.(i) /. width in
+            sigma.(i) <- sigma.(i) *. (1.0 -. (eps /. 4.0 *. delta));
+            if sigma.(i) < 0.0 then sigma.(i) <- 0.0;
+            total := !total +. sigma.(i)
+          done;
+          (* Renormalize to keep sigma a probability vector. *)
+          if !total > 0.0 then
+            for i = 0 to m - 1 do
+              sigma.(i) <- sigma.(i) /. !total
+            done
+          else Array.fill sigma 0 m (1.0 /. float_of_int m);
+          go (t + 1)
+  in
+  go 1

@@ -1,0 +1,42 @@
+(** Multiplicative Weight Update feasibility framework (Arora, Hazan,
+    Kale [9]; paper Section 3.1, Theorem 3.1).
+
+    Solves feasibility problems [exists psi in P : A psi >= b] given a
+    [xi]-bounded oracle for the single aggregated constraint
+    [sigma^T A psi >= sigma^T b] over a probability vector [sigma].
+
+    The caller supplies:
+    - [oracle sigma]: [Some sol] maximizing/satisfying the aggregated
+      constraint over [P], or [None] when even the aggregate is
+      infeasible (which certifies infeasibility of the whole system);
+    - [violation sol]: the per-constraint slack [A_i sol - b_i], each of
+      which must lie in [[-1, width]] (the [xi]-ORACLE condition).
+
+    After [rounds] feasible iterations every constraint of the averaged
+    solution is satisfied up to an additive [eps]. *)
+
+type 'a outcome =
+  | Feasible of 'a list
+      (** The per-round oracle solutions, in round order; the caller
+          averages them (the paper's [psi_hat / T]). *)
+  | Infeasible
+
+val default_rounds : m:int -> width:float -> eps:float -> int
+(** [O(width * log m / eps^2)] with the constant used in our
+    implementation. *)
+
+val run :
+  m:int ->
+  width:float ->
+  eps:float ->
+  ?rounds:int ->
+  ?on_round:(round:int -> max_violation:float -> unit) ->
+  oracle:(float array -> 'a option) ->
+  violation:('a -> float array) ->
+  unit ->
+  'a outcome
+(** [m] is the number of constraints; [sigma] starts uniform [1/m] and is
+    renormalized every round after the update
+    [sigma_i <- sigma_i * (1 - eps/4 * delta_i)], [delta_i = violation_i
+    / width]. [on_round] reports the most-violated constraint of the
+    round's oracle solution (used by the convergence bench). *)

@@ -1,0 +1,77 @@
+type t = float array
+
+let dim (p : t) = Array.length p
+
+let make coords = Array.of_list coords
+
+let equal (p : t) (q : t) =
+  Array.length p = Array.length q
+  && (let rec go i = i >= Array.length p || (p.(i) = q.(i) && go (i + 1)) in
+      go 0)
+
+let compare (p : t) (q : t) = Stdlib.compare p q
+
+let check_dims name p q =
+  if Array.length p <> Array.length q then
+    invalid_arg (Printf.sprintf "Point.%s: dimension mismatch (%d vs %d)" name
+                   (Array.length p) (Array.length q))
+
+let l2_sq p q =
+  check_dims "l2_sq" p q;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length p - 1 do
+    let d = p.(i) -. q.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let l2 p q = sqrt (l2_sq p q)
+
+let linf p q =
+  check_dims "linf" p q;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length p - 1 do
+    let d = abs_float (p.(i) -. q.(i)) in
+    if d > !acc then acc := d
+  done;
+  !acc
+
+let l1 p q =
+  check_dims "l1" p q;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length p - 1 do
+    acc := !acc +. abs_float (p.(i) -. q.(i))
+  done;
+  !acc
+
+let add p q =
+  check_dims "add" p q;
+  Array.init (Array.length p) (fun i -> p.(i) +. q.(i))
+
+let sub p q =
+  check_dims "sub" p q;
+  Array.init (Array.length p) (fun i -> p.(i) -. q.(i))
+
+let scale a p = Array.map (fun x -> a *. x) p
+
+let centroid pts =
+  if Array.length pts = 0 then invalid_arg "Point.centroid: empty array";
+  let d = dim pts.(0) in
+  let sum = Array.make d 0.0 in
+  Array.iter
+    (fun p ->
+      for i = 0 to d - 1 do
+        sum.(i) <- sum.(i) +. p.(i)
+      done)
+    pts;
+  let n = float_of_int (Array.length pts) in
+  Array.map (fun x -> x /. n) sum
+
+let pp fmt p =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+       (fun fmt x -> Format.fprintf fmt "%g" x))
+    (Array.to_list p)
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,91 @@
+type t = {
+  size : int;
+  dist : int -> int -> float;
+}
+
+let create ~size ~dist =
+  if size < 0 then invalid_arg "Space.create: negative size";
+  { size; dist }
+
+let of_points ?(dist = Point.l2) pts =
+  { size = Array.length pts; dist = (fun i j -> dist pts.(i) pts.(j)) }
+
+let of_matrix m =
+  let n = Array.length m in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Space.of_matrix: matrix is not square")
+    m;
+  { size = n; dist = (fun i j -> m.(i).(j)) }
+
+let cached s =
+  let m =
+    Array.init s.size (fun i -> Array.init s.size (fun j -> s.dist i j))
+  in
+  { size = s.size; dist = (fun i j -> m.(i).(j)) }
+
+let nearest_center s ~centers p =
+  match centers with
+  | [] -> invalid_arg "Space.nearest_center: no centers"
+  | c0 :: rest ->
+      let best = ref c0 and best_d = ref (s.dist p c0) in
+      List.iter
+        (fun c ->
+          let d = s.dist p c in
+          if d < !best_d then begin
+            best := c;
+            best_d := d
+          end)
+        rest;
+      (!best, !best_d)
+
+let cost s ~centers pts =
+  match (pts, centers) with
+  | [], _ -> 0.0
+  | _, [] -> infinity
+  | _ ->
+      List.fold_left
+        (fun acc p ->
+          let _, d = nearest_center s ~centers p in
+          max acc d)
+        0.0 pts
+
+let pairwise_distances s =
+  let n = s.size in
+  let buf = ref [ 0.0 ] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      buf := s.dist i j :: !buf
+    done
+  done;
+  let arr = Array.of_list !buf in
+  Array.sort compare arr;
+  (* Deduplicate in place. *)
+  let out = ref [] in
+  Array.iter
+    (fun d -> match !out with x :: _ when x = d -> () | _ -> out := d :: !out)
+    arr;
+  let res = Array.of_list (List.rev !out) in
+  res
+
+let ball s ~center ~radius =
+  let acc = ref [] in
+  for i = s.size - 1 downto 0 do
+    if s.dist center i <= radius then acc := i :: !acc
+  done;
+  !acc
+
+let is_metric ?(eps = 1e-9) s =
+  let ok = ref true in
+  for i = 0 to s.size - 1 do
+    if abs_float (s.dist i i) > eps then ok := false;
+    for j = 0 to s.size - 1 do
+      if abs_float (s.dist i j -. s.dist j i) > eps then ok := false;
+      if i <> j && s.dist i j < -.eps then ok := false;
+      for k = 0 to s.size - 1 do
+        if s.dist i k > s.dist i j +. s.dist j k +. eps then ok := false
+      done
+    done
+  done;
+  !ok

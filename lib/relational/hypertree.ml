@@ -1,0 +1,181 @@
+type t = {
+  schema : Schema.t;
+  instance : Instance.t;
+  tree : Join_tree.t;
+  cover : int list array;
+  width : int;
+}
+
+(* Working representation during merging: attribute set + materialized
+   tuples (indexed by sorted attribute list) + original relation ids. *)
+type bag = {
+  attrs : int array; (* sorted *)
+  tuples : float array array;
+  members : int list;
+}
+
+let shared a b = Array.to_list a |> List.filter (fun x -> Array.exists (( = ) x) b)
+
+let positions attrs wanted =
+  List.map
+    (fun a ->
+      let p = ref (-1) in
+      Array.iteri (fun i x -> if x = a then p := i) attrs;
+      !p)
+    wanted
+
+let project tup pos = Array.of_list (List.map (fun p -> tup.(p)) pos)
+
+(* Natural join of two bags. *)
+let join_bags x y =
+  let sh = shared x.attrs y.attrs in
+  let px = positions x.attrs sh and py = positions y.attrs sh in
+  let groups = Hashtbl.create (Array.length y.tuples) in
+  Array.iter
+    (fun tup ->
+      let key = project tup py in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+      Hashtbl.replace groups key (tup :: prev))
+    y.tuples;
+  let union_attrs =
+    Array.of_list
+      (List.sort_uniq compare
+         (Array.to_list x.attrs @ Array.to_list y.attrs))
+  in
+  (* Positions to build the merged tuple: from x where possible, else
+     from y. *)
+  let build tx ty =
+    Array.map
+      (fun a ->
+        let p = ref None in
+        Array.iteri (fun i xa -> if xa = a then p := Some tx.(i)) x.attrs;
+        match !p with
+        | Some v -> v
+        | None ->
+            let q = ref nan in
+            Array.iteri (fun i ya -> if ya = a then q := ty.(i)) y.attrs;
+            !q)
+      union_attrs
+  in
+  let out = ref [] in
+  Array.iter
+    (fun tx ->
+      let key = project tx px in
+      match Hashtbl.find_opt groups key with
+      | None -> ()
+      | Some tys -> List.iter (fun ty -> out := build tx ty :: !out) tys)
+    x.tuples;
+  {
+    attrs = union_attrs;
+    tuples = Array.of_list !out;
+    members = x.members @ y.members;
+  }
+
+(* Estimated size of the join of two bags, without materializing. *)
+let join_size x y =
+  let sh = shared x.attrs y.attrs in
+  let px = positions x.attrs sh and py = positions y.attrs sh in
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun tup ->
+      let key = project tup py in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    y.tuples;
+  Array.fold_left
+    (fun acc tup ->
+      acc + Option.value ~default:0 (Hashtbl.find_opt counts (project tup px)))
+    0 x.tuples
+
+let schema_of_bags attr_names bags =
+  Schema.make ~attr_names:(Array.to_list attr_names)
+    (List.mapi
+       (fun i b ->
+         ( Printf.sprintf "B%d_%s" i
+             (String.concat "" (List.map string_of_int b.members)),
+           Array.to_list b.attrs ))
+       bags)
+
+let decompose ?(max_bag_tuples = 1_000_000) (inst : Instance.t) =
+  let schema = inst.Instance.schema in
+  let g = Schema.n_relations schema in
+  let bags =
+    ref
+      (List.init g (fun i ->
+           {
+             attrs = Schema.rel_attrs schema i;
+             tuples = inst.Instance.tuples.(i);
+             members = [ i ];
+           }))
+  in
+  let attr_names =
+    Array.init (Schema.dims schema) (fun a -> schema.Schema.attr_names.(a))
+  in
+  let try_build () =
+    let s = schema_of_bags attr_names !bags in
+    match Join_tree.build s with
+    | Some tree -> Some (s, tree)
+    | None -> None
+  in
+  let rec loop () =
+    match try_build () with
+    | Some (s, tree) ->
+        let bag_arr = Array.of_list !bags in
+        let instance =
+          Instance.of_arrays s (Array.map (fun b -> b.tuples) bag_arr)
+        in
+        {
+          schema = s;
+          instance;
+          tree;
+          cover = Array.map (fun b -> b.members) bag_arr;
+          width =
+            Array.fold_left (fun acc b -> max acc (List.length b.members)) 0
+              bag_arr;
+        }
+    | None ->
+        (* Merge the sharing pair with the smallest materialized join. *)
+        let arr = Array.of_list !bags in
+        let nb = Array.length arr in
+        let best = ref None in
+        for i = 0 to nb - 1 do
+          for j = i + 1 to nb - 1 do
+            if shared arr.(i).attrs arr.(j).attrs <> [] then begin
+              let size = join_size arr.(i) arr.(j) in
+              match !best with
+              | Some (_, _, s) when s <= size -> ()
+              | _ -> best := Some (i, j, size)
+            end
+          done
+        done;
+        (match !best with
+        | None ->
+            (* Disconnected cyclic components cannot happen: a cyclic
+               obstruction always involves sharing pairs. *)
+            failwith "Hypertree.decompose: no sharing pair found"
+        | Some (i, j, size) ->
+            if size > max_bag_tuples then
+              failwith
+                (Printf.sprintf
+                   "Hypertree.decompose: bag of %d tuples exceeds the limit %d"
+                   size max_bag_tuples);
+            let merged = join_bags arr.(i) arr.(j) in
+            bags :=
+              merged
+              :: List.filteri
+                   (fun idx _ -> idx <> i && idx <> j)
+                   (Array.to_list arr));
+        loop ()
+  in
+  loop ()
+
+let provenance t ~original ~bag tup =
+  let bag_attrs = Schema.rel_attrs t.schema bag in
+  List.map
+    (fun orig_rel ->
+      let orig_attrs =
+        Schema.rel_attrs original.Instance.schema orig_rel
+      in
+      let pos = positions bag_attrs (Array.to_list orig_attrs) in
+      (orig_rel, project tup pos))
+    t.cover.(bag)

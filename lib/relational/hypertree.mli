@@ -1,0 +1,34 @@
+(** Cyclic-query support via greedy bag decomposition (paper Section 4.2).
+
+    The paper extends its relational algorithms to cyclic joins through
+    fractional hypertree decompositions [43]: group relations into bags,
+    materialize each bag (size [N^fhw]), and run the acyclic machinery
+    on the bag schema. This module implements the integral version:
+    relations are greedily merged (smallest materialized join first)
+    until the GYO reduction succeeds. The width of the result — the
+    maximum number of original relations in a bag — bounds the blow-up;
+    for an already-acyclic query the decomposition is the identity with
+    width 1.
+
+    The natural join of the decomposed instance equals the original
+    [Q(I)], so every Section-4 algorithm runs unchanged on the output.
+    Outlier tuples of bag relations map back to original tuples through
+    {!provenance}. *)
+
+type t = private {
+  schema : Schema.t; (* bag schema *)
+  instance : Instance.t; (* bag instance: each bag materialized *)
+  tree : Join_tree.t;
+  cover : int list array; (* cover.(b): original relation ids in bag b *)
+  width : int;
+}
+
+val decompose : ?max_bag_tuples:int -> Instance.t -> t
+(** Raises [Failure] if some intermediate bag would exceed
+    [max_bag_tuples] (default [1_000_000]) — the analogue of an
+    excessive [N^fhw]. *)
+
+val provenance : t -> original:Instance.t -> bag:int -> float array ->
+  (int * float array) list
+(** Original (relation, tuple) pairs whose join forms the given bag
+    tuple. *)

@@ -1,0 +1,79 @@
+type t = {
+  root : int;
+  parent : int array;
+  children : int list array;
+  order : int array;
+}
+
+(* GYO ear removal. Relation [i] is an ear with witness [j] when every
+   attribute of [i] shared with some other remaining relation also
+   belongs to [j]. *)
+let build schema =
+  let g = Schema.n_relations schema in
+  if g = 0 then None
+  else begin
+    let alive = Array.make g true in
+    let parent = Array.make g (-1) in
+    let order = ref [] in
+    let remaining = ref g in
+    let attr_in rel a = Array.exists (fun x -> x = a) (Schema.rel_attrs schema rel) in
+    let shared_with_others i =
+      Array.to_list (Schema.rel_attrs schema i)
+      |> List.filter (fun a ->
+             let others = ref false in
+             for j = 0 to g - 1 do
+               if j <> i && alive.(j) && attr_in j a then others := true
+             done;
+             !others)
+    in
+    let find_ear () =
+      let res = ref None in
+      for i = 0 to g - 1 do
+        if !res = None && alive.(i) && !remaining > 1 then begin
+          let shared = shared_with_others i in
+          let witness = ref None in
+          for j = 0 to g - 1 do
+            if
+              !witness = None && j <> i && alive.(j)
+              && List.for_all (attr_in j) shared
+            then witness := Some j
+          done;
+          match !witness with
+          | Some j -> res := Some (i, j)
+          | None -> ()
+        end
+      done;
+      !res
+    in
+    let rec loop () =
+      if !remaining = 1 then begin
+        (* The last relation is the root. *)
+        let root = ref (-1) in
+        Array.iteri (fun i a -> if a then root := i) alive;
+        order := !root :: !order;
+        let order = Array.of_list (List.rev !order) in
+        let children = Array.make g [] in
+        Array.iteri
+          (fun i p -> if p >= 0 then children.(p) <- i :: children.(p))
+          parent;
+        Some { root = !root; parent; children; order }
+      end
+      else
+        match find_ear () with
+        | None -> None (* cyclic *)
+        | Some (i, j) ->
+            alive.(i) <- false;
+            parent.(i) <- j;
+            order := i :: !order;
+            decr remaining;
+            loop ()
+    in
+    loop ()
+  end
+
+let build_exn schema =
+  match build schema with
+  | Some t -> t
+  | None -> invalid_arg "Join_tree.build_exn: cyclic query"
+
+let is_acyclic schema = build schema <> None

@@ -1,0 +1,22 @@
+(** Join trees for acyclic queries (Beeri–Fagin–Maier–Yannakakis
+    [13, 39]).
+
+    Built by GYO ear removal. The resulting tree satisfies the running
+    intersection property: for each attribute, the relations containing
+    it form a connected subtree — the precondition for the Yannakakis
+    algorithm and every oracle of Section 4. *)
+
+type t = private {
+  root : int;
+  parent : int array; (* parent relation id; -1 at the root *)
+  children : int list array;
+  order : int array; (* all relation ids, children before parents *)
+}
+
+val build : Schema.t -> t option
+(** [None] when the query is cyclic. *)
+
+val build_exn : Schema.t -> t
+(** Raises [Invalid_argument] when the query is cyclic. *)
+
+val is_acyclic : Schema.t -> bool

@@ -1,0 +1,85 @@
+module Point = Cso_metric.Point
+module Rect = Cso_geom.Rect
+module Box_complement = Cso_geom.Box_complement
+
+let count_rect inst tree rect =
+  Yannakakis.count (Instance.filter_rect inst rect) tree
+
+let sample_rect ?rng inst tree rect n =
+  Yannakakis.sample ?rng (Instance.filter_rect inst rect) tree n
+
+let any_in_rect inst tree rect =
+  Yannakakis.any (Instance.filter_rect inst rect) tree
+
+let candidate_linf_distances (inst : Instance.t) =
+  let schema = inst.Instance.schema in
+  let d = Schema.dims schema in
+  let per_attr = Array.make d [] in
+  Array.iteri
+    (fun i rel ->
+      let attrs = Schema.rel_attrs schema i in
+      Array.iter
+        (fun tup ->
+          Array.iteri (fun pos a -> per_attr.(a) <- tup.(pos) :: per_attr.(a)) attrs)
+        rel)
+    inst.Instance.tuples;
+  let acc = ref [ 0.0 ] in
+  Array.iter
+    (fun vals ->
+      let vs = Array.of_list (List.sort_uniq compare vals) in
+      let n = Array.length vs in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          acc := (vs.(j) -. vs.(i)) :: !acc
+        done
+      done)
+    per_attr;
+  Array.of_list (List.sort_uniq compare !acc)
+
+(* A join result strictly outside every L_inf ball of radius [r] around
+   the centers, if one exists. [r] must not be a realizable coordinate
+   difference so that no result lies exactly on a cube boundary. *)
+let outside_witness inst tree ~centers ~r =
+  let d = Schema.dims inst.Instance.schema in
+  let cubes = List.map (fun c -> Rect.cube ~center:c ~side:(2.0 *. r)) centers in
+  let cells = Box_complement.decompose cubes d in
+  List.find_map (fun cell -> any_in_rect inst tree cell) cells
+
+let farthest_linf inst tree ~centers ~cand =
+  if centers = [] then invalid_arg "Oracles.farthest_linf: no centers";
+  let len = Array.length cand in
+  (* Binary search the largest index [i] such that some result lies
+     strictly beyond radius (cand.(i) + cand.(i+1)) / 2; the farthest
+     distance is then cand.(i+1), attained by the witness. *)
+  let lo = ref 0 and hi = ref (len - 2) in
+  let best = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let r = (cand.(mid) +. cand.(mid + 1)) /. 2.0 in
+    match outside_witness inst tree ~centers ~r with
+    | Some w ->
+        best := Some (w, cand.(mid + 1));
+        lo := mid + 1
+    | None -> hi := mid - 1
+  done;
+  match !best with
+  | Some (w, delta) -> (Some w, delta)
+  | None -> (None, 0.0)
+
+let rel_cluster inst tree ~k =
+  if k <= 0 then invalid_arg "Oracles.rel_cluster: k <= 0";
+  match Yannakakis.any inst tree with
+  | None -> ([], 0.0)
+  | Some p0 ->
+      let d = Schema.dims inst.Instance.schema in
+      let cand = candidate_linf_distances inst in
+      let centers = ref [ p0 ] in
+      (try
+         for _ = 2 to k do
+           match farthest_linf inst tree ~centers:!centers ~cand with
+           | Some w, _ -> centers := w :: !centers
+           | None, _ -> raise Exit (* every result coincides with a center *)
+         done
+       with Exit -> ());
+      let _, cover_inf = farthest_linf inst tree ~centers:!centers ~cand in
+      (List.rev !centers, sqrt (float_of_int d) *. cover_inf)

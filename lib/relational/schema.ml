@@ -1,0 +1,57 @@
+type relation = {
+  rel_name : string;
+  attrs : int array;
+}
+
+type t = {
+  attr_names : string array;
+  relations : relation array;
+}
+
+let make ~attr_names rels =
+  let attr_names = Array.of_list attr_names in
+  let d = Array.length attr_names in
+  let seen = Array.make d false in
+  let relations =
+    Array.of_list
+      (List.map
+         (fun (rel_name, attrs) ->
+           let attrs = List.sort_uniq compare attrs in
+           if List.length attrs <> List.length (List.sort_uniq compare attrs)
+           then invalid_arg "Schema.make: duplicate attribute in relation";
+           List.iter
+             (fun a ->
+               if a < 0 || a >= d then
+                 invalid_arg "Schema.make: attribute out of range";
+               seen.(a) <- true)
+             attrs;
+           if attrs = [] then invalid_arg "Schema.make: empty relation schema";
+           { rel_name; attrs = Array.of_list attrs })
+         rels)
+  in
+  Array.iteri
+    (fun a s ->
+      if not s then
+        invalid_arg
+          (Printf.sprintf "Schema.make: attribute %s in no relation"
+             attr_names.(a)))
+    seen;
+  { attr_names; relations }
+
+let dims t = Array.length t.attr_names
+let n_relations t = Array.length t.relations
+let rel_attrs t i = t.relations.(i).attrs
+
+let shared_attrs t i j =
+  let a = t.relations.(i).attrs and b = t.relations.(j).attrs in
+  let out = ref [] in
+  Array.iter (fun x -> if Array.exists (fun y -> y = x) b then out := x :: !out) a;
+  Array.of_list (List.rev !out)
+
+let pp fmt t =
+  Array.iter
+    (fun r ->
+      Format.fprintf fmt "%s(%s) " r.rel_name
+        (String.concat ", "
+           (Array.to_list (Array.map (fun a -> t.attr_names.(a)) r.attrs))))
+    t.relations

@@ -1,0 +1,34 @@
+(** Database schemas (Section 1.1, "Join Queries").
+
+    A schema has [d] global attributes [A = {0, .., d-1}] (all with
+    domain [R]) and [g] relations, each over a sorted subset of [A]. The
+    join query considered throughout is the full natural join
+    [Q = R_1 |><| ... |><| R_g]; its results are points in [R^d]. *)
+
+type relation = {
+  rel_name : string;
+  attrs : int array; (* sorted, strictly increasing, global attribute ids *)
+}
+
+type t = private {
+  attr_names : string array; (* length d *)
+  relations : relation array;
+}
+
+val make : attr_names:string list -> (string * int list) list -> t
+(** [make ~attr_names rels] builds a schema. Raises [Invalid_argument] if
+    an attribute id is out of range, a relation has duplicate attributes,
+    or some global attribute belongs to no relation. Attribute lists are
+    sorted internally. *)
+
+val dims : t -> int
+(** Number of global attributes [d]. *)
+
+val n_relations : t -> int
+
+val rel_attrs : t -> int -> int array
+
+val shared_attrs : t -> int -> int -> int array
+(** Sorted intersection of two relations' attribute sets. *)
+
+val pp : Format.formatter -> t -> unit

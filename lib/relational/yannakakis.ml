@@ -1,0 +1,233 @@
+module Point = Cso_metric.Point
+
+(* Positions (within a relation's tuple layout) of a set of global
+   attributes. *)
+let positions rel_attrs wanted =
+  Array.map
+    (fun a ->
+      let pos = ref (-1) in
+      Array.iteri (fun p x -> if x = a then pos := p) rel_attrs;
+      assert (!pos >= 0);
+      !pos)
+    wanted
+
+let project tup pos = Array.map (fun p -> tup.(p)) pos
+
+(* Bottom-up counting DP over the join tree. [cnt.(i).(j)] is the number
+   of join combinations of the subtree rooted at relation [i] consistent
+   with tuple [j] of [R_i]. [groups.(c)] (for non-root [c]) maps the
+   shared-attribute key to (tuple indices of R_c with that key, summed
+   counts); [kp_parent.(c)] are the key positions inside the parent. *)
+type dp = {
+  cnt : int array array;
+  groups : (float array, int list * int) Hashtbl.t array;
+  kp_parent : int array array;
+}
+
+let build_dp (inst : Instance.t) (tree : Join_tree.t) =
+  let schema = inst.Instance.schema in
+  let g = Schema.n_relations schema in
+  let cnt = Array.init g (fun i -> Array.make (Instance.n_tuples inst i) 1) in
+  let groups = Array.make g (Hashtbl.create 1) in
+  let kp_parent = Array.make g [||] in
+  Array.iter
+    (fun i ->
+      (* Children of i are earlier in the order: their groups exist. *)
+      List.iter
+        (fun c ->
+          let tbl = groups.(c) in
+          let kp = kp_parent.(c) in
+          Array.iteri
+            (fun j tup ->
+              let key = project tup kp in
+              let factor =
+                match Hashtbl.find_opt tbl key with
+                | Some (_, total) -> total
+                | None -> 0
+              in
+              cnt.(i).(j) <- cnt.(i).(j) * factor)
+            inst.Instance.tuples.(i))
+        tree.Join_tree.children.(i);
+      if tree.Join_tree.parent.(i) >= 0 then begin
+        let p = tree.Join_tree.parent.(i) in
+        let shared = Schema.shared_attrs schema i p in
+        let kp_child = positions (Schema.rel_attrs schema i) shared in
+        kp_parent.(i) <- positions (Schema.rel_attrs schema p) shared;
+        let tbl = Hashtbl.create (max 16 (Instance.n_tuples inst i)) in
+        Array.iteri
+          (fun j tup ->
+            if cnt.(i).(j) > 0 then begin
+              let key = project tup kp_child in
+              let idxs, total =
+                match Hashtbl.find_opt tbl key with
+                | Some v -> v
+                | None -> ([], 0)
+              in
+              Hashtbl.replace tbl key (j :: idxs, total + cnt.(i).(j))
+            end)
+          inst.Instance.tuples.(i);
+        groups.(i) <- tbl
+      end)
+    tree.Join_tree.order;
+  { cnt; groups; kp_parent }
+
+let count inst tree =
+  let dp = build_dp inst tree in
+  Array.fold_left ( + ) 0 dp.cnt.(tree.Join_tree.root)
+
+(* Assembles a result point from per-relation chosen tuples, walking the
+   tree top-down. [emit] receives each completed point. *)
+let expand ?(limit = max_int) inst tree dp emit =
+  let schema = inst.Instance.schema in
+  let d = Schema.dims schema in
+  let buf = Array.make d nan in
+  let emitted = ref 0 in
+  let exception Done in
+  let write_tuple rel tup =
+    Array.iteri
+      (fun pos a -> buf.(a) <- tup.(pos))
+      (Schema.rel_attrs schema rel)
+  in
+  (* Depth-first expansion over the tree; [cont] fires once per complete
+     assignment of the subtree rooted at [rel]'s parent edge. *)
+  let rec go rel tup_idx cont =
+    let tup = Instance.tuple inst ~rel ~idx:tup_idx in
+    write_tuple rel tup;
+    let rec children cs cont =
+      match cs with
+      | [] -> cont ()
+      | c :: rest ->
+          let key = project tup dp.kp_parent.(c) in
+          (match Hashtbl.find_opt dp.groups.(c) key with
+          | None -> () (* no matching child tuple: dead branch *)
+          | Some (idxs, _) ->
+              List.iter
+                (fun j -> go c j (fun () -> children rest cont))
+                idxs)
+    in
+    children tree.Join_tree.children.(rel) cont
+  in
+  (try
+     let root = tree.Join_tree.root in
+     Array.iteri
+       (fun j c ->
+         if c > 0 then
+           go root j (fun () ->
+               emit (Array.copy buf);
+               incr emitted;
+               if !emitted >= limit then raise Done))
+       dp.cnt.(root)
+   with Done -> ())
+
+let enumerate ?limit inst tree =
+  let dp = build_dp inst tree in
+  let acc = ref [] in
+  expand ?limit inst tree dp (fun p -> acc := p :: !acc);
+  Array.of_list (List.rev !acc)
+
+let any inst tree =
+  match enumerate ~limit:1 inst tree with
+  | [||] -> None
+  | arr -> Some arr.(0)
+
+let sample ?rng inst tree n_samples =
+  let rng = match rng with Some r -> r | None -> Random.State.make [| 7 |] in
+  let dp = build_dp inst tree in
+  let schema = inst.Instance.schema in
+  let d = Schema.dims schema in
+  let root = tree.Join_tree.root in
+  let total = Array.fold_left ( + ) 0 dp.cnt.(root) in
+  if total = 0 then [||]
+  else begin
+    let draw_root () =
+      let target = Random.State.int rng total in
+      let acc = ref 0 and chosen = ref (-1) in
+      Array.iteri
+        (fun j c ->
+          if !chosen < 0 then begin
+            acc := !acc + c;
+            if target < !acc then chosen := j
+          end)
+        dp.cnt.(root);
+      !chosen
+    in
+    let one () =
+      let buf = Array.make d nan in
+      let write rel tup =
+        Array.iteri
+          (fun pos a -> buf.(a) <- tup.(pos))
+          (Schema.rel_attrs schema rel)
+      in
+      let rec go rel tup_idx =
+        let tup = Instance.tuple inst ~rel ~idx:tup_idx in
+        write rel tup;
+        List.iter
+          (fun c ->
+            let key = project tup dp.kp_parent.(c) in
+            match Hashtbl.find_opt dp.groups.(c) key with
+            | None -> assert false (* cnt > 0 guarantees matches *)
+            | Some (idxs, total_c) ->
+                let target = Random.State.int rng total_c in
+                let acc = ref 0 and chosen = ref (-1) in
+                List.iter
+                  (fun j ->
+                    if !chosen < 0 then begin
+                      acc := !acc + dp.cnt.(c).(j);
+                      if target < !acc then chosen := j
+                    end)
+                  idxs;
+                go c !chosen)
+          tree.Join_tree.children.(rel)
+      in
+      go root (draw_root ());
+      buf
+    in
+    Array.init n_samples (fun _ -> one ())
+  end
+
+let semijoin_reduce inst tree =
+  let dp = build_dp inst tree in
+  let g = Schema.n_relations inst.Instance.schema in
+  let live = Array.init g (fun i -> Array.make (Instance.n_tuples inst i) false) in
+  (* Top-down: a root tuple is live iff its count is positive; a child
+     tuple is live iff it has positive count and matches a live parent
+     tuple on the shared key. *)
+  let schema = inst.Instance.schema in
+  let order_top_down = Array.to_list tree.Join_tree.order |> List.rev in
+  List.iter
+    (fun rel ->
+      let p = tree.Join_tree.parent.(rel) in
+      if p < 0 then
+        Array.iteri (fun j c -> live.(rel).(j) <- c > 0) dp.cnt.(rel)
+      else begin
+        (* Collect live parent keys. *)
+        let keys = Hashtbl.create 64 in
+        let shared = Schema.shared_attrs schema rel p in
+        let kp_parent = positions (Schema.rel_attrs schema p) shared in
+        let kp_child = positions (Schema.rel_attrs schema rel) shared in
+        Array.iteri
+          (fun j tup ->
+            if live.(p).(j) then
+              Hashtbl.replace keys (project tup kp_parent) ())
+          inst.Instance.tuples.(p);
+        Array.iteri
+          (fun j tup ->
+            live.(rel).(j) <-
+              dp.cnt.(rel).(j) > 0 && Hashtbl.mem keys (project tup kp_child))
+          inst.Instance.tuples.(rel)
+      end)
+    order_top_down;
+  let counters = Array.make g (-1) in
+  Instance.filter inst (fun i _tup ->
+      counters.(i) <- counters.(i) + 1;
+      live.(i).(counters.(i)))
+
+let contains_result inst (p : Point.t) =
+  let schema = inst.Instance.schema in
+  let g = Schema.n_relations schema in
+  let ok = ref true in
+  for i = 0 to g - 1 do
+    let proj = Instance.project_result inst ~rel:i p in
+    if not (Instance.mem_tuple inst ~rel:i proj) then ok := false
+  done;
+  !ok

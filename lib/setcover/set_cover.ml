@@ -1,0 +1,86 @@
+type t = {
+  n_elements : int;
+  sets : int list array;
+}
+
+let make ~n_elements sets =
+  let sets = Array.of_list sets in
+  let covered = Array.make n_elements false in
+  Array.iter
+    (fun s ->
+      List.iter
+        (fun e ->
+          if e < 0 || e >= n_elements then
+            invalid_arg "Set_cover.make: element out of range";
+          covered.(e) <- true)
+        s)
+    sets;
+  Array.iteri
+    (fun e c ->
+      if not c then
+        invalid_arg
+          (Printf.sprintf "Set_cover.make: element %d covered by no set" e))
+    covered;
+  { n_elements; sets }
+
+let frequency t =
+  let freq = Array.make t.n_elements 0 in
+  Array.iter (fun s -> List.iter (fun e -> freq.(e) <- freq.(e) + 1) s) t.sets;
+  Array.fold_left max 0 freq
+
+let is_cover t chosen =
+  let covered = Array.make t.n_elements false in
+  List.iter
+    (fun j -> List.iter (fun e -> covered.(e) <- true) t.sets.(j))
+    chosen;
+  Array.for_all Fun.id covered
+
+let greedy t =
+  let covered = Array.make t.n_elements false in
+  let n_covered = ref 0 in
+  let chosen = ref [] in
+  while !n_covered < t.n_elements do
+    let best = ref (-1) and best_gain = ref 0 in
+    Array.iteri
+      (fun j s ->
+        let gain = List.length (List.filter (fun e -> not covered.(e)) s) in
+        if gain > !best_gain then begin
+          best := j;
+          best_gain := gain
+        end)
+      t.sets;
+    (* make guarantees full coverage, so a positive-gain set exists. *)
+    assert (!best >= 0);
+    chosen := !best :: !chosen;
+    List.iter
+      (fun e ->
+        if not covered.(e) then begin
+          covered.(e) <- true;
+          incr n_covered
+        end)
+      t.sets.(!best)
+  done;
+  List.rev !chosen
+
+let exact ?(limit = 1 lsl 22) t =
+  let m = Array.length t.sets in
+  if m >= 62 || 1 lsl m > limit then None
+  else begin
+    let best = ref None and best_size = ref max_int in
+    for mask = 0 to (1 lsl m) - 1 do
+      let size =
+        let rec popcount x acc = if x = 0 then acc else popcount (x lsr 1) (acc + (x land 1)) in
+        popcount mask 0
+      in
+      if size < !best_size then begin
+        let chosen =
+          List.filter (fun j -> mask land (1 lsl j) <> 0) (List.init m Fun.id)
+        in
+        if is_cover t chosen then begin
+          best := Some chosen;
+          best_size := size
+        end
+      end
+    done;
+    !best
+  end

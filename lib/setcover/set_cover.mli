@@ -1,0 +1,30 @@
+(** Set cover: instances, the greedy approximation and a small exact
+    solver.
+
+    Used by the hardness construction of the paper (Section 2.1 /
+    Appendix A): set cover reduces to CSO, and CSO with few outlier sets
+    solves set cover. The exact solver provides ground truth for small
+    instances in tests and the [table1_hardness] bench. *)
+
+type t = {
+  n_elements : int;
+  sets : int list array; (* sets.(j) = elements of set j, in [0, n) *)
+}
+
+val make : n_elements:int -> int list list -> t
+(** Raises [Invalid_argument] if an element is out of range or some
+    element is covered by no set. *)
+
+val frequency : t -> int
+(** [f]: the maximum number of sets any element belongs to. *)
+
+val is_cover : t -> int list -> bool
+(** Whether the listed set indices cover every element. *)
+
+val greedy : t -> int list
+(** Classic greedy [ln n]-approximation; always returns a cover. *)
+
+val exact : ?limit:int -> t -> int list option
+(** Minimum cover by exhaustive search over subsets of sets, smallest
+    cardinality first. [None] if [2^m > limit] (default [limit] =
+    [1 lsl 22]). *)

@@ -1,0 +1,234 @@
+module Point = Cso_metric.Point
+module Space = Cso_metric.Space
+module Rect = Cso_geom.Rect
+module Instance = Cso_core.Instance
+module Geo_instance = Cso_core.Geo_instance
+
+type cso = {
+  instance : Instance.t;
+  points : Point.t array;
+  opt_upper : float;
+  contaminated_lower : float;
+  bad_sets : int list;
+}
+
+type gcso = {
+  geo : Geo_instance.t;
+  g_opt_upper : float;
+  g_contaminated_lower : float;
+  g_bad_sets : int list;
+}
+
+let cso ?(f = 1) ?(d = 2) ?(spread = 1.0) ?(separation = 50.0) rng ~n ~m ~k
+    ~z =
+  if m <= z then invalid_arg "Planted.cso: need m > z";
+  if z > 0 && n < 2 * z then invalid_arg "Planted.cso: need n >= 2z";
+  let m_good = m - z in
+  let n_bad = if z = 0 then 0 else max z (n / 5) in
+  let n_good = n - n_bad in
+  let anchors = Gen.separated_anchors rng ~k ~d ~separation in
+  (* Junk points are mutually far and far from every anchor, so keeping
+     any of them either costs a center or a huge radius. *)
+  let junk i =
+    Array.init d (fun j ->
+        if j = 0 then 1.0e4 +. (4.0 *. separation *. float_of_int i)
+        else Gen.uniform rng ~lo:0.0 ~hi:spread)
+  in
+  let good i =
+    ignore i;
+    let a = anchors.(Random.State.int rng k) in
+    Gen.around rng a ~radius:spread
+  in
+  let points =
+    Array.init n (fun i -> if i < n_good then good i else junk (i - n_good))
+  in
+  (* Good sets partition the good points round-robin; bad sets partition
+     the junk. Extra memberships in f-1 further random distinct sets
+     raise the frequency to exactly f (junk only ever joins bad sets, so
+     removing the z planted bad sets still removes all junk). Random
+     extras keep small unions: no cheap fractional cover by sets alone. *)
+  let sets = Array.make m [] in
+  let add_memberships ~point ~base ~lo ~cnt =
+    sets.(base) <- point :: sets.(base);
+    let extras = min (f - 1) (cnt - 1) in
+    let chosen = ref [ base ] in
+    for _ = 1 to extras do
+      let rec draw () =
+        let s = lo + Random.State.int rng cnt in
+        if List.mem s !chosen then draw () else s
+      in
+      let s = draw () in
+      chosen := s :: !chosen;
+      sets.(s) <- point :: sets.(s)
+    done
+  in
+  for i = 0 to n_good - 1 do
+    add_memberships ~point:i ~base:(i mod m_good) ~lo:0 ~cnt:m_good
+  done;
+  for i = 0 to n_bad - 1 do
+    add_memberships ~point:(n_good + i) ~base:(m_good + (i mod z)) ~lo:m_good
+      ~cnt:z
+  done;
+  let instance =
+    Instance.make
+      (Space.of_points points)
+      ~sets:(Array.to_list (Array.map List.rev sets))
+      ~k ~z
+  in
+  {
+    instance;
+    points;
+    opt_upper = 2.0 *. spread *. sqrt (float_of_int d);
+    contaminated_lower = separation /. 2.0;
+    bad_sets = List.init z (fun b -> m_good + b);
+  }
+
+let cso_coordinated ?(d = 2) ?(spread = 1.0) ?(separation = 50.0) rng ~n ~k
+    ~z =
+  if z < 1 then invalid_arg "Planted.cso_coordinated: need z >= 1";
+  let n_junk = 2 * z in
+  if n < n_junk + (4 * k) then
+    invalid_arg "Planted.cso_coordinated: need n >= 2z + 4k";
+  let n_good = n - n_junk in
+  let anchors = Gen.separated_anchors rng ~k ~d ~separation in
+  let good _ = Gen.around rng anchors.(Random.State.int rng k) ~radius:spread in
+  let junk i =
+    Array.init d (fun j ->
+        if j = 0 then 1.0e4 +. (4.0 *. separation *. float_of_int i) else 0.0)
+  in
+  let points =
+    Array.init n (fun i -> if i < n_good then good i else junk (i - n_good))
+  in
+  (* Decoy set i: junk i plus a slab of innocent points (largest sets).
+     Coordinating set b: the junk pair (2b, 2b+1) (small but optimal). *)
+  let slab = n_good / n_junk in
+  let decoys =
+    List.init n_junk (fun i ->
+        (n_good + i)
+        :: List.init slab (fun s -> (i * slab) + s))
+  in
+  (* Any good points not claimed by a slab go into the first decoy. *)
+  let decoys =
+    match decoys with
+    | first :: rest ->
+        (first
+        @ List.init (n_good - (slab * n_junk)) (fun s -> (slab * n_junk) + s))
+        :: rest
+    | [] -> []
+  in
+  let coordinating =
+    List.init z (fun b -> [ n_good + (2 * b); n_good + (2 * b) + 1 ])
+  in
+  let instance =
+    Instance.make (Space.of_points points) ~sets:(decoys @ coordinating) ~k ~z
+  in
+  {
+    instance;
+    points;
+    opt_upper = 2.0 *. spread *. sqrt (float_of_int d);
+    contaminated_lower = separation;
+    bad_sets = List.init z (fun b -> n_junk + b);
+  }
+
+let id_scale = 1.0e-6
+
+let gcso_disjoint ?(d_features = 2) ?(spread = 1.0) ?(separation = 50.0) rng
+    ~n ~m ~k ~z =
+  if m <= z then invalid_arg "Planted.gcso_disjoint: need m > z";
+  let d = 1 + d_features in
+  let m_good = m - z in
+  let anchors = Gen.separated_anchors rng ~k ~d:d_features ~separation in
+  let domain_hi = 2.0 *. separation *. float_of_int (k + 1) in
+  (* Sensor s owns the degenerate slab id = s * id_scale. *)
+  let point_of_sensor s =
+    let features =
+      if s >= m_good then
+        (* Faulty sensor: junk uniform over the whole feature domain. *)
+        Gen.uniform_point rng ~d:d_features ~lo:(-.separation) ~hi:domain_hi
+      else
+        Gen.around rng anchors.(s mod k) ~radius:spread
+    in
+    Array.append [| float_of_int s *. id_scale |] features
+  in
+  let points = Array.init n (fun i -> point_of_sensor (i mod m)) in
+  let rects =
+    Array.init m (fun s ->
+        let lo = Array.make d neg_infinity and hi = Array.make d infinity in
+        lo.(0) <- float_of_int s *. id_scale;
+        hi.(0) <- float_of_int s *. id_scale;
+        Rect.make ~lo ~hi)
+  in
+  let geo = Geo_instance.make ~points ~rects ~k ~z in
+  {
+    geo;
+    g_opt_upper =
+      2.0 *. ((spread *. sqrt (float_of_int d_features))
+              +. (id_scale *. float_of_int m));
+    g_contaminated_lower = separation /. 4.0;
+    g_bad_sets = List.init z (fun b -> m_good + b);
+  }
+
+let gcso_overlapping ?(d = 2) ?(spread = 1.0) rng ~n ~k ~z =
+  (* Clusters sit on grid corners in the lower-left region and suspicious
+     windows straddle grid corners in the upper-right region; the base
+     grid (cells of side 50 over [-50, 150]^d) covers everything. Putting
+     both structures on corners makes every cluster and every junk burst
+     span 2^d cells, so no family of z grid cells can absorb either — the
+     only cheap solution discards the windows (f = 2 on the junk). *)
+  let anchor_corners = [| (0.0, 0.0); (50.0, 0.0); (0.0, 50.0); (50.0, 50.0) |] in
+  let anchors =
+    Array.init k (fun i ->
+        let x, y = anchor_corners.(i mod 4) in
+        Array.init d (fun j ->
+            let base = if j = 0 then x else if j = 1 then y else 0.0 in
+            base +. Gen.uniform rng ~lo:(-0.5) ~hi:0.5))
+  in
+  let n_bad = if z = 0 then 0 else max z (n / 6) in
+  let n_good = n - n_bad in
+  let window_corners =
+    [| (100.0, 100.0); (0.0, 100.0); (100.0, 0.0); (50.0, 100.0); (100.0, 50.0) |]
+  in
+  let window b =
+    let x, y = window_corners.(b mod Array.length window_corners) in
+    let lo = Array.make d (-4.0) and hi = Array.make d 4.0 in
+    lo.(0) <- x -. 4.0;
+    hi.(0) <- x +. 4.0;
+    if d > 1 then begin
+      lo.(1) <- y -. 4.0;
+      hi.(1) <- y +. 4.0
+    end;
+    Rect.make ~lo ~hi
+  in
+  let windows = Array.init z window in
+  let junk i =
+    let w = windows.(i mod z) in
+    Array.init d (fun j -> Gen.uniform rng ~lo:w.Rect.lo.(j) ~hi:w.Rect.hi.(j))
+  in
+  let good () = Gen.around rng anchors.(Random.State.int rng k) ~radius:spread in
+  let points =
+    Array.init n (fun i -> if i < n_good then good () else junk (i - n_good))
+  in
+  (* Base grid: cells of side 50 covering every coordinate in [-50,150)
+     (junk windows can stick out past 100 in dim 0). *)
+  let cells = ref [] in
+  let cell_coords = [ -50.0; 0.0; 50.0; 100.0 ] in
+  let rec enum j acc =
+    if j = d then
+      cells :=
+        Rect.make
+          ~lo:(Array.of_list (List.rev_map fst acc))
+          ~hi:(Array.of_list (List.rev_map snd acc))
+        :: !cells
+    else
+      List.iter (fun c -> enum (j + 1) ((c, c +. 50.0) :: acc)) cell_coords
+  in
+  enum 0 [];
+  let grid = Array.of_list !cells in
+  let rects = Array.append grid windows in
+  let geo = Geo_instance.make ~points ~rects ~k ~z in
+  {
+    geo;
+    g_opt_upper = 2.0 *. spread *. sqrt (float_of_int d);
+    g_contaminated_lower = 10.0;
+    g_bad_sets = List.init z (fun b -> Array.length grid + b);
+  }

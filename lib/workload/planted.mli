@@ -1,0 +1,58 @@
+(** Planted-structure CSO / GCSO workloads with known optimum bounds.
+
+    Every generator plants [k] well-separated clusters of "good" points
+    and [z] structurally-bad outlier sets of junk, so that:
+    - removing exactly the [z] planted bad sets leaves points coverable
+      by [k] balls of a small known radius — [opt_upper] bounds
+      [rho*_{k,z}] from above;
+    - keeping any junk forces a cost of at least the separation scale —
+      [contaminated_lower] bounds the cost of any solution that leaves
+      some junk uncovered.
+
+    This makes approximation factors directly measurable: for a returned
+    solution, [cost /. opt_upper] upper-bounds the true ratio
+    [cost /. rho*]. *)
+
+type cso = {
+  instance : Cso_core.Instance.t;
+  points : Cso_metric.Point.t array; (* the embedding behind the metric *)
+  opt_upper : float;
+  contaminated_lower : float;
+  bad_sets : int list; (* the planted outlier sets *)
+}
+
+type gcso = {
+  geo : Cso_core.Geo_instance.t;
+  g_opt_upper : float;
+  g_contaminated_lower : float;
+  g_bad_sets : int list;
+}
+
+val cso : ?f:int -> ?d:int -> ?spread:float -> ?separation:float ->
+  Random.State.t -> n:int -> m:int -> k:int -> z:int -> cso
+(** General-metric instance (Euclidean under the hood). [m] total sets of
+    which [z] are bad; [f >= 1] (default 1) is the target maximum
+    frequency — extra memberships are added to reach it. Requires
+    [m > z] and [n] at least a few points per set. *)
+
+val cso_coordinated : ?d:int -> ?spread:float -> ?separation:float ->
+  Random.State.t -> n:int -> k:int -> z:int -> cso
+(** Adversarial instance for greedy heuristics ([f = 2]): [2z] junk
+    points scattered far apart, each belonging to one large decoy set
+    (junk + innocent cluster points) and to one of [z] {e coordinating}
+    sets pairing two junk points. The optimum discards exactly the [z]
+    coordinating sets; any strategy that spends its budget on the decoy
+    sets strands half the junk. Used by the [baseline_comparison]
+    bench. *)
+
+val gcso_disjoint : ?d_features:int -> ?spread:float -> ?separation:float ->
+  Random.State.t -> n:int -> m:int -> k:int -> z:int -> gcso
+(** Sensor-style disjoint instance ([f = 1]): [m] sensors each owning a
+    degenerate rectangle on a (tiny) id coordinate, [z] of them faulty
+    with junk readings. Points live in [1 + d_features] dimensions. *)
+
+val gcso_overlapping : ?d:int -> ?spread:float -> Random.State.t ->
+  n:int -> k:int -> z:int -> gcso
+(** Fraud-style overlapping instance ([f = 2]): a base grid of cells
+    covers the domain, plus [z] suspicious windows full of junk placed
+    away from the clusters (the paper's introduction example). *)

@@ -1,0 +1,144 @@
+module Rel = Cso_relational
+
+type t = {
+  instance : Rel.Instance.t;
+  tree : Rel.Join_tree.t;
+  opt_upper : float;
+  bad_tuples : (int * float array) list;
+}
+
+let id_scale = 1.0e-6
+
+let schema () =
+  Rel.Schema.make
+    ~attr_names:[ "A"; "B"; "C" ]
+    [ ("R1", [ 0; 1 ]); ("R2", [ 1; 2 ]) ]
+
+(* Shared frame: k anchors in (A, C) space; R2 holds n2 reference tuples
+   (join key B = i * id_scale, feature C near the anchor of regime
+   i mod k). [mk_r1] produces the R1 side. *)
+let build ?(spread = 1.0) ?(separation = 50.0) rng ~n2 ~k mk =
+  let anchors = Gen.separated_anchors rng ~k ~d:2 ~separation in
+  let b_of i = float_of_int i *. id_scale in
+  let noise () = Gen.uniform rng ~lo:(-.spread) ~hi:spread in
+  let r2 =
+    List.init n2 (fun i -> [| b_of i; anchors.(i mod k).(1) +. noise () |])
+  in
+  let regime i = i mod k in
+  let good_a i = anchors.(regime i).(0) +. noise () in
+  let r1, r2_extra, bad = mk ~anchors ~b_of ~noise ~good_a in
+  let schema = schema () in
+  let instance = Rel.Instance.make schema [ r1; r2 @ r2_extra ] in
+  let tree = Rel.Join_tree.build_exn schema in
+  {
+    instance;
+    tree;
+    opt_upper =
+      2.0 *. ((spread *. sqrt 2.0) +. (id_scale *. float_of_int (n2 + 8)));
+    bad_tuples = bad;
+  }
+
+let rcto1 ?spread ?separation rng ~n1 ~n2 ~k ~z =
+  if n1 <= z then invalid_arg "Relational_gen.rcto1: need n1 > z";
+  build ?spread ?separation rng ~n2 ~k (fun ~anchors ~b_of ~noise ~good_a ->
+      ignore anchors;
+      ignore noise;
+      let good =
+        List.init (n1 - z) (fun _ ->
+            let i = Random.State.int rng n2 in
+            [| good_a i; b_of i |])
+      in
+      let bad =
+        List.init z (fun j ->
+            let i = Random.State.int rng n2 in
+            [| 1.0e4 +. (200.0 *. float_of_int j); b_of i |])
+      in
+      (good @ bad, [], List.map (fun tup -> (0, tup)) bad))
+
+let rcro ?spread ?separation rng ~n1 ~n2 ~k ~z =
+  if n1 <= z then invalid_arg "Relational_gen.rcro: need n1 > z";
+  if n2 <= z then invalid_arg "Relational_gen.rcro: need n2 > z";
+  build ?spread ?separation rng ~n2 ~k (fun ~anchors ~b_of ~noise ~good_a ->
+      ignore anchors;
+      ignore noise;
+      let good =
+        List.init (n1 - z) (fun _ ->
+            let i = Random.State.int rng n2 in
+            [| good_a i; b_of i |])
+      in
+      (* Each bad tuple joins exactly one R2 tuple, creating exactly one
+         far-away join result. *)
+      let bad =
+        List.init z (fun j -> [| 1.0e4 +. (200.0 *. float_of_int j); b_of j |])
+      in
+      (good @ bad, [], List.map (fun tup -> (0, tup)) bad))
+
+let rcto ?spread ?separation rng ~n1 ~n2 ~k ~z =
+  if n1 <= z + ((z + 1) / 2) then
+    invalid_arg "Relational_gen.rcto: need n1 > 3z/2";
+  build ?spread ?separation rng ~n2 ~k (fun ~anchors ~b_of ~noise ~good_a ->
+      let z1 = (z + 1) / 2 in
+      (* z1 bad tuples in R1 .. *)
+      let z2 = z - z1 in
+      (* .. and z2 bad tuples in R2. *)
+      let good =
+        List.init (n1 - z1 - z2) (fun _ ->
+            let i = Random.State.int rng n2 in
+            [| good_a i; b_of i |])
+      in
+      let bad_r1 =
+        List.init z1 (fun j ->
+            let i = Random.State.int rng n2 in
+            [| 1.0e4 +. (200.0 *. float_of_int j); b_of i |])
+      in
+      (* Each bad R2 tuple sits on a fresh join key with a far feature;
+         one honest-looking R1 partner routes results through it. *)
+      let bad_r2 =
+        List.init z2 (fun j ->
+            [| b_of (n2 + j); 2.0e4 +. (200.0 *. float_of_int j) |])
+      in
+      let partners =
+        List.init z2 (fun j ->
+            [| anchors.(j mod Array.length anchors).(0) +. noise ();
+               b_of (n2 + j) |])
+      in
+      ( good @ bad_r1 @ partners,
+        bad_r2,
+        List.map (fun tup -> (0, tup)) bad_r1
+        @ List.map (fun tup -> (1, tup)) bad_r2 ))
+
+let star ?(spread = 1.0) ?(separation = 50.0) rng ~n_leaf ~k ~z =
+  if n_leaf <= z then invalid_arg "Relational_gen.star: need n_leaf > z";
+  let schema =
+    Rel.Schema.make
+      ~attr_names:[ "A"; "B"; "C"; "D" ]
+      [ ("R1", [ 0; 1 ]); ("R2", [ 1; 2 ]); ("R3", [ 1; 3 ]) ]
+  in
+  (* Anchors in the (A, C, D) feature space; the hub key B is id-scaled. *)
+  let anchors = Gen.separated_anchors rng ~k ~d:3 ~separation in
+  let b_of i = float_of_int i *. id_scale in
+  let noise () = Gen.uniform rng ~lo:(-.spread) ~hi:spread in
+  let regime i = i mod k in
+  let r1 =
+    List.init n_leaf (fun i ->
+        let a =
+          if i >= n_leaf - z then 1.0e4 +. (200.0 *. float_of_int i)
+          else anchors.(regime i).(0) +. noise ()
+        in
+        [| a; b_of i |])
+  in
+  let r2 = List.init n_leaf (fun i -> [| b_of i; anchors.(regime i).(1) +. noise () |]) in
+  let r3 = List.init n_leaf (fun i -> [| b_of i; anchors.(regime i).(2) +. noise () |]) in
+  let instance = Rel.Instance.make schema [ r1; r2; r3 ] in
+  let tree = Rel.Join_tree.build_exn schema in
+  let bad =
+    List.filteri (fun i _ -> i >= n_leaf - z) r1
+    |> List.map (fun tup -> (0, tup))
+  in
+  {
+    instance;
+    tree;
+    opt_upper =
+      2.0 *. ((spread *. sqrt 3.0) +. (id_scale *. float_of_int n_leaf));
+    bad_tuples = bad;
+  }

@@ -1,0 +1,36 @@
+(** Planted relational workloads for the Section 4 algorithms.
+
+    All use the acyclic path join [R1(A, B) |><| R2(B, C)] over three
+    attributes (crowdsourcing flavor: [R1] collects source observations,
+    [R2] reference data). The join key [B] carries tiny id-scaled values
+    so it does not distort Euclidean distances. *)
+
+type t = {
+  instance : Cso_relational.Instance.t;
+  tree : Cso_relational.Join_tree.t;
+  opt_upper : float; (* removing the planted outliers leaves Q coverable
+                        by k balls of this Euclidean radius *)
+  bad_tuples : (int * float array) list; (* planted (relation, tuple) *)
+}
+
+val rcto1 : ?spread:float -> ?separation:float -> Random.State.t ->
+  n1:int -> n2:int -> k:int -> z:int -> t
+(** [z] bad tuples planted in relation 0 (the paper's dirty [R_1]); each
+    bad tuple joins to a far-away region of result space. *)
+
+val rcto : ?spread:float -> ?separation:float -> Random.State.t ->
+  n1:int -> n2:int -> k:int -> z:int -> t
+(** Bad tuples planted in both relations (alternating), for the general
+    RCTO algorithm. *)
+
+val rcro : ?spread:float -> ?separation:float -> Random.State.t ->
+  n1:int -> n2:int -> k:int -> z:int -> t
+(** [z] isolated {e result} outliers: [bad_tuples] lists the R1 tuples
+    that generate them (each joins exactly one R2 tuple). *)
+
+val star : ?spread:float -> ?separation:float -> Random.State.t ->
+  n_leaf:int -> k:int -> z:int -> t
+(** Three-relation star join [R1(A,B) |><| R2(B,C) |><| R3(B,D)] over a
+    shared hub key [B] ([g = 3], [d = 4]): exercises the relational
+    algorithms beyond two relations. [z] bad tuples are planted in [R1]
+    (far [A] values). Each key joins once in every relation. *)

@@ -1,0 +1,162 @@
+open Cso_core
+module Planted = Cso_workload.Planted
+module Rect = Cso_geom.Rect
+
+let rng () = Random.State.make [| 321 |]
+
+let mwu_rounds = 120 (* capped for test speed; theory needs more *)
+
+let test_geo_instance_membership () =
+  let points = [| [| 0.5; 0.5 |]; [| 5.0; 5.0 |] |] in
+  let rects =
+    [|
+      Rect.of_intervals [ (0.0, 1.0); (0.0, 1.0) ];
+      Rect.of_intervals [ (0.0, 10.0); (0.0, 10.0) ];
+    |]
+  in
+  let g = Geo_instance.make ~points ~rects ~k:1 ~z:0 in
+  Alcotest.(check int) "f" 2 (Geo_instance.frequency g);
+  Alcotest.(check (list int)) "membership of point 0" [ 0; 1 ]
+    g.Geo_instance.membership.(0);
+  Alcotest.(check (list int)) "membership of point 1" [ 1 ]
+    g.Geo_instance.membership.(1)
+
+let test_geo_instance_requires_coverage () =
+  Alcotest.check_raises "point in no rect"
+    (Invalid_argument "Geo_instance.make: point 0 in no rectangle") (fun () ->
+      ignore
+        (Geo_instance.make
+           ~points:[| [| 5.0 |] |]
+           ~rects:[| Rect.of_intervals [ (0.0, 1.0) ] |]
+           ~k:1 ~z:0))
+
+let check_geo ~name (g : Geo_instance.t) sol ~mu1 ~mu2 ~cost_bound =
+  Alcotest.(check bool) (name ^ ": valid") true (Geo_instance.is_valid g sol);
+  Alcotest.(check bool) (name ^ ": centers") true
+    (List.length sol.Instance.centers
+     <= int_of_float (ceil (mu1 *. float_of_int g.Geo_instance.k)));
+  Alcotest.(check bool) (name ^ ": outlier rects") true
+    (List.length sol.Instance.outliers
+     <= int_of_float (ceil (mu2 *. float_of_int (max 1 g.Geo_instance.z))));
+  Alcotest.(check bool) (name ^ ": cost") true
+    (Geo_instance.cost g sol <= cost_bound)
+
+let test_gcso_mwu_overlapping () =
+  let w = Planted.gcso_overlapping (rng ()) ~n:80 ~k:2 ~z:2 in
+  let g = w.Planted.geo in
+  let r = Gcso_general.solve ~eps:0.3 ~rounds:mwu_rounds g in
+  (* (2+eps, 2f, 2+eps) with f = 2; generous slack on the cost since the
+     rounds are capped below the theory bound. *)
+  check_geo ~name:"mwu/overlap" g r.Gcso_general.solution ~mu1:3.0 ~mu2:4.0
+    ~cost_bound:(4.0 *. w.Planted.g_opt_upper);
+  Alcotest.(check bool) "decontaminated" true
+    (Geo_instance.cost g r.Gcso_general.solution
+     < w.Planted.g_contaminated_lower)
+
+let test_gcso_mwu_disjoint_instance () =
+  let w = Planted.gcso_disjoint (rng ()) ~n:60 ~m:8 ~k:2 ~z:2 in
+  let g = w.Planted.geo in
+  Alcotest.(check int) "f=1" 1 (Geo_instance.frequency g);
+  let r = Gcso_general.solve ~eps:0.3 ~rounds:mwu_rounds g in
+  check_geo ~name:"mwu/disjoint" g r.Gcso_general.solution ~mu1:3.0 ~mu2:2.0
+    ~cost_bound:(4.0 *. w.Planted.g_opt_upper)
+
+let test_gcso_coreset_disjoint () =
+  let w = Planted.gcso_disjoint (rng ()) ~n:90 ~m:9 ~k:3 ~z:2 in
+  let g = w.Planted.geo in
+  let r = Gcso_disjoint.solve ~eps:0.3 ~rounds:mwu_rounds g in
+  check_geo ~name:"coreset/disjoint" g r.Gcso_disjoint.solution ~mu1:3.0
+    ~mu2:2.0
+    ~cost_bound:(40.0 *. w.Planted.g_opt_upper);
+  Alcotest.(check bool) "decontaminated" true
+    (Geo_instance.cost g r.Gcso_disjoint.solution
+     < w.Planted.g_contaminated_lower)
+
+let test_gcso_coreset_rejects_f2 () =
+  let w = Planted.gcso_overlapping (rng ()) ~n:30 ~k:2 ~z:1 in
+  Alcotest.check_raises "f=1 required"
+    (Invalid_argument "Gcso_disjoint.solve: rectangles must be disjoint (f = 1)")
+    (fun () -> ignore (Gcso_disjoint.solve w.Planted.geo))
+
+let test_gcso_vs_cso_lp_costs () =
+  (* The geometric MWU algorithm and the general LP algorithm attack the
+     same instance; both must decontaminate it. *)
+  let w = Planted.gcso_disjoint (rng ()) ~n:40 ~m:6 ~k:2 ~z:1 in
+  let g = w.Planted.geo in
+  let mwu = Gcso_general.solve ~eps:0.3 ~rounds:mwu_rounds g in
+  let lp = Cso_general.solve (Geo_instance.to_cso g) in
+  let c1 = Geo_instance.cost g mwu.Gcso_general.solution in
+  let c2 = Geo_instance.cost g lp.Cso_general.solution in
+  Alcotest.(check bool) "both decontaminate" true
+    (c1 < w.Planted.g_contaminated_lower && c2 < w.Planted.g_contaminated_lower)
+
+(* End-to-end geometric property: the MWU pipeline on random tiny
+   instances stays within its tri-criteria bounds relative to the exact
+   optimum of the equivalent CSO instance. *)
+let prop_gcso_mwu_tri_criteria =
+  let rngp = Random.State.make [| 7171 |] in
+  QCheck.Test.make ~name:"gcso MWU vs exact optimum on random instances"
+    ~count:12 QCheck.unit
+    (fun () ->
+      let n = 8 + Random.State.int rngp 5 in
+      let points =
+        Array.init n (fun _ ->
+            [| Random.State.float rngp 100.0; Random.State.float rngp 100.0 |])
+      in
+      (* Three random rectangles plus the whole plane for coverage. *)
+      let rand_rect () =
+        let a = Random.State.float rngp 100.0
+        and b = Random.State.float rngp 100.0 in
+        let c = Random.State.float rngp 100.0
+        and d = Random.State.float rngp 100.0 in
+        Rect.of_intervals [ (min a b, max a b); (min c d, max c d) ]
+      in
+      let rects =
+        [| rand_rect (); rand_rect (); rand_rect (); Rect.unbounded 2 |]
+      in
+      let k = 1 + Random.State.int rngp 2 and z = 1 in
+      let g = Geo_instance.make ~points ~rects ~k ~z in
+      let f = Geo_instance.frequency g in
+      match Exact.solve (Geo_instance.to_cso g) with
+      | None -> true
+      | Some (_, opt) ->
+          let r = Gcso_general.solve ~eps:0.3 ~rounds:200 g in
+          let sol = r.Gcso_general.solution in
+          Geo_instance.is_valid g sol
+          && List.length sol.Instance.centers
+             <= int_of_float (ceil (2.3 *. float_of_int k))
+          && List.length sol.Instance.outliers <= 2 * f * z
+          (* Cost within (2+eps)(1+eps) of opt, plus slack for the capped
+             round budget. *)
+          && Geo_instance.cost g sol <= (3.5 *. opt) +. 1e-6)
+
+let test_mwu_on_round_trace () =
+  let w = Planted.gcso_disjoint (rng ()) ~n:30 ~m:5 ~k:2 ~z:1 in
+  let g = w.Planted.geo in
+  let prepared = Gcso_general.prepare g in
+  let seen = ref 0 in
+  let gamma = Cso_geom.Wspd.candidate_distances g.Geo_instance.points in
+  let r = gamma.(Array.length gamma - 1) in
+  ignore
+    (Gcso_general.solve_at ~eps:0.3 ~rounds:40
+       ~on_round:(fun ~round:_ ~max_violation:_ -> incr seen)
+       prepared ~r);
+  Alcotest.(check int) "one callback per round" 40 !seen
+
+let suite =
+  [
+    Alcotest.test_case "geo instance membership" `Quick
+      test_geo_instance_membership;
+    Alcotest.test_case "geo instance coverage check" `Quick
+      test_geo_instance_requires_coverage;
+    Alcotest.test_case "gcso mwu: overlapping (f=2)" `Slow
+      test_gcso_mwu_overlapping;
+    Alcotest.test_case "gcso mwu: disjoint instance" `Slow
+      test_gcso_mwu_disjoint_instance;
+    Alcotest.test_case "gcso coreset: disjoint" `Slow test_gcso_coreset_disjoint;
+    Alcotest.test_case "gcso coreset rejects f=2" `Quick
+      test_gcso_coreset_rejects_f2;
+    Alcotest.test_case "gcso mwu vs general lp" `Slow test_gcso_vs_cso_lp_costs;
+    QCheck_alcotest.to_alcotest prop_gcso_mwu_tri_criteria;
+    Alcotest.test_case "mwu round trace" `Quick test_mwu_on_round_trace;
+  ]

@@ -1,0 +1,124 @@
+open Cso_core
+module Space = Cso_metric.Space
+module Planted = Cso_workload.Planted
+
+let rng () = Random.State.make [| 606 |]
+
+(* Points 0,1,2 tight near the origin (set 0); junk at 100 and 140
+   (set 1). k=1, z=1: the median optimum removes set 1 and pays
+   |0-1| + |2-1| = 2 from center 1. Removing set 0 instead would leave
+   the two spread junk points at cost 40, so "discard the good data" is
+   not optimal here. *)
+let line_instance () =
+  let pts = [| [| 0.0 |]; [| 1.0 |]; [| 2.0 |]; [| 100.0 |]; [| 140.0 |] |] in
+  Instance.make (Space.of_points pts) ~sets:[ [ 0; 1; 2 ]; [ 3; 4 ] ] ~k:1 ~z:1
+
+let test_cost () =
+  let t = line_instance () in
+  let sol = { Instance.centers = [ 1 ]; outliers = [ 1 ] } in
+  Alcotest.(check (float 1e-9)) "median cost" 2.0 (Kmedian.cost t sol);
+  Alcotest.(check (float 1e-9)) "means cost" 2.0
+    (Kmedian.cost ~objective:Kmedian.Means t sol);
+  Alcotest.(check (float 1e-9)) "keeping the junk is expensive" 40.0
+    (Kmedian.cost t { Instance.centers = [ 3 ]; outliers = [ 0 ] });
+  Alcotest.(check bool) "no centers" true
+    (Kmedian.cost t { Instance.centers = []; outliers = [ 1 ] } = infinity)
+
+let test_exact_line () =
+  let t = line_instance () in
+  match Kmedian.exact t with
+  | None -> Alcotest.fail "exact should run"
+  | Some (sol, c) ->
+      Alcotest.(check (float 1e-9)) "optimal median" 2.0 c;
+      Alcotest.(check (list int)) "outliers" [ 1 ] sol.Instance.outliers
+
+let test_local_search_line () =
+  let t = line_instance () in
+  let sol = Kmedian.local_search t in
+  Alcotest.(check bool) "valid" true (Instance.is_valid t sol);
+  Alcotest.(check (float 1e-9)) "finds the optimum" 2.0 (Kmedian.cost t sol)
+
+let test_lower_bound_line () =
+  let t = line_instance () in
+  match Kmedian.lp_lower_bound t with
+  | None -> Alcotest.fail "lp should run at n=5"
+  | Some lb ->
+      Alcotest.(check bool) "lower bound below optimum" true (lb <= 2.0 +. 1e-6);
+      Alcotest.(check bool) "lower bound positive" true (lb > 0.0)
+
+let test_local_search_planted () =
+  let w = Planted.cso (rng ()) ~n:40 ~m:8 ~k:3 ~z:2 in
+  let t = w.Planted.instance in
+  let sol = Kmedian.local_search t in
+  Alcotest.(check bool) "valid" true (Instance.is_valid t sol);
+  Alcotest.(check bool) "budgets" true
+    (List.length sol.Instance.centers <= 3
+    && List.length sol.Instance.outliers <= 2);
+  (* Decontamination: per-point average distance must be cluster-scale,
+     not junk-scale. *)
+  let n_survivors =
+    List.length (Instance.surviving t sol.Instance.outliers)
+  in
+  Alcotest.(check bool) "average distance is cluster-scale" true
+    (Kmedian.cost t sol /. float_of_int n_survivors
+    < w.Planted.contaminated_lower)
+
+let test_means_objective_prefers_centroids () =
+  (* With means, the outlier choice is the same; cost uses squares. *)
+  let w = Planted.cso (rng ()) ~n:30 ~m:6 ~k:2 ~z:2 in
+  let t = w.Planted.instance in
+  let sol = Kmedian.local_search ~objective:Kmedian.Means t in
+  Alcotest.(check bool) "valid" true (Instance.is_valid t sol);
+  Alcotest.(check bool) "finite" true (Kmedian.cost ~objective:Kmedian.Means t sol < infinity)
+
+let prop_lower_bound_below_exact =
+  let rngp = Random.State.make [| 909 |] in
+  QCheck.Test.make ~name:"kmedian LP lower bound <= exact optimum" ~count:15
+    QCheck.unit
+    (fun () ->
+      let n = 6 + Random.State.int rngp 5 in
+      let m = 3 in
+      let pts =
+        Array.init n (fun _ ->
+            [| Random.State.float rngp 50.0; Random.State.float rngp 50.0 |])
+      in
+      let sets =
+        List.init m (fun j ->
+            List.filter
+              (fun i -> i mod m = j || Random.State.bool rngp)
+              (List.init n Fun.id))
+      in
+      let t = Instance.make (Cso_metric.Space.of_points pts) ~sets ~k:2 ~z:1 in
+      match (Kmedian.lp_lower_bound t, Kmedian.exact t) with
+      | Some lb, Some (_, opt) -> lb <= opt +. 1e-6
+      | _ -> true)
+
+let prop_local_search_never_below_lower_bound =
+  let rngp = Random.State.make [| 910 |] in
+  QCheck.Test.make
+    ~name:"kmedian local search cost >= LP lower bound" ~count:15 QCheck.unit
+    (fun () ->
+      let n = 8 + Random.State.int rngp 6 in
+      let pts =
+        Array.init n (fun _ -> [| Random.State.float rngp 50.0 |])
+      in
+      let sets =
+        List.init 3 (fun j -> List.filter (fun i -> i mod 3 = j) (List.init n Fun.id))
+      in
+      let t = Instance.make (Cso_metric.Space.of_points pts) ~sets ~k:2 ~z:1 in
+      match Kmedian.lp_lower_bound t with
+      | None -> true
+      | Some lb -> Kmedian.cost t (Kmedian.local_search t) >= lb -. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "cost" `Quick test_cost;
+    Alcotest.test_case "exact on line" `Quick test_exact_line;
+    Alcotest.test_case "local search on line" `Quick test_local_search_line;
+    Alcotest.test_case "lp lower bound on line" `Quick test_lower_bound_line;
+    Alcotest.test_case "local search planted" `Slow test_local_search_planted;
+    Alcotest.test_case "means objective" `Slow
+      test_means_objective_prefers_centroids;
+    QCheck_alcotest.to_alcotest prop_lower_bound_below_exact;
+    QCheck_alcotest.to_alcotest prop_local_search_never_below_lower_bound;
+  ]

@@ -1,0 +1,242 @@
+open Cso_lp
+
+let rng = Random.State.make [| 99 |]
+
+let test_simplex_known_optimum () =
+  (* max 3x + 2y  s.t.  x + y <= 4, x + 3y <= 6, x,y in [0, 10]
+     -> optimum at (4, 0), value 12. *)
+  let p =
+    {
+      Simplex.num_vars = 2;
+      objective = [| 3.0; 2.0 |];
+      constraints =
+        [
+          ([| 1.0; 1.0 |], Simplex.Le, 4.0);
+          ([| 1.0; 3.0 |], Simplex.Le, 6.0);
+        ];
+      bounds = Simplex.box ~hi:10.0 2;
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Optimal { value; solution } ->
+      Alcotest.(check (float 1e-6)) "value" 12.0 value;
+      Alcotest.(check (float 1e-6)) "x" 4.0 solution.(0);
+      Alcotest.(check (float 1e-6)) "y" 0.0 solution.(1)
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_simplex_binding_box () =
+  (* max x + y s.t. x + y >= 1, both in [0,1] -> value 2 at (1,1). *)
+  let p =
+    {
+      Simplex.num_vars = 2;
+      objective = [| 1.0; 1.0 |];
+      constraints = [ ([| 1.0; 1.0 |], Simplex.Ge, 1.0) ];
+      bounds = Simplex.box 2;
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Optimal { value; _ } -> Alcotest.(check (float 1e-6)) "value" 2.0 value
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_simplex_infeasible () =
+  let p =
+    {
+      Simplex.num_vars = 1;
+      objective = [| 0.0 |];
+      constraints = [ ([| 1.0 |], Simplex.Ge, 2.0) ];
+      bounds = Simplex.box 1 (* x <= 1 but x >= 2 required *);
+    }
+  in
+  Alcotest.(check bool) "infeasible" true (Simplex.solve p = Simplex.Infeasible);
+  Alcotest.(check bool) "no feasible point" true (Simplex.feasible_point p = None)
+
+let test_simplex_equality () =
+  (* max y s.t. x + y = 1, x in [0,1], y in [0,1]. *)
+  let p =
+    {
+      Simplex.num_vars = 2;
+      objective = [| 0.0; 1.0 |];
+      constraints = [ ([| 1.0; 1.0 |], Simplex.Eq, 1.0) ];
+      bounds = Simplex.box 2;
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Optimal { value; solution } ->
+      Alcotest.(check (float 1e-6)) "value" 1.0 value;
+      Alcotest.(check (float 1e-6)) "sum" 1.0 (solution.(0) +. solution.(1))
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_simplex_lower_bounds () =
+  (* Shifted bounds: x in [2,3], minimize x (max -x) -> 2. *)
+  let p =
+    {
+      Simplex.num_vars = 1;
+      objective = [| -1.0 |];
+      constraints = [];
+      bounds = [| (2.0, 3.0) |];
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Optimal { solution; _ } ->
+      Alcotest.(check (float 1e-6)) "x at lower bound" 2.0 solution.(0)
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_simplex_validation () =
+  let bad =
+    {
+      Simplex.num_vars = 1;
+      objective = [| 1.0 |];
+      constraints = [];
+      bounds = [| (-1.0, 1.0) |];
+    }
+  in
+  Alcotest.check_raises "negative lower bound"
+    (Invalid_argument "Simplex: negative lower bound") (fun () ->
+      ignore (Simplex.solve bad))
+
+(* Random LPs: whatever the solver returns as Optimal must actually be
+   feasible and consistent. *)
+let prop_simplex_solutions_feasible =
+  QCheck.Test.make ~name:"simplex optimal solutions satisfy all constraints"
+    ~count:80
+    QCheck.(pair (int_range 1 6) (int_range 0 6))
+    (fun (nv, nc) ->
+      let constraints =
+        List.init nc (fun _ ->
+            let a =
+              Array.init nv (fun _ -> float_of_int (Random.State.int rng 7 - 3))
+            in
+            let b = float_of_int (Random.State.int rng 10 - 2) in
+            let op =
+              match Random.State.int rng 3 with
+              | 0 -> Simplex.Le
+              | 1 -> Simplex.Ge
+              | _ -> Simplex.Eq
+            in
+            (a, op, b))
+      in
+      let objective =
+        Array.init nv (fun _ -> float_of_int (Random.State.int rng 11 - 5))
+      in
+      let p =
+        { Simplex.num_vars = nv; objective; constraints; bounds = Simplex.box nv }
+      in
+      match Simplex.solve p with
+      | Simplex.Infeasible | Simplex.Unbounded -> true
+      | Simplex.Optimal { value; solution } ->
+          let tol = 1e-6 in
+          Array.for_all (fun x -> x >= -.tol && x <= 1.0 +. tol) solution
+          && List.for_all
+               (fun (a, op, b) ->
+                 let lhs = ref 0.0 in
+                 Array.iteri (fun i c -> lhs := !lhs +. (c *. solution.(i))) a;
+                 match op with
+                 | Simplex.Le -> !lhs <= b +. tol
+                 | Simplex.Ge -> !lhs >= b -. tol
+                 | Simplex.Eq -> abs_float (!lhs -. b) <= tol)
+               constraints
+          &&
+          let v = ref 0.0 in
+          Array.iteri (fun i c -> v := !v +. (c *. solution.(i))) objective;
+          abs_float (!v -. value) <= tol)
+
+(* Cross-check optimality on 1-2 variable LPs against grid search. *)
+let prop_simplex_matches_grid =
+  QCheck.Test.make ~name:"simplex matches grid search on tiny LPs" ~count:40
+    QCheck.(int_range 0 4)
+    (fun nc ->
+      let nv = 2 in
+      let constraints =
+        List.init nc (fun _ ->
+            let a =
+              Array.init nv (fun _ -> float_of_int (Random.State.int rng 5 - 2))
+            in
+            let b = float_of_int (Random.State.int rng 4) in
+            (a, Simplex.Le, b))
+      in
+      let objective = [| 1.0; 2.0 |] in
+      let p =
+        { Simplex.num_vars = nv; objective; constraints; bounds = Simplex.box nv }
+      in
+      let grid_best = ref neg_infinity in
+      let steps = 60 in
+      for i = 0 to steps do
+        for j = 0 to steps do
+          let x = float_of_int i /. float_of_int steps in
+          let y = float_of_int j /. float_of_int steps in
+          let ok =
+            List.for_all
+              (fun (a, _, b) -> (a.(0) *. x) +. (a.(1) *. y) <= b +. 1e-9)
+              constraints
+          in
+          if ok then grid_best := max !grid_best (x +. (2.0 *. y))
+        done
+      done;
+      match Simplex.solve p with
+      | Simplex.Optimal { value; _ } ->
+          (* The grid underestimates; simplex must be >= grid and close. *)
+          value >= !grid_best -. 1e-6 && value <= !grid_best +. 0.1
+      | Simplex.Infeasible -> !grid_best = neg_infinity
+      | Simplex.Unbounded -> false)
+
+(* --- MWU --- *)
+
+let test_mwu_feasible_toy () =
+  (* Constraints x1 >= 1-eps and x2 >= 1-eps over P = {x in [0,1]^2}:
+     oracle just returns (1,1). *)
+  let oracle _sigma = Some [| 1.0; 1.0 |] in
+  let violation x = [| x.(0) -. 1.0; x.(1) -. 1.0 |] in
+  match Mwu.run ~m:2 ~width:1.0 ~eps:0.2 ~oracle ~violation () with
+  | Mwu.Feasible sols -> Alcotest.(check bool) "some rounds" true (sols <> [])
+  | Mwu.Infeasible -> Alcotest.fail "expected feasible"
+
+let test_mwu_infeasible_toy () =
+  let oracle _sigma = None in
+  let violation _ = [| 0.0 |] in
+  Alcotest.(check bool) "infeasible" true
+    (Mwu.run ~m:1 ~width:1.0 ~eps:0.2 ~oracle ~violation () = Mwu.Infeasible)
+
+let test_mwu_averaging_converges () =
+  (* One unit of mass must cover two constraints alternately: the oracle
+     puts everything on the currently heaviest constraint; the average
+     must satisfy both within eps. This is the classic MWU toy. *)
+  let eps = 0.1 in
+  let oracle sigma =
+    if sigma.(0) >= sigma.(1) then Some [| 1.0; 0.0 |] else Some [| 0.0; 1.0 |]
+  in
+  let violation x = [| (2.0 *. x.(0)) -. 1.0; (2.0 *. x.(1)) -. 1.0 |] in
+  match Mwu.run ~m:2 ~width:1.0 ~eps ~oracle ~violation () with
+  | Mwu.Infeasible -> Alcotest.fail "expected feasible"
+  | Mwu.Feasible sols ->
+      let t = float_of_int (List.length sols) in
+      let avg0 =
+        List.fold_left (fun acc x -> acc +. x.(0)) 0.0 sols /. t
+      in
+      let avg1 =
+        List.fold_left (fun acc x -> acc +. x.(1)) 0.0 sols /. t
+      in
+      (* Feasibility demands 2 x_i >= 1; MWU promises >= 1 - eps. *)
+      Alcotest.(check bool) "avg covers c0" true ((2.0 *. avg0) >= 1.0 -. (2.0 *. eps));
+      Alcotest.(check bool) "avg covers c1" true ((2.0 *. avg1) >= 1.0 -. (2.0 *. eps))
+
+let test_mwu_default_rounds () =
+  Alcotest.(check bool) "rounds grow with width" true
+    (Mwu.default_rounds ~m:100 ~width:10.0 ~eps:0.3
+    > Mwu.default_rounds ~m:100 ~width:1.0 ~eps:0.3)
+
+let suite =
+  [
+    Alcotest.test_case "simplex known optimum" `Quick test_simplex_known_optimum;
+    Alcotest.test_case "simplex binding box" `Quick test_simplex_binding_box;
+    Alcotest.test_case "simplex infeasible" `Quick test_simplex_infeasible;
+    Alcotest.test_case "simplex equality" `Quick test_simplex_equality;
+    Alcotest.test_case "simplex lower bounds" `Quick test_simplex_lower_bounds;
+    Alcotest.test_case "simplex validation" `Quick test_simplex_validation;
+    QCheck_alcotest.to_alcotest prop_simplex_solutions_feasible;
+    QCheck_alcotest.to_alcotest prop_simplex_matches_grid;
+    Alcotest.test_case "mwu feasible toy" `Quick test_mwu_feasible_toy;
+    Alcotest.test_case "mwu infeasible toy" `Quick test_mwu_infeasible_toy;
+    Alcotest.test_case "mwu averaging converges" `Quick
+      test_mwu_averaging_converges;
+    Alcotest.test_case "mwu default rounds" `Quick test_mwu_default_rounds;
+  ]

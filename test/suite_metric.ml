@@ -1,0 +1,106 @@
+open Cso_metric
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) <= eps
+
+let test_point_distances () =
+  let p = Point.make [ 0.0; 0.0 ] and q = Point.make [ 3.0; 4.0 ] in
+  Alcotest.(check bool) "l2" true (feq (Point.l2 p q) 5.0);
+  Alcotest.(check bool) "l2_sq" true (feq (Point.l2_sq p q) 25.0);
+  Alcotest.(check bool) "linf" true (feq (Point.linf p q) 4.0);
+  Alcotest.(check bool) "l1" true (feq (Point.l1 p q) 7.0)
+
+let test_point_mismatch () =
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Point.l2_sq: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Point.l2 [| 0.0; 0.0 |] [| 1.0; 2.0; 3.0 |]))
+
+let test_point_ops () =
+  let p = [| 1.0; 2.0 |] and q = [| 3.0; 5.0 |] in
+  Alcotest.(check bool) "add" true (Point.equal (Point.add p q) [| 4.0; 7.0 |]);
+  Alcotest.(check bool) "sub" true (Point.equal (Point.sub q p) [| 2.0; 3.0 |]);
+  Alcotest.(check bool) "scale" true
+    (Point.equal (Point.scale 2.0 p) [| 2.0; 4.0 |]);
+  Alcotest.(check bool) "centroid" true
+    (Point.equal (Point.centroid [| p; q |]) [| 2.0; 3.5 |])
+
+let test_space_cost () =
+  let pts = [| [| 0.0 |]; [| 1.0 |]; [| 5.0 |]; [| 6.0 |] |] in
+  let s = Space.of_points pts in
+  Alcotest.(check bool) "two centers" true
+    (feq (Space.cost s ~centers:[ 0; 2 ] [ 0; 1; 2; 3 ]) 1.0);
+  Alcotest.(check bool) "one center" true
+    (feq (Space.cost s ~centers:[ 0 ] [ 0; 1; 2; 3 ]) 6.0);
+  Alcotest.(check bool) "empty points" true
+    (feq (Space.cost s ~centers:[ 0 ] []) 0.0);
+  Alcotest.(check bool) "no centers" true
+    (Space.cost s ~centers:[] [ 1 ] = infinity)
+
+let test_space_ball () =
+  let pts = [| [| 0.0 |]; [| 1.0 |]; [| 5.0 |] |] in
+  let s = Space.of_points pts in
+  Alcotest.(check (list int)) "ball" [ 0; 1 ] (Space.ball s ~center:0 ~radius:2.0)
+
+let test_pairwise_sorted () =
+  let s = Space.of_points [| [| 0.0 |]; [| 3.0 |]; [| 3.0 |]; [| 7.0 |] |] in
+  let d = Space.pairwise_distances s in
+  Alcotest.(check bool) "starts at 0" true (d.(0) = 0.0);
+  Alcotest.(check bool) "sorted" true
+    (Array.for_all Fun.id (Array.mapi (fun i x -> i = 0 || d.(i - 1) < x) d));
+  (* 0, 3, 4, 7 are the distinct distances. *)
+  Alcotest.(check int) "dedup" 4 (Array.length d)
+
+let test_matrix_space () =
+  let m = [| [| 0.0; 2.0 |]; [| 2.0; 0.0 |] |] in
+  let s = Space.of_matrix m in
+  Alcotest.(check bool) "dist" true (feq (s.Space.dist 0 1) 2.0);
+  Alcotest.check_raises "non-square"
+    (Invalid_argument "Space.of_matrix: matrix is not square") (fun () ->
+      ignore (Space.of_matrix [| [| 0.0; 1.0 |] |]))
+
+let test_cached () =
+  let calls = ref 0 in
+  let s =
+    Space.create ~size:3 ~dist:(fun i j ->
+        incr calls;
+        abs_float (float_of_int (i - j)))
+  in
+  let c = Space.cached s in
+  let before = !calls in
+  ignore (c.Space.dist 1 2);
+  ignore (c.Space.dist 1 2);
+  Alcotest.(check int) "no extra calls" before !calls;
+  Alcotest.(check bool) "same value" true (feq (c.Space.dist 0 2) 2.0)
+
+let prop_euclidean_is_metric =
+  QCheck.Test.make ~name:"random euclidean space satisfies metric axioms"
+    ~count:30
+    QCheck.(list_of_size Gen.(int_range 2 8) (pair (float_bound_exclusive 100.0) (float_bound_exclusive 100.0)))
+    (fun coords ->
+      let pts = Array.of_list (List.map (fun (x, y) -> [| x; y |]) coords) in
+      Space.is_metric (Space.of_points pts))
+
+let prop_nearest_center =
+  QCheck.Test.make ~name:"nearest_center returns the argmin" ~count:50
+    QCheck.(list_of_size Gen.(int_range 3 10) (float_bound_exclusive 50.0))
+    (fun xs ->
+      let pts = Array.of_list (List.map (fun x -> [| x |]) xs) in
+      let s = Space.of_points pts in
+      let centers = [ 0; 1; 2 ] in
+      let _, d = Space.nearest_center s ~centers (Array.length pts - 1) in
+      List.for_all
+        (fun c -> s.Space.dist c (Array.length pts - 1) >= d -. 1e-12)
+        centers)
+
+let suite =
+  [
+    Alcotest.test_case "point distances" `Quick test_point_distances;
+    Alcotest.test_case "point dim mismatch" `Quick test_point_mismatch;
+    Alcotest.test_case "point ops" `Quick test_point_ops;
+    Alcotest.test_case "space cost" `Quick test_space_cost;
+    Alcotest.test_case "space ball" `Quick test_space_ball;
+    Alcotest.test_case "pairwise distances sorted" `Quick test_pairwise_sorted;
+    Alcotest.test_case "matrix space" `Quick test_matrix_space;
+    Alcotest.test_case "cached space" `Quick test_cached;
+    QCheck_alcotest.to_alcotest prop_euclidean_is_metric;
+    QCheck_alcotest.to_alcotest prop_nearest_center;
+  ]

@@ -1,0 +1,64 @@
+open Cso_setcover
+
+let example () =
+  (* Elements 0..5; optimal cover {0,1} = {0,1,2} + {3,4,5}. *)
+  Set_cover.make ~n_elements:6
+    [ [ 0; 1; 2 ]; [ 3; 4; 5 ]; [ 0; 3 ]; [ 1; 4 ]; [ 2; 5 ] ]
+
+let test_make_validation () =
+  Alcotest.check_raises "uncovered element"
+    (Invalid_argument "Set_cover.make: element 1 covered by no set") (fun () ->
+      ignore (Set_cover.make ~n_elements:2 [ [ 0 ] ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Set_cover.make: element out of range") (fun () ->
+      ignore (Set_cover.make ~n_elements:1 [ [ 0; 7 ] ]))
+
+let test_frequency () =
+  Alcotest.(check int) "f" 2 (Set_cover.frequency (example ()))
+
+let test_greedy_covers () =
+  let sc = example () in
+  let g = Set_cover.greedy sc in
+  Alcotest.(check bool) "greedy is a cover" true (Set_cover.is_cover sc g)
+
+let test_exact_optimal () =
+  let sc = example () in
+  match Set_cover.exact sc with
+  | None -> Alcotest.fail "exact should run on 5 sets"
+  | Some opt ->
+      Alcotest.(check bool) "exact is a cover" true (Set_cover.is_cover sc opt);
+      Alcotest.(check int) "optimal size" 2 (List.length opt)
+
+let test_exact_limit () =
+  let sc = example () in
+  Alcotest.(check bool) "limit respected" true (Set_cover.exact ~limit:4 sc = None)
+
+let prop_greedy_vs_exact =
+  let rng = Random.State.make [| 31 |] in
+  QCheck.Test.make ~name:"greedy cover is never smaller than exact" ~count:40
+    QCheck.(pair (int_range 2 8) (int_range 2 8))
+    (fun (n, m) ->
+      (* Random sets + a safety net covering everything. *)
+      let sets =
+        List.init m (fun _ ->
+            List.filter (fun _ -> Random.State.bool rng) (List.init n Fun.id))
+        @ [ List.init n Fun.id ]
+      in
+      let sc = Set_cover.make ~n_elements:n sets in
+      let g = Set_cover.greedy sc in
+      match Set_cover.exact sc with
+      | None -> true
+      | Some opt ->
+          Set_cover.is_cover sc g
+          && List.length opt <= List.length g
+          && Set_cover.is_cover sc opt)
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "frequency" `Quick test_frequency;
+    Alcotest.test_case "greedy covers" `Quick test_greedy_covers;
+    Alcotest.test_case "exact optimal" `Quick test_exact_optimal;
+    Alcotest.test_case "exact limit" `Quick test_exact_limit;
+    QCheck_alcotest.to_alcotest prop_greedy_vs_exact;
+  ]

@@ -1,0 +1,128 @@
+open Cso_workload
+module Instance = Cso_core.Instance
+module Geo_instance = Cso_core.Geo_instance
+module Rel = Cso_relational
+
+let rng () = Random.State.make [| 888 |]
+
+let test_gen_helpers () =
+  let r = rng () in
+  let x = Gen.uniform r ~lo:2.0 ~hi:3.0 in
+  Alcotest.(check bool) "uniform in range" true (x >= 2.0 && x <= 3.0);
+  let p = Gen.uniform_point r ~d:4 ~lo:0.0 ~hi:1.0 in
+  Alcotest.(check int) "point dim" 4 (Array.length p);
+  let anchors = Gen.separated_anchors r ~k:4 ~d:2 ~separation:10.0 in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if i < j then
+            Alcotest.(check bool) "anchors separated" true
+              (Cso_metric.Point.l2 a b >= 10.0))
+        anchors)
+    anchors
+
+let test_planted_cso_structure () =
+  let w = Planted.cso (rng ()) ~n:50 ~m:7 ~k:3 ~z:2 in
+  let t = w.Planted.instance in
+  Alcotest.(check int) "n" 50 (Instance.n_elements t);
+  Alcotest.(check int) "m" 7 (Instance.n_sets t);
+  Alcotest.(check int) "f=1 by default" 1 (Instance.frequency t);
+  Alcotest.(check int) "z bad sets" 2 (List.length w.Planted.bad_sets);
+  (* Removing the planted bad sets leaves a cheap instance: the planted
+     solution certifies opt_upper. *)
+  let survivors = Instance.surviving t w.Planted.bad_sets in
+  Alcotest.(check bool) "survivors exist" true (survivors <> []);
+  let s = t.Instance.space in
+  let cost_with_any_centers =
+    (* Greedy k centers among survivors. *)
+    let sub = Array.of_list survivors in
+    let centers, radius = Cso_kcenter.Gonzalez.run s ~subset:sub ~k:3 in
+    ignore centers;
+    radius
+  in
+  Alcotest.(check bool) "opt_upper certified" true
+    (cost_with_any_centers <= 2.0 *. w.Planted.opt_upper)
+
+let test_planted_cso_f () =
+  let w = Planted.cso ~f:3 (rng ()) ~n:60 ~m:9 ~k:2 ~z:3 in
+  Alcotest.(check int) "requested f" 3 (Instance.frequency w.Planted.instance)
+
+let test_planted_gcso_disjoint_structure () =
+  let w = Planted.gcso_disjoint (rng ()) ~n:40 ~m:8 ~k:2 ~z:2 in
+  let g = w.Planted.geo in
+  Alcotest.(check int) "f=1" 1 (Geo_instance.frequency g);
+  Alcotest.(check int) "m rects" 8 (Array.length g.Geo_instance.rects);
+  Alcotest.(check int) "bad sets" 2 (List.length w.Planted.g_bad_sets)
+
+let test_planted_gcso_overlapping_structure () =
+  let w = Planted.gcso_overlapping (rng ()) ~n:60 ~k:2 ~z:3 in
+  let g = w.Planted.geo in
+  Alcotest.(check int) "f=2" 2 (Geo_instance.frequency g);
+  Alcotest.(check int) "bad windows" 3 (List.length w.Planted.g_bad_sets);
+  (* The planted windows really contain the junk: outliering them leaves
+     only clustered points, none of which touch any window. *)
+  let mask = Instance.covered_mask (Geo_instance.to_cso g) w.Planted.g_bad_sets in
+  let windows =
+    List.map (fun j -> g.Geo_instance.rects.(j)) w.Planted.g_bad_sets
+  in
+  Array.iteri
+    (fun i p ->
+      if not mask.(i) then
+        Alcotest.(check bool) "survivor is outside every window" false
+          (List.exists (fun r -> Cso_geom.Rect.contains r p) windows))
+    g.Geo_instance.points
+
+let test_relational_gen_rcto1 () =
+  let w = Relational_gen.rcto1 (rng ()) ~n1:20 ~n2:10 ~k:2 ~z:2 in
+  Alcotest.(check int) "bad tuples" 2 (List.length w.Relational_gen.bad_tuples);
+  (* Removing the planted bad tuples leaves the join coverable tightly. *)
+  let reduced =
+    Rel.Instance.remove w.Relational_gen.instance w.Relational_gen.bad_tuples
+  in
+  let results = Rel.Yannakakis.enumerate reduced w.Relational_gen.tree in
+  Alcotest.(check bool) "nonempty" true (Array.length results > 0);
+  Array.iter
+    (fun q ->
+      Alcotest.(check bool) "clean results near anchors" true (q.(0) < 5000.0))
+    results;
+  (* Bad tuples produce far results in the full join. *)
+  let full = Rel.Yannakakis.enumerate w.Relational_gen.instance w.Relational_gen.tree in
+  Alcotest.(check bool) "contamination present" true
+    (Array.exists (fun q -> q.(0) > 5000.0) full)
+
+let test_relational_gen_rcto_both_relations () =
+  let w = Relational_gen.rcto (rng ()) ~n1:16 ~n2:8 ~k:2 ~z:3 in
+  let rels = List.sort_uniq compare (List.map fst w.Relational_gen.bad_tuples) in
+  Alcotest.(check (list int)) "bad tuples in both relations" [ 0; 1 ] rels;
+  let reduced =
+    Rel.Instance.remove w.Relational_gen.instance w.Relational_gen.bad_tuples
+  in
+  let results = Rel.Yannakakis.enumerate reduced w.Relational_gen.tree in
+  Array.iter
+    (fun q ->
+      Alcotest.(check bool) "clean after removal" true
+        (q.(0) < 5000.0 && q.(2) < 5000.0))
+    results
+
+let test_relational_gen_rcro_result_outliers () =
+  let w = Relational_gen.rcro (rng ()) ~n1:20 ~n2:10 ~k:2 ~z:2 in
+  let full = Rel.Yannakakis.enumerate w.Relational_gen.instance w.Relational_gen.tree in
+  let far = Array.to_list full |> List.filter (fun q -> q.(0) > 5000.0) in
+  Alcotest.(check int) "exactly z far results" 2 (List.length far)
+
+let suite =
+  [
+    Alcotest.test_case "gen helpers" `Quick test_gen_helpers;
+    Alcotest.test_case "planted cso structure" `Quick test_planted_cso_structure;
+    Alcotest.test_case "planted cso frequency" `Quick test_planted_cso_f;
+    Alcotest.test_case "planted gcso disjoint" `Quick
+      test_planted_gcso_disjoint_structure;
+    Alcotest.test_case "planted gcso overlapping" `Quick
+      test_planted_gcso_overlapping_structure;
+    Alcotest.test_case "relational gen rcto1" `Quick test_relational_gen_rcto1;
+    Alcotest.test_case "relational gen rcto" `Quick
+      test_relational_gen_rcto_both_relations;
+    Alcotest.test_case "relational gen rcro" `Quick
+      test_relational_gen_rcro_result_outliers;
+  ]

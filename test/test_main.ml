@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "cso"
+    [
+      ("metric", Suite_metric.suite);
+      ("geom", Suite_geom.suite);
+      ("lp", Suite_lp.suite);
+      ("kcenter", Suite_kcenter.suite);
+      ("setcover", Suite_setcover.suite);
+      ("relational", Suite_relational.suite);
+      ("cso", Suite_cso.suite);
+      ("gcso", Suite_gcso.suite);
+      ("relational-algos", Suite_relational_algos.suite);
+      ("workload", Suite_workload.suite);
+      ("io", Suite_io.suite);
+      ("kmedian", Suite_kmedian.suite);
+      ("edge", Suite_edge.suite);
+    ]
