@@ -1,6 +1,6 @@
 # Convenience wrapper around dune. See README.md.
 
-.PHONY: all build test bench examples clean reproduce
+.PHONY: all build test bench bench-smoke examples clean reproduce
 
 all: build
 
@@ -12,6 +12,12 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Tiny parallel-vs-sequential gate: exits non-zero if any domain-parallel
+# kernel produces a result that is not bit-identical to the sequential
+# path. Cheap enough for CI alongside `dune runtest`.
+bench-smoke:
+	dune exec bench/main.exe -- smoke_parallel
 
 examples:
 	dune exec examples/quickstart.exe

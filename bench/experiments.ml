@@ -9,6 +9,9 @@ module Rgen = Cso_workload.Relational_gen
 module Rel = Cso_relational
 module Point = Cso_metric.Point
 module Gonzalez = Cso_kcenter.Gonzalez
+module Space = Cso_metric.Space
+module Mwu = Cso_lp.Mwu
+module Pool = Cso_parallel.Pool
 
 let rng seed = Random.State.make [| seed; 77 |]
 let seeds = [ 1; 2; 3 ]
@@ -1212,6 +1215,151 @@ let extension_kmedian () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* PAR -- domain-parallel kernels: sequential vs parallel wall-clock    *)
+(* for the hot paths wired onto lib/parallel (Gonzalez farthest-point,  *)
+(* the MWU violation/update sweep, pairwise-distance construction).     *)
+(* Every domain count must produce bit-identical results; divergence    *)
+(* is a hard failure, and the timings land in BENCH_*.json so speedup   *)
+(* curves survive the run.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let with_domains nd f =
+  let old = Pool.get_default () in
+  let p = Pool.create ~num_domains:nd () in
+  Pool.set_default p;
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.set_default old;
+      Pool.shutdown p)
+    f
+
+let mwu_kernel m =
+  (* Oracle: concentrate on the heaviest constraint; violation: one full
+     per-constraint sweep per round, fanned out on the default pool the
+     same way Gcso_general's sweep is. *)
+  let oracle sigma =
+    let best = ref 0 in
+    Array.iteri (fun i w -> if w > sigma.(!best) then best := i) sigma;
+    Some !best
+  in
+  let violation c =
+    Pool.tabulate (Pool.get_default ()) m (fun i ->
+        if i = c then 1.0
+        else -1.0 +. (float_of_int ((i * 131) mod 97) /. 97.0))
+  in
+  match Mwu.run ~m ~width:1.0 ~eps:0.3 ~rounds:40 ~oracle ~violation () with
+  | Mwu.Feasible sols -> sols
+  | Mwu.Infeasible -> []
+
+let parallel_kernels ~label ~n_gonzalez ~m_mwu ~n_matrix ~domain_counts
+    ~json_path () =
+  let reps = 3 in
+  let max_domains = List.fold_left max 1 domain_counts in
+  (* Fan the workload repetitions out over the pool: one independent
+     generator state per repetition. *)
+  let workloads =
+    with_domains max_domains (fun () ->
+        Pool.map_array (Pool.get_default ()) ~chunk:1
+          (fun seed ->
+            let st = Random.State.make [| seed; 271 |] in
+            Array.init n_gonzalez (fun _ ->
+                [|
+                  Random.State.float st 1000.0; Random.State.float st 1000.0;
+                |]))
+          (Array.init reps Fun.id))
+  in
+  let mat_pts = Array.sub workloads.(0) 0 (min n_matrix n_gonzalez) in
+  let kernels =
+    [
+      ( "gonzalez",
+        n_gonzalez,
+        fun () ->
+          Marshal.to_string
+            (Array.map (fun pts -> Gonzalez.run_points_fast pts ~k:8) workloads)
+            [] );
+      ("mwu", m_mwu, fun () -> Marshal.to_string (mwu_kernel m_mwu) []);
+      ( "distmatrix",
+        Array.length mat_pts,
+        fun () ->
+          Marshal.to_string
+            (Space.pairwise_distances (Space.of_points mat_pts))
+            [] );
+    ]
+  in
+  let rows = ref [] and json_rows = ref [] in
+  List.iter
+    (fun (kernel, size, f) ->
+      let baseline_fp = ref "" and baseline_t = ref 0.0 in
+      List.iter
+        (fun nd ->
+          let fp, t = with_domains nd (fun () -> Util.time f) in
+          let identical =
+            if nd = List.hd domain_counts then begin
+              baseline_fp := fp;
+              baseline_t := t;
+              true
+            end
+            else fp = !baseline_fp
+          in
+          if not identical then
+            failwith
+              (Printf.sprintf
+                 "parallel kernel %s diverged at %d domains (results are \
+                  not bit-identical to the sequential path)"
+                 kernel nd);
+          let speedup = if t > 0.0 then !baseline_t /. t else 1.0 in
+          rows :=
+            [
+              kernel;
+              string_of_int size;
+              string_of_int nd;
+              Util.fmt_time t;
+              Printf.sprintf "%.2fx" speedup;
+              "yes";
+            ]
+            :: !rows;
+          json_rows :=
+            Printf.sprintf
+              "    {\"kernel\": \"%s\", \"size\": %d, \"domains\": %d, \
+               \"seconds\": %.6f, \"speedup_vs_seq\": %.3f, \"identical\": \
+               true}"
+              kernel size nd t speedup
+            :: !json_rows)
+        domain_counts)
+    kernels;
+  Util.print_table
+    ~title:
+      (Printf.sprintf
+         "PAR (%s)  sequential vs parallel kernels (bit-identical outputs \
+          enforced)"
+         label)
+    [ "kernel"; "size"; "domains"; "wall-clock"; "speedup"; "identical" ]
+    (List.rev !rows);
+  Printf.printf
+    "(Speedups are relative to the %d-domain run of the same kernel; on a \
+     single-core host they hover around 1x.)\n"
+    (List.hd domain_counts);
+  Util.write_file json_path
+    (Printf.sprintf
+       "{\n  \"bench\": \"parallel_kernels\",\n  \"variant\": \"%s\",\n  \
+        \"domain_counts\": [%s],\n  \"rows\": [\n%s\n  ]\n}\n"
+       label
+       (String.concat ", " (List.map string_of_int domain_counts))
+       (String.concat ",\n" (List.rev !json_rows)))
+
+let fig_parallel_scaling () =
+  parallel_kernels ~label:"scaling" ~n_gonzalez:50_000 ~m_mwu:50_000
+    ~n_matrix:1_500 ~domain_counts:[ 1; 2; 4 ]
+    ~json_path:"BENCH_parallel.json" ()
+
+(* Tiny divergence gate for CI (`make bench-smoke`): any nondeterminism
+   between the sequential and parallel paths fails the run. *)
+let smoke_parallel () =
+  parallel_kernels ~label:"smoke" ~n_gonzalez:2_000 ~m_mwu:2_000 ~n_matrix:200
+    ~domain_counts:[ 1; 3 ] ~json_path:"BENCH_parallel_smoke.json" ();
+  Printf.printf "parallel smoke: sequential and parallel paths agree.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1242,4 +1390,6 @@ let all =
     ("baseline_comparison", baseline_comparison);
     ("cyclic_rcro", cyclic_rcro);
     ("extension_kmedian", extension_kmedian);
+    ("fig_parallel_scaling", fig_parallel_scaling);
+    ("smoke_parallel", smoke_parallel);
   ]

@@ -36,6 +36,12 @@ let print_table ~title headers rows =
     rows;
   flush stdout
 
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "[wrote %s]\n" path
+
 (* Accumulated Table-1 reproduction: one row per paper row, printed at
    the end of the run. *)
 type t1_row = {

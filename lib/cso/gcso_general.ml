@@ -3,6 +3,7 @@ module Bbd = Cso_geom.Bbd_tree
 module Range_tree = Cso_geom.Range_tree
 module Wspd = Cso_geom.Wspd
 module Mwu = Cso_lp.Mwu
+module Pool = Cso_parallel.Pool
 
 type prepared = {
   g : Geo_instance.t;
@@ -43,8 +44,9 @@ let solve_at ?(eps = 0.3) ?rounds ?(cover_mult = 1.0) ?(removal_mult = 2.0)
     let rc = cover_mult *. r in
     (* Canonical ball nodes per point: fixed for this guess, shared by
        every Oracle and Update call. *)
+    (* Ball queries are read-only tree walks; fan them out. *)
     let canon =
-      Array.init n (fun i ->
+      Pool.tabulate (Pool.get_default ()) ~chunk:64 n (fun i ->
           Bbd.ball_query p.bbd ~center:pts.(i) ~radius:rc ~eps)
     in
     let width = float_of_int (k + z) in
@@ -55,8 +57,11 @@ let solve_at ?(eps = 0.3) ?rounds ?(cover_mult = 1.0) ?(removal_mult = 2.0)
         (fun i nodes ->
           List.iter (fun u -> Bbd.add_weight p.bbd u sigma.(i)) nodes)
         canon;
+      (* The tree weights are fixed once the writes above finish, so the
+         per-point root-path folds are independent read-only work. *)
+      let pool = Pool.get_default () in
       let w =
-        Array.init n (fun l ->
+        Pool.tabulate pool ~chunk:64 n (fun l ->
             Bbd.fold_path_to_root p.bbd (Bbd.leaf_of_point p.bbd l) ~init:0.0
               ~f:(fun acc u -> acc +. Bbd.get_weight p.bbd u))
       in
@@ -95,7 +100,10 @@ let solve_at ?(eps = 0.3) ?rounds ?(cover_mult = 1.0) ?(removal_mult = 2.0)
             (fun u -> Range_tree.add_weight2 p.rtree u 1.0)
             p.rect_nodes.(j))
         sol.chosen_rects;
-      Array.init n (fun i ->
+      (* Per-constraint evaluation: read-only over the freshly written
+         tree weights, one slot per constraint — the MWU hot loop. *)
+      let pool = Pool.get_default () in
+      Pool.tabulate pool ~chunk:64 n (fun i ->
           let r1 =
             List.fold_left
               (fun acc u -> acc +. Bbd.get_weight2 p.bbd u)

@@ -8,21 +8,28 @@ type result = {
 
 let run_with_radius (s : Space.t) ~k ~z ~r =
   let n = s.Space.size in
+  let pool = Cso_parallel.Pool.get_default () in
   let covered = Array.make n false in
   let centers = ref [] in
   for _ = 1 to k do
-    (* Disk of radius r covering the most uncovered elements. *)
-    let best = ref (-1) and best_gain = ref (-1) in
-    for p = 0 to n - 1 do
+    (* Disk of radius r covering the most uncovered elements. Candidate
+       disks are scored in parallel ([covered] is read-only here); the
+       in-order reduction keeps the sequential earliest-argmax choice. *)
+    let gain_of p =
       let gain = ref 0 in
       for q = 0 to n - 1 do
         if (not covered.(q)) && s.Space.dist p q <= r then incr gain
       done;
-      if !gain > !best_gain then begin
-        best := p;
-        best_gain := !gain
-      end
-    done;
+      (!gain, p)
+    in
+    let best_gain, best =
+      Cso_parallel.Pool.parallel_for_reduce pool ~chunk:16 ~start:0
+        ~finish:(n - 1) ~neutral:(-1, -1)
+        ~combine:(fun (g1, p1) (g2, p2) ->
+          if g2 > g1 then (g2, p2) else (g1, p1))
+        gain_of
+    in
+    let best = ref best and best_gain = ref best_gain in
     if !best >= 0 && !best_gain > 0 then begin
       centers := !best :: !centers;
       (* Expanded disk: remove everything within 3r. *)

@@ -1,36 +1,55 @@
 module Space = Cso_metric.Space
+module Pool = Cso_parallel.Pool
+
+(* Farthest remaining point: max distance, ties broken towards the lower
+   index — exactly what the sequential strict-greater scan picks, and
+   associative, so the chunked reduction is bit-identical to it. *)
+let argmax_dist pool (dist : float array) n =
+  Pool.parallel_for_reduce pool ~start:0 ~finish:(n - 1) ~neutral:(-1)
+    ~combine:(fun a b ->
+      if a < 0 then b
+      else if b < 0 then a
+      else if dist.(b) > dist.(a) then b
+      else a)
+    (fun i -> i)
+
+let max_dist pool (dist : float array) n =
+  Pool.parallel_for_reduce pool ~start:0 ~finish:(n - 1) ~neutral:0.0
+    ~combine:max (fun i -> dist.(i))
 
 let run ?first (s : Space.t) ~subset ~k =
   let n = Array.length subset in
   if n = 0 then ([], 0.0)
   else if k <= 0 then invalid_arg "Gonzalez.run: k <= 0"
   else begin
-    let first = match first with Some f -> f | None -> subset.(0) in
+    let first =
+      match first with
+      | None -> subset.(0)
+      | Some f ->
+          if not (Array.exists (fun x -> x = f) subset) then
+            invalid_arg "Gonzalez.run: first not a member of subset";
+          f
+    in
+    let pool = Pool.get_default () in
     (* dist.(i): distance of subset.(i) to the nearest chosen center. *)
-    let dist = Array.map (fun p -> s.Space.dist first p) subset in
+    let dist = Pool.tabulate pool n (fun i -> s.Space.dist first subset.(i)) in
     let centers = ref [ first ] in
     let n_centers = ref 1 in
-    let radius = ref 0.0 in
     let continue = ref true in
     while !continue && !n_centers < k do
       (* Farthest point from the current centers. *)
-      let far = ref 0 in
-      for i = 1 to n - 1 do
-        if dist.(i) > dist.(!far) then far := i
-      done;
-      if dist.(!far) <= 0.0 then continue := false
+      let far = argmax_dist pool dist n in
+      if dist.(far) <= 0.0 then continue := false
       else begin
-        let c = subset.(!far) in
+        let c = subset.(far) in
         centers := c :: !centers;
         incr n_centers;
-        for i = 0 to n - 1 do
-          let d = s.Space.dist c subset.(i) in
-          if d < dist.(i) then dist.(i) <- d
-        done
+        Pool.parallel_for pool ~start:0 ~finish:(n - 1) (fun i ->
+            let d = s.Space.dist c subset.(i) in
+            if d < dist.(i) then dist.(i) <- d)
       end
     done;
-    radius := Array.fold_left max 0.0 dist;
-    (List.rev !centers, !radius)
+    (List.rev !centers, max_dist pool dist n)
   end
 
 let run_all ?first s ~k =
@@ -46,43 +65,36 @@ let run_points_fast pts ~k =
   if n = 0 then ([], 0.0)
   else if k <= 0 then invalid_arg "Gonzalez.run_points_fast: k <= 0"
   else begin
-    let dist = Array.make n 0.0 in
+    let pool = Pool.get_default () in
+    let dist = Pool.tabulate pool n (fun i -> Point.l2 pts.(0) pts.(i)) in
     let assigned = Array.make n 0 in
     (* centers.(j) = point index of the j-th chosen center. *)
     let centers = Array.make (min k n) 0 in
     centers.(0) <- 0;
-    for i = 0 to n - 1 do
-      dist.(i) <- Point.l2 pts.(0) pts.(i)
-    done;
     let n_centers = ref 1 in
     let continue = ref true in
     while !continue && !n_centers < k do
-      let far = ref 0 in
-      for i = 1 to n - 1 do
-        if dist.(i) > dist.(!far) then far := i
-      done;
-      if dist.(!far) <= 0.0 then continue := false
+      let far = argmax_dist pool dist n in
+      if dist.(far) <= 0.0 then continue := false
       else begin
-        let c = !far in
+        let c = far in
         centers.(!n_centers) <- c;
         (* Distance from the new center to each existing center, for the
            triangle-inequality skip test. *)
         let to_centers =
           Array.init !n_centers (fun j -> Point.l2 pts.(c) pts.(centers.(j)))
         in
-        for i = 0 to n - 1 do
-          if to_centers.(assigned.(i)) < 2.0 *. dist.(i) then begin
-            let d = Point.l2 pts.(c) pts.(i) in
-            if d < dist.(i) then begin
-              dist.(i) <- d;
-              assigned.(i) <- !n_centers
-            end
-          end
-        done;
+        Pool.parallel_for pool ~start:0 ~finish:(n - 1) (fun i ->
+            if to_centers.(assigned.(i)) < 2.0 *. dist.(i) then begin
+              let d = Point.l2 pts.(c) pts.(i) in
+              if d < dist.(i) then begin
+                dist.(i) <- d;
+                assigned.(i) <- !n_centers
+              end
+            end);
         incr n_centers
       end
     done;
-    let radius = Array.fold_left max 0.0 dist in
     ( List.init !n_centers (fun j -> centers.(j)),
-      radius )
+      max_dist pool dist n )
   end

@@ -10,8 +10,16 @@ val run : ?first:int -> Cso_metric.Space.t -> subset:int array -> k:int ->
     [(centers, radius)] where [centers] (at most [k] of them, drawn from
     [subset]) cover [subset] within [radius]. If [subset] has at most [k]
     elements every element becomes a center and the radius is [0.].
-    [first] selects the initial center (defaults to [subset.(0)]).
-    Returns [([], 0.)] on an empty subset. *)
+    [first] selects the initial center (defaults to [subset.(0)]);
+    raises [Invalid_argument] if [first] is not a member of [subset] (a
+    stray index would silently become a center outside the requested
+    subset). Returns [([], 0.)] on an empty subset. On inputs whose
+    distinct points number fewer than [k], the relaxation stops early and
+    returns the already-chosen centers with radius [0.].
+
+    Distance updates and farthest-point scans run on the default
+    [Cso_parallel.Pool]; the output is bit-identical for every pool
+    size. *)
 
 val run_all : ?first:int -> Cso_metric.Space.t -> k:int -> int list * float
 (** [run_all s ~k] clusters all of [s]. *)

@@ -11,13 +11,14 @@ type center = {
 type t = {
   k : int;
   mutable centers : center list;
+  mutable n_centers : int; (* List.length centers, maintained *)
   mutable tau : float;
   mutable seen : int;
 }
 
 let create ~k =
   if k <= 0 then invalid_arg "Streaming.create: k <= 0";
-  { k; centers = []; tau = 0.0; seen = 0 }
+  { k; centers = []; n_centers = 0; tau = 0.0; seen = 0 }
 
 let nearest t p =
   List.fold_left
@@ -30,18 +31,21 @@ let nearest t p =
    tau from every already-kept one; a dropped center hands its
    responsibility (slack + distance) to the kept center absorbing it. *)
 let merge t =
-  let kept = ref [] in
+  let kept = ref [] and n_kept = ref 0 in
   List.iter
     (fun c ->
       match
         List.find_opt (fun c' -> Point.l2 c.pt c'.pt <= t.tau) !kept
       with
-      | None -> kept := c :: !kept
+      | None ->
+          kept := c :: !kept;
+          incr n_kept
       | Some absorber ->
           absorber.slack <-
             max absorber.slack (Point.l2 c.pt absorber.pt +. c.slack))
     t.centers;
-  t.centers <- List.rev !kept
+  t.centers <- List.rev !kept;
+  t.n_centers <- !n_kept
 
 let insert t p =
   t.seen <- t.seen + 1;
@@ -51,26 +55,29 @@ let insert t p =
       c.slack <- max c.slack d
   | _ ->
       t.centers <- { pt = p; slack = 0.0 } :: t.centers;
-      if List.length t.centers > t.k then begin
+      t.n_centers <- t.n_centers + 1;
+      if t.n_centers > t.k then begin
         (* k + 1 centers pairwise > tau: raise the scale and merge until
            we fit again. The initial tau = 0 bootstraps from the minimum
-           pairwise distance among the k + 1 distinct centers. *)
-        let min_pairwise () =
-          let m = ref infinity in
-          let arr = Array.of_list t.centers in
-          Array.iteri
-            (fun i a ->
-              Array.iteri
-                (fun j b ->
-                  if i < j then m := min !m (Point.l2 a.pt b.pt))
-                arr)
-            arr;
-          !m
+           pairwise distance among the k + 1 distinct centers — computed
+           at most once, before any merge shrinks the list. *)
+        let bootstrap =
+          if t.tau > 0.0 then 0.0
+          else begin
+            let arr = Array.of_list t.centers in
+            let m = ref infinity in
+            Array.iteri
+              (fun i a ->
+                for j = i + 1 to Array.length arr - 1 do
+                  m := min !m (Point.l2 a.pt arr.(j).pt)
+                done)
+              arr;
+            !m
+          end
         in
-        while List.length t.centers > t.k do
+        while t.n_centers > t.k do
           t.tau <-
-            (if t.tau > 0.0 then 2.0 *. t.tau
-             else max (min_pairwise ()) 1e-300);
+            (if t.tau > 0.0 then 2.0 *. t.tau else max bootstrap 1e-300);
           merge t
         done
       end

@@ -1,3 +1,5 @@
+module Pool = Cso_parallel.Pool
+
 type 'a outcome =
   | Feasible of 'a list
   | Infeasible
@@ -6,11 +8,23 @@ let default_rounds ~m ~width ~eps =
   let t = 4.0 *. width *. log (float_of_int (max 2 m)) /. (eps *. eps) in
   max 1 (int_of_float (ceil t))
 
-let run ~m ~width ~eps ?rounds ?on_round ~oracle ~violation () =
+(* Weights are floored at [min_weight_factor / m] rather than 0: a weight
+   that ever reaches exactly 0 can never recover (both the multiplicative
+   update and the renormalization preserve 0), which silently deletes the
+   constraint from every later round. The floor keeps the weight small
+   enough to be irrelevant to the aggregation yet able to regrow
+   geometrically once its constraint starts being violated. *)
+let min_weight_factor = 1e-12
+
+let run ~m ~width ~eps ?rounds ?on_round ?on_weights ~oracle ~violation () =
   if m <= 0 then invalid_arg "Mwu.run: m <= 0";
+  if not (eps > 0.0 && eps <= 1.0) then
+    invalid_arg "Mwu.run: eps must be in (0, 1]";
   let rounds =
     match rounds with Some r -> r | None -> default_rounds ~m ~width ~eps
   in
+  let floor_w = min_weight_factor /. float_of_int m in
+  let pool = Pool.get_default () in
   let sigma = Array.make m (1.0 /. float_of_int m) in
   let sols = ref [] in
   let rec go t =
@@ -27,19 +41,38 @@ let run ~m ~width ~eps ?rounds ?on_round ~oracle ~violation () =
           | Some f ->
               let worst = Array.fold_left min infinity v in
               f ~round:t ~max_violation:(-.worst));
+          (* Per-constraint updates are independent; the normalizing sum
+             stays sequential so the result is bit-identical for every
+             pool size. [delta] is clamped to [-1, 1]: the xi-ORACLE
+             condition promises violations in [-1, width], but callers
+             that underestimate [width] would otherwise produce update
+             factors outside [1 - eps/4, 1 + eps/4] and void the MWU
+             convergence guarantee. *)
+          Pool.parallel_for pool ~start:0 ~finish:(m - 1) (fun i ->
+              let delta = v.(i) /. width in
+              let delta =
+                if delta > 1.0 then 1.0
+                else if delta < -1.0 then -1.0
+                else delta
+              in
+              let s = sigma.(i) *. (1.0 -. (eps /. 4.0 *. delta)) in
+              sigma.(i) <- (if s < floor_w then floor_w else s));
           let total = ref 0.0 in
           for i = 0 to m - 1 do
-            let delta = v.(i) /. width in
-            sigma.(i) <- sigma.(i) *. (1.0 -. (eps /. 4.0 *. delta));
-            if sigma.(i) < 0.0 then sigma.(i) <- 0.0;
             total := !total +. sigma.(i)
           done;
-          (* Renormalize to keep sigma a probability vector. *)
-          if !total > 0.0 then
-            for i = 0 to m - 1 do
-              sigma.(i) <- sigma.(i) /. !total
-            done
+          (* Renormalize to keep sigma a probability vector. The total is
+             always positive thanks to the floor; the fallback only
+             guards against NaN poisoning from a pathological oracle. *)
+          if !total > 0.0 then begin
+            let total = !total in
+            Pool.parallel_for pool ~start:0 ~finish:(m - 1) (fun i ->
+                sigma.(i) <- sigma.(i) /. total)
+          end
           else Array.fill sigma 0 m (1.0 /. float_of_int m);
+          (match on_weights with
+          | None -> ()
+          | Some f -> f (Array.copy sigma));
           go (t + 1)
   in
   go 1

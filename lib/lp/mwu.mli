@@ -31,6 +31,7 @@ val run :
   eps:float ->
   ?rounds:int ->
   ?on_round:(round:int -> max_violation:float -> unit) ->
+  ?on_weights:(float array -> unit) ->
   oracle:(float array -> 'a option) ->
   violation:('a -> float array) ->
   unit ->
@@ -39,4 +40,16 @@ val run :
     renormalized every round after the update
     [sigma_i <- sigma_i * (1 - eps/4 * delta_i)], [delta_i = violation_i
     / width]. [on_round] reports the most-violated constraint of the
-    round's oracle solution (used by the convergence bench). *)
+    round's oracle solution (used by the convergence bench).
+    [on_weights] receives a copy of the renormalized weight vector after
+    every round (a test/debug observer).
+
+    Robustness guarantees: raises [Invalid_argument] unless
+    [eps] lies in [(0, 1]]; [delta_i] is clamped to [[-1, 1]] so a
+    caller-underestimated [width] degrades convergence speed instead of
+    voiding the guarantee; weights are floored at a tiny positive value
+    so no constraint can be silently zeroed out of later rounds.
+
+    Per-constraint weight updates run on the default
+    [Cso_parallel.Pool]; results are bit-identical for every pool
+    size. *)

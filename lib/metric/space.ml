@@ -19,11 +19,19 @@ let of_matrix m =
     m;
   { size = n; dist = (fun i j -> m.(i).(j)) }
 
+(* Rows are independent; a whole row is the unit of parallel work so
+   that the per-index overhead stays negligible. *)
 let cached s =
-  let m =
-    Array.init s.size (fun i -> Array.init s.size (fun j -> s.dist i j))
-  in
-  { size = s.size; dist = (fun i j -> m.(i).(j)) }
+  let n = s.size in
+  let m = Array.make_matrix n n 0.0 in
+  let pool = Cso_parallel.Pool.get_default () in
+  Cso_parallel.Pool.parallel_for pool ~chunk:16 ~start:0 ~finish:(n - 1)
+    (fun i ->
+      let row = m.(i) in
+      for j = 0 to n - 1 do
+        row.(j) <- s.dist i j
+      done);
+  { size = n; dist = (fun i j -> m.(i).(j)) }
 
 let nearest_center s ~centers p =
   match centers with
@@ -53,13 +61,19 @@ let cost s ~centers pts =
 
 let pairwise_distances s =
   let n = s.size in
-  let buf = ref [ 0.0 ] in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      buf := s.dist i j :: !buf
-    done
-  done;
-  let arr = Array.of_list !buf in
+  (* Pack the strict upper triangle into one flat array (row i starts at
+     offset i*n - i*(i+1)/2 - (i+1)); slots are disjoint so rows fill in
+     parallel. The extra last slot holds the 0. the paper's distance
+     list always contains. *)
+  let total = n * (n - 1) / 2 in
+  let arr = Array.make (total + 1) 0.0 in
+  let pool = Cso_parallel.Pool.get_default () in
+  Cso_parallel.Pool.parallel_for pool ~chunk:16 ~start:0 ~finish:(n - 1)
+    (fun i ->
+      let base = (i * n) - (i * (i + 1) / 2) - (i + 1) in
+      for j = i + 1 to n - 1 do
+        arr.(base + j) <- s.dist i j
+      done);
   Array.sort compare arr;
   (* Deduplicate in place. *)
   let out = ref [] in

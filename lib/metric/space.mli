@@ -14,7 +14,13 @@ type t = private {
 val create : size:int -> dist:(int -> int -> float) -> t
 (** [create ~size ~dist] wraps a distance function. The function must be a
     metric (symmetric, zero on the diagonal, triangle inequality); this is
-    not checked here but {!is_metric} can verify it in tests. *)
+    not checked here but {!is_metric} can verify it in tests.
+
+    The bulk operations ({!cached}, {!pairwise_distances}) and the
+    k-center algorithms built on spaces evaluate [dist] from several
+    domains concurrently (see [Cso_parallel.Pool]); [dist] must therefore
+    be safe to call in parallel — pure functions of [(i, j)], matrix
+    lookups and point-array distances all qualify. *)
 
 val of_points : ?dist:(Point.t -> Point.t -> float) -> Point.t array -> t
 (** Euclidean space over points (default distance {!Point.l2}).

@@ -1,0 +1,250 @@
+(* Persistent Domain-based worker pool.
+
+   One mutex guards all pool state. A job is a chunk counter ([next])
+   plus a completion counter ([completed]); workers and the submitting
+   domain race on [next] under the mutex, run chunks with the mutex
+   released, and the submitter returns once [completed] reaches the
+   chunk count. [generation] lets sleeping workers distinguish "new job
+   posted" from a spurious wakeup; [busy] makes re-entrant calls (a body
+   that itself calls into the pool) run inline instead of deadlocking. *)
+
+let max_domains = 128
+
+type job = {
+  run : int -> unit; (* chunk index -> work *)
+  n_chunks : int;
+}
+
+type t = {
+  size : int;
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  work_cv : Condition.t; (* signalled on: new job, quit *)
+  done_cv : Condition.t; (* signalled on: job completed *)
+  mutable job : job option;
+  mutable next : int;
+  mutable completed : int;
+  mutable generation : int;
+  mutable quit : bool;
+  mutable busy : bool;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+}
+
+let size t = t.size
+
+let record_failure t e =
+  let bt = Printexc.get_raw_backtrace () in
+  Mutex.lock t.m;
+  if t.failure = None then t.failure <- Some (e, bt);
+  Mutex.unlock t.m
+
+(* Drain chunks of the current generation. Mutex held on entry and on
+   exit. *)
+let rec drain t gen =
+  match t.job with
+  | Some job when t.generation = gen && t.next < job.n_chunks ->
+      let c = t.next in
+      t.next <- t.next + 1;
+      Mutex.unlock t.m;
+      (try job.run c with e -> record_failure t e);
+      Mutex.lock t.m;
+      t.completed <- t.completed + 1;
+      if t.completed >= job.n_chunks then Condition.broadcast t.done_cv;
+      drain t gen
+  | _ -> ()
+
+let worker_loop t =
+  let seen = ref 0 in
+  Mutex.lock t.m;
+  let rec outer () =
+    if t.quit then Mutex.unlock t.m
+    else if t.generation = !seen then begin
+      Condition.wait t.work_cv t.m;
+      outer ()
+    end
+    else begin
+      seen := t.generation;
+      drain t !seen;
+      outer ()
+    end
+  in
+  outer ()
+
+let env_size () =
+  match Sys.getenv_opt "CSO_NUM_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some (min n max_domains)
+      | _ -> None)
+
+let default_size () =
+  match env_size () with
+  | Some n -> n
+  | None -> max 1 (min max_domains (Domain.recommended_domain_count ()))
+
+let create ?num_domains () =
+  let size =
+    match num_domains with
+    | None -> default_size ()
+    | Some n ->
+        if n < 1 then invalid_arg "Pool.create: num_domains < 1"
+        else min n max_domains
+  in
+  let t =
+    {
+      size;
+      workers = [||];
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      job = None;
+      next = 0;
+      completed = 0;
+      generation = 0;
+      quit = false;
+      busy = false;
+      failure = None;
+    }
+  in
+  t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  if t.quit then Mutex.unlock t.m
+  else begin
+    t.quit <- true;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?num_domains f =
+  let t = create ?num_domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Run [run c] for chunks [0 .. n_chunks - 1]. Inline when the pool
+   cannot help (single domain, shut down, or already mid-job). *)
+let run_job t ~n_chunks run =
+  if n_chunks > 0 then begin
+    Mutex.lock t.m;
+    if t.busy || t.quit || Array.length t.workers = 0 then begin
+      Mutex.unlock t.m;
+      for c = 0 to n_chunks - 1 do
+        run c
+      done
+    end
+    else begin
+      t.busy <- true;
+      t.job <- Some { run; n_chunks };
+      t.next <- 0;
+      t.completed <- 0;
+      t.failure <- None;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work_cv;
+      drain t t.generation;
+      while t.completed < n_chunks do
+        Condition.wait t.done_cv t.m
+      done;
+      t.job <- None;
+      t.busy <- false;
+      let f = t.failure in
+      t.failure <- None;
+      Mutex.unlock t.m;
+      match f with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let default_chunk = 1024
+
+let check_chunk chunk =
+  if chunk < 1 then invalid_arg "Pool: chunk < 1"
+
+let parallel_for t ?(chunk = default_chunk) ~start ~finish body =
+  check_chunk chunk;
+  let n = finish - start + 1 in
+  if n > 0 then begin
+    let n_chunks = (n + chunk - 1) / chunk in
+    let run c =
+      let lo = start + (c * chunk) in
+      let hi = min finish (lo + chunk - 1) in
+      for i = lo to hi do
+        body i
+      done
+    in
+    if n_chunks = 1 then run 0 else run_job t ~n_chunks run
+  end
+
+let parallel_for_reduce t ?(chunk = default_chunk) ~start ~finish ~neutral
+    ~combine body =
+  check_chunk chunk;
+  let n = finish - start + 1 in
+  if n <= 0 then neutral
+  else begin
+    let n_chunks = (n + chunk - 1) / chunk in
+    let fold_range lo hi =
+      let acc = ref neutral in
+      for i = lo to hi do
+        acc := combine !acc (body i)
+      done;
+      !acc
+    in
+    if n_chunks = 1 then fold_range start finish
+    else begin
+      let partial = Array.make n_chunks neutral in
+      run_job t ~n_chunks (fun c ->
+          let lo = start + (c * chunk) in
+          let hi = min finish (lo + chunk - 1) in
+          partial.(c) <- fold_range lo hi);
+      Array.fold_left combine neutral partial
+    end
+  end
+
+let tabulate t ?chunk n f =
+  if n < 0 then invalid_arg "Pool.tabulate: n < 0";
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f 0) in
+    parallel_for t ?chunk ~start:1 ~finish:(n - 1) (fun i -> out.(i) <- f i);
+    out
+  end
+
+let map_array t ?chunk f a =
+  tabulate t ?chunk (Array.length a) (fun i -> f a.(i))
+
+(* The implicit pool for the library's hot paths. *)
+
+let default : t option ref = ref None
+let default_m = Mutex.create ()
+let exit_hook_installed = ref false
+
+let get_default () =
+  Mutex.lock default_m;
+  let p =
+    match !default with
+    | Some p -> p
+    | None ->
+        let p = create () in
+        default := Some p;
+        if not !exit_hook_installed then begin
+          exit_hook_installed := true;
+          at_exit (fun () ->
+              Mutex.lock default_m;
+              let p = !default in
+              default := None;
+              Mutex.unlock default_m;
+              Option.iter shutdown p)
+        end;
+        p
+  in
+  Mutex.unlock default_m;
+  p
+
+let set_default p =
+  Mutex.lock default_m;
+  default := Some p;
+  Mutex.unlock default_m

@@ -1,0 +1,87 @@
+(** Dependency-free parallel runtime over OCaml 5 domains.
+
+    A pool owns [size - 1] persistent worker domains (the caller's domain
+    is the [size]-th participant), fed through a chunked work-stealing
+    counter. All entry points degrade gracefully: with [size = 1], when a
+    range fits in a single chunk, or when called re-entrantly from inside
+    a running job, the work runs inline on the calling domain — so a
+    1-domain pool behaves exactly like plain sequential code.
+
+    {2 Determinism contract}
+
+    Chunk boundaries depend only on [start], [finish] and [chunk] — never
+    on the pool size or on scheduling. {!parallel_for_reduce} folds each
+    chunk left-to-right in index order starting from [neutral] and then
+    combines the per-chunk partials left-to-right in chunk order.
+    Consequently, for an associative [combine] with identity [neutral]
+    (max, min, argmax with index tie-breaks, integer sums, ...) the
+    result is bit-identical to the sequential fold, for {e every} pool
+    size including 1. For non-associative float sums the result is still
+    deterministic (it depends only on the chunking), but differs from the
+    unchunked sequential sum; hot paths that need bit-identical float
+    accumulation keep the accumulation sequential and parallelize only
+    the independent per-index work.
+
+    Bodies run on arbitrary domains: they must only perform writes to
+    disjoint indices and reads of state that is not concurrently
+    mutated. *)
+
+type t
+
+val create : ?num_domains:int -> unit -> t
+(** [create ~num_domains ()] spawns a pool of [num_domains] total
+    participants ([num_domains - 1] worker domains). Defaults to
+    {!default_size}. Raises [Invalid_argument] if [num_domains < 1]. *)
+
+val shutdown : t -> unit
+(** Terminate and join all worker domains. Idempotent. Using the pool
+    after shutdown runs everything inline (sequentially). *)
+
+val size : t -> int
+(** Total number of participating domains (including the caller). *)
+
+val default_size : unit -> int
+(** The [CSO_NUM_DOMAINS] environment variable if set to a positive
+    integer, otherwise [Domain.recommended_domain_count ()]. *)
+
+val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down
+    afterwards, even on exceptions. *)
+
+val get_default : unit -> t
+(** The implicit pool used by the library's hot paths (metric, k-center,
+    MWU). Created lazily with {!default_size} domains on first use and
+    shut down automatically at exit. *)
+
+val set_default : t -> unit
+(** Replace the implicit pool (benchmarks and tests use this to compare
+    domain counts). The previous pool is {e not} shut down — the caller
+    keeps ownership of both. *)
+
+val parallel_for :
+  t -> ?chunk:int -> start:int -> finish:int -> (int -> unit) -> unit
+(** [parallel_for t ~start ~finish body] runs [body i] for every
+    [start <= i <= finish] (inclusive; empty when [finish < start]),
+    split into chunks of [chunk] consecutive indices (default 1024).
+    The first exception raised by any chunk is re-raised after all
+    chunks finish. *)
+
+val parallel_for_reduce :
+  t ->
+  ?chunk:int ->
+  start:int ->
+  finish:int ->
+  neutral:'a ->
+  combine:('a -> 'a -> 'a) ->
+  (int -> 'a) ->
+  'a
+(** Chunked fold; see the determinism contract above. Returns [neutral]
+    on an empty range. *)
+
+val tabulate : t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** [tabulate t n f] is [Array.init n f] with the bodies evaluated in
+    parallel ([f 0] runs first, on the calling domain, to seed the
+    array). *)
+
+val map_array : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array t f a] is [Array.map f a] evaluated in parallel. *)

@@ -45,6 +45,38 @@ let test_gonzalez_small_subset () =
   let c, r = Gonzalez.run s ~subset:[||] ~k:2 in
   Alcotest.(check bool) "empty subset" true (c = [] && r = 0.0)
 
+(* Regression: a stray [first] index used to silently become a center
+   outside the requested subset. *)
+let test_gonzalez_first_validation () =
+  let pts = [| [| 0.0 |]; [| 10.0 |]; [| 20.0 |]; [| 100.0 |] |] in
+  let s = Space.of_points pts in
+  Alcotest.check_raises "first outside subset"
+    (Invalid_argument "Gonzalez.run: first not a member of subset") (fun () ->
+      ignore (Gonzalez.run s ~subset:[| 0; 1; 2 |] ~first:3 ~k:2));
+  let centers, _ = Gonzalez.run s ~subset:[| 0; 1; 2 |] ~first:2 ~k:2 in
+  Alcotest.(check bool) "valid first is honored" true (List.mem 2 centers);
+  Alcotest.(check bool) "centers stay in subset" true
+    (List.for_all (fun c -> c < 3) centers)
+
+(* Regression: when fewer than k distinct points exist, the farthest
+   remaining distance hits 0 and the relaxation must stop, returning the
+   already-chosen centers with radius 0 (not k duplicated centers). *)
+let test_gonzalez_duplicate_early_exit () =
+  let a = [| 0.0; 0.0 |] and b = [| 7.0; 1.0 |] in
+  let pts = [| a; b; a; b; a; b; a |] in
+  let centers, radius = Gonzalez.run_points pts ~k:5 in
+  Alcotest.(check int) "one center per distinct point" 2 (List.length centers);
+  Alcotest.(check (float 0.0)) "radius exactly zero" 0.0 radius;
+  let fast_centers, fast_radius = Gonzalez.run_points_fast pts ~k:5 in
+  Alcotest.(check int) "fast agrees on center count" 2
+    (List.length fast_centers);
+  Alcotest.(check (float 0.0)) "fast radius exactly zero" 0.0 fast_radius;
+  (* All-identical subset: the initial center alone, radius 0. *)
+  let s = Space.of_points pts in
+  let c, r = Gonzalez.run s ~subset:[| 0; 2; 4; 6 |] ~k:3 in
+  Alcotest.(check (list int)) "single center for identical subset" [ 0 ] c;
+  Alcotest.(check (float 0.0)) "zero radius for identical subset" 0.0 r
+
 let test_charikar_planted_outliers () =
   let k = 2 and z = 3 in
   let good = clustered ~n:40 ~k ~spread:1.0 ~separation:50.0 in
@@ -234,6 +266,20 @@ let test_streaming_duplicates () =
     (List.length (Streaming.centers t));
   Alcotest.(check (float 1e-9)) "zero radius" 0.0 (Streaming.radius_bound t)
 
+(* Regression for the hoisted-bookkeeping insert: a long stream of one
+   repeated point must keep exactly one center and never trigger a
+   doubling (tau stays 0). *)
+let test_streaming_identical_stream () =
+  let t = Streaming.create ~k:1 in
+  for _ = 1 to 500 do
+    Streaming.insert t [| -3.0; 4.5 |]
+  done;
+  Alcotest.(check int) "exactly one center" 1
+    (List.length (Streaming.centers t));
+  Alcotest.(check (float 0.0)) "tau stays 0" 0.0 (Streaming.threshold t);
+  Alcotest.(check (float 0.0)) "radius bound 0" 0.0 (Streaming.radius_bound t);
+  Alcotest.(check int) "all points counted" 500 (Streaming.count t)
+
 let suite =
   [
     Alcotest.test_case "gonzalez 2-approx" `Quick test_gonzalez_two_approx;
@@ -243,7 +289,13 @@ let suite =
     QCheck_alcotest.to_alcotest prop_streaming_certified_coverage;
     QCheck_alcotest.to_alcotest prop_streaming_vs_gonzalez;
     Alcotest.test_case "streaming duplicates" `Quick test_streaming_duplicates;
+    Alcotest.test_case "streaming identical stream" `Quick
+      test_streaming_identical_stream;
     Alcotest.test_case "gonzalez subset" `Quick test_gonzalez_subset;
+    Alcotest.test_case "gonzalez first validation" `Quick
+      test_gonzalez_first_validation;
+    Alcotest.test_case "gonzalez duplicate early-exit" `Quick
+      test_gonzalez_duplicate_early_exit;
     Alcotest.test_case "gonzalez degenerate" `Quick test_gonzalez_small_subset;
     Alcotest.test_case "charikar planted outliers" `Quick
       test_charikar_planted_outliers;

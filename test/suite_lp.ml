@@ -219,6 +219,71 @@ let test_mwu_averaging_converges () =
       Alcotest.(check bool) "avg covers c0" true ((2.0 *. avg0) >= 1.0 -. (2.0 *. eps));
       Alcotest.(check bool) "avg covers c1" true ((2.0 *. avg1) >= 1.0 -. (2.0 *. eps))
 
+let test_mwu_eps_validation () =
+  let oracle _ = Some () in
+  let violation () = [| 0.0 |] in
+  List.iter
+    (fun eps ->
+      Alcotest.check_raises
+        (Printf.sprintf "eps = %g rejected" eps)
+        (Invalid_argument "Mwu.run: eps must be in (0, 1]") (fun () ->
+          ignore (Mwu.run ~m:1 ~width:1.0 ~eps ~oracle ~violation ())))
+    [ 0.0; -0.5; 1.5; nan ]
+
+(* Regression (delta clamp): with an underestimated width, one over-width
+   "very satisfied" round used to drive a weight negative, clamp it to 0,
+   and thereby delete the constraint from every later round — the oracle
+   then never returns to it and the averaged solution violates it by ~1,
+   far beyond eps. With delta clamped to [-1, 1] the weight merely
+   shrinks, recovers, and the average honors the MWU guarantee. *)
+let test_mwu_overwidth_recovery () =
+  let eps = 0.5 in
+  (* True slack of c0 under solution A is 9 >> width = 1. *)
+  let viol = function
+    | `A -> [| 9.0; -1.0 |]
+    | `B -> [| -1.0; 1.0 |]
+  in
+  let oracle sigma = Some (if sigma.(0) >= sigma.(1) then `A else `B) in
+  match Mwu.run ~m:2 ~width:1.0 ~eps ~rounds:100 ~oracle ~violation:viol ()
+  with
+  | Mwu.Infeasible -> Alcotest.fail "expected feasible"
+  | Mwu.Feasible sols ->
+      let t = float_of_int (List.length sols) in
+      let avg i =
+        List.fold_left (fun acc s -> acc +. (viol s).(i)) 0.0 sols /. t
+      in
+      Alcotest.(check bool) "c0 average satisfied up to eps" true
+        (avg 0 >= -.eps);
+      Alcotest.(check bool) "c1 average satisfied up to eps" true
+        (avg 1 >= -.eps)
+
+(* Regression (weight floor): a constraint that keeps being satisfied has
+   its weight multiplied by (1 - eps/4) every round; without a positive
+   floor the weight underflows to exactly 0.0 and can never regrow. The
+   [on_weights] observer certifies strict positivity on every round. *)
+let test_mwu_weight_floor () =
+  let all_positive = ref true in
+  let final = ref [||] in
+  let oracle _ = Some () in
+  (* Over-width on c0 every round (also re-checks the clamp path). *)
+  let violation () = [| 1000.0; -1.0 |] in
+  let on_weights w =
+    final := w;
+    if not (Array.for_all (fun x -> x > 0.0) w) then all_positive := false
+  in
+  (match
+     Mwu.run ~m:2 ~width:1.0 ~eps:1.0 ~rounds:2000 ~oracle ~violation
+       ~on_weights ()
+   with
+  | Mwu.Feasible _ -> ()
+  | Mwu.Infeasible -> Alcotest.fail "expected feasible");
+  Alcotest.(check bool) "weights strictly positive on every round" true
+    !all_positive;
+  (* 2000 rounds of (0.75 / 1.25) relative decay is deep below the
+     underflow threshold; only the floor keeps the weight alive. *)
+  Alcotest.(check bool) "suppressed weight pinned at the floor, not 0" true
+    ((!final).(0) >= 1e-14)
+
 let test_mwu_default_rounds () =
   Alcotest.(check bool) "rounds grow with width" true
     (Mwu.default_rounds ~m:100 ~width:10.0 ~eps:0.3
@@ -239,4 +304,8 @@ let suite =
     Alcotest.test_case "mwu averaging converges" `Quick
       test_mwu_averaging_converges;
     Alcotest.test_case "mwu default rounds" `Quick test_mwu_default_rounds;
+    Alcotest.test_case "mwu eps validation" `Quick test_mwu_eps_validation;
+    Alcotest.test_case "mwu over-width recovery (delta clamp)" `Quick
+      test_mwu_overwidth_recovery;
+    Alcotest.test_case "mwu weight floor" `Quick test_mwu_weight_floor;
   ]

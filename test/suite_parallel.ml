@@ -1,0 +1,209 @@
+(* The determinism contract of lib/parallel: every parallelized kernel
+   must produce bit-identical results to the sequential path, for every
+   pool size. Pools of 1, 2 and 4 domains are compared against plain
+   sequential folds and against each other. *)
+
+module Pool = Cso_parallel.Pool
+module Space = Cso_metric.Space
+module Point = Cso_metric.Point
+open Cso_kcenter
+module Mwu = Cso_lp.Mwu
+
+let rng = Random.State.make [| 4242 |]
+let domain_counts = [ 1; 2; 4 ]
+
+(* Run [f] with the library's implicit pool temporarily set to [nd]
+   domains; restores (and never shuts down) the previous default. *)
+let with_domains nd f =
+  let old = Pool.get_default () in
+  Pool.with_pool ~num_domains:nd (fun p ->
+      Pool.set_default p;
+      Fun.protect ~finally:(fun () -> Pool.set_default old) f)
+
+let on_all_domain_counts f =
+  List.map (fun nd -> with_domains nd (fun () -> f nd)) domain_counts
+
+let all_equal = function
+  | [] -> true
+  | x :: rest -> List.for_all (fun y -> y = x) rest
+
+let random_pts n =
+  Array.init n (fun _ ->
+      [| Random.State.float rng 100.0; Random.State.float rng 100.0 |])
+
+(* --- the primitives themselves --- *)
+
+let prop_reduce_matches_sequential_fold =
+  QCheck.Test.make
+    ~name:"parallel_for_reduce = sequential fold (int sum, every pool size)"
+    ~count:40
+    QCheck.(pair (int_range 0 5000) (int_range 1 700))
+    (fun (n, chunk) ->
+      let xs = Array.init n (fun i -> (i * 7919) mod 257) in
+      let seq = Array.fold_left ( + ) 0 xs in
+      List.for_all
+        (fun nd ->
+          Pool.with_pool ~num_domains:nd (fun p ->
+              Pool.parallel_for_reduce p ~chunk ~start:0 ~finish:(n - 1)
+                ~neutral:0 ~combine:( + ) (fun i -> xs.(i))
+              = seq))
+        domain_counts)
+
+let prop_reduce_float_max =
+  QCheck.Test.make
+    ~name:"parallel_for_reduce float max is bit-identical to fold" ~count:40
+    QCheck.(int_range 0 4000)
+    (fun n ->
+      let xs = Array.init n (fun _ -> Random.State.float rng 1e6) in
+      let seq = Array.fold_left max 0.0 xs in
+      List.for_all
+        (fun nd ->
+          Pool.with_pool ~num_domains:nd (fun p ->
+              Pool.parallel_for_reduce p ~chunk:100 ~start:0 ~finish:(n - 1)
+                ~neutral:0.0 ~combine:max (fun i -> xs.(i))
+              = seq))
+        domain_counts)
+
+let prop_parallel_for_writes_every_index =
+  QCheck.Test.make ~name:"parallel_for visits every index exactly once"
+    ~count:30
+    QCheck.(pair (int_range 0 3000) (int_range 1 500))
+    (fun (n, chunk) ->
+      List.for_all
+        (fun nd ->
+          Pool.with_pool ~num_domains:nd (fun p ->
+              let hits = Array.make n 0 in
+              Pool.parallel_for p ~chunk ~start:0 ~finish:(n - 1) (fun i ->
+                  hits.(i) <- hits.(i) + 1);
+              Array.for_all (fun h -> h = 1) hits))
+        domain_counts)
+
+let prop_map_array =
+  QCheck.Test.make ~name:"map_array = Array.map" ~count:30
+    QCheck.(int_range 0 3000)
+    (fun n ->
+      let xs = Array.init n (fun i -> float_of_int i *. 0.5) in
+      let seq = Array.map sqrt xs in
+      List.for_all
+        (fun nd ->
+          Pool.with_pool ~num_domains:nd (fun p ->
+              Pool.map_array p ~chunk:64 sqrt xs = seq))
+        domain_counts)
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~num_domains:4 (fun p ->
+      Alcotest.check_raises "body exception reaches the caller"
+        (Failure "boom") (fun () ->
+          Pool.parallel_for p ~chunk:8 ~start:0 ~finish:999 (fun i ->
+              if i = 500 then failwith "boom"));
+      (* The pool survives a failed job. *)
+      let s =
+        Pool.parallel_for_reduce p ~chunk:8 ~start:1 ~finish:100 ~neutral:0
+          ~combine:( + ) Fun.id
+      in
+      Alcotest.(check int) "usable after failure" 5050 s)
+
+let test_pool_reentrant_inlines () =
+  Pool.with_pool ~num_domains:4 (fun p ->
+      let acc = Array.make 100 0 in
+      Pool.parallel_for p ~chunk:5 ~start:0 ~finish:9 (fun i ->
+          (* Nested use of the same pool must degrade to inline, not
+             deadlock. *)
+          Pool.parallel_for p ~chunk:2 ~start:(10 * i)
+            ~finish:((10 * i) + 9)
+            (fun j -> acc.(j) <- j));
+      Alcotest.(check bool) "all written" true
+        (Array.for_all2 ( = ) acc (Array.init 100 Fun.id)))
+
+let test_pool_sizes () =
+  Pool.with_pool ~num_domains:3 (fun p ->
+      Alcotest.(check int) "size" 3 (Pool.size p));
+  Alcotest.check_raises "num_domains < 1"
+    (Invalid_argument "Pool.create: num_domains < 1") (fun () ->
+      ignore (Pool.create ~num_domains:0 ()));
+  Alcotest.(check bool) "default size positive" true (Pool.default_size () >= 1)
+
+(* --- the wired hot paths --- *)
+
+let prop_distance_matrix_identical =
+  QCheck.Test.make
+    ~name:"Space.cached / pairwise_distances identical across pool sizes"
+    ~count:15
+    QCheck.(int_range 1 90)
+    (fun n ->
+      let pts = random_pts n in
+      let s = Space.of_points pts in
+      let runs =
+        on_all_domain_counts (fun _ ->
+            let c = Space.cached s in
+            let m =
+              Array.init n (fun i -> Array.init n (fun j -> c.Space.dist i j))
+            in
+            (m, Space.pairwise_distances s))
+      in
+      all_equal runs)
+
+let prop_gonzalez_identical =
+  QCheck.Test.make
+    ~name:"gonzalez (plain + fast) identical across pool sizes" ~count:8
+    QCheck.(pair (int_range 1 2500) (int_range 1 8))
+    (fun (n, k) ->
+      let pts = random_pts n in
+      let runs =
+        on_all_domain_counts (fun _ ->
+            let s = Space.of_points pts in
+            (Gonzalez.run_points pts ~k, Gonzalez.run_points_fast pts ~k,
+             Gonzalez.run s ~subset:(Array.init n Fun.id) ~k))
+      in
+      all_equal runs)
+
+let prop_charikar_identical =
+  QCheck.Test.make ~name:"charikar outliers identical across pool sizes"
+    ~count:8
+    QCheck.(pair (int_range 2 60) (int_range 0 3))
+    (fun (n, z) ->
+      let pts = random_pts n in
+      let s = Space.of_points pts in
+      let runs = on_all_domain_counts (fun _ -> Charikar_outliers.run s ~k:2 ~z) in
+      all_equal runs)
+
+let prop_mwu_identical =
+  QCheck.Test.make ~name:"mwu outcome identical across pool sizes" ~count:6
+    QCheck.(int_range 1500 4000)
+    (fun m ->
+      (* Oracle concentrates on the currently heaviest constraint; the
+         violation array is a deterministic function of the choice, so
+         any divergence in the weight updates would change the whole
+         trajectory. *)
+      let heaviest sigma =
+        let best = ref 0 in
+        Array.iteri (fun i w -> if w > sigma.(!best) then best := i) sigma;
+        !best
+      in
+      let oracle sigma = Some (heaviest sigma) in
+      let violation c =
+        Array.init m (fun i ->
+            if i = c then 1.0 else -1.0 +. (float_of_int ((i * 31) mod 13) /. 13.0))
+      in
+      let runs =
+        on_all_domain_counts (fun _ ->
+            Mwu.run ~m ~width:1.0 ~eps:0.3 ~rounds:25 ~oracle ~violation ())
+      in
+      all_equal runs)
+
+let suite =
+  [
+    Alcotest.test_case "pool sizes + validation" `Quick test_pool_sizes;
+    Alcotest.test_case "pool exception propagation" `Quick
+      test_pool_exception_propagates;
+    Alcotest.test_case "pool re-entrant calls inline" `Quick
+      test_pool_reentrant_inlines;
+    QCheck_alcotest.to_alcotest prop_reduce_matches_sequential_fold;
+    QCheck_alcotest.to_alcotest prop_reduce_float_max;
+    QCheck_alcotest.to_alcotest prop_parallel_for_writes_every_index;
+    QCheck_alcotest.to_alcotest prop_map_array;
+    QCheck_alcotest.to_alcotest prop_distance_matrix_identical;
+    QCheck_alcotest.to_alcotest prop_gonzalez_identical;
+    QCheck_alcotest.to_alcotest prop_charikar_identical;
+    QCheck_alcotest.to_alcotest prop_mwu_identical;
+  ]

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "cso"
     [
+      ("parallel", Suite_parallel.suite);
       ("metric", Suite_metric.suite);
       ("geom", Suite_geom.suite);
       ("lp", Suite_lp.suite);
