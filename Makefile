@@ -1,6 +1,6 @@
 # Convenience wrapper around dune. See README.md.
 
-.PHONY: all build test bench bench-smoke examples clean reproduce
+.PHONY: all build test test-props bench bench-smoke examples clean reproduce
 
 all: build
 
@@ -10,14 +10,22 @@ build:
 test:
 	dune runtest
 
+# Property suite only (qcheck). The @props alias pins QCHECK_SEED and sets
+# QCHECK_LONG, so counts are 3x the quick default and runs are
+# reproducible; `dune runtest` already includes it via the runtest alias.
+test-props:
+	dune build @props --force
+
 bench:
 	dune exec bench/main.exe
 
-# Tiny parallel-vs-sequential gate: exits non-zero if any domain-parallel
-# kernel produces a result that is not bit-identical to the sequential
-# path. Cheap enough for CI alongside `dune runtest`.
+# Tiny CI gates: exits non-zero if (a) any domain-parallel kernel produces
+# a result that is not bit-identical to the sequential path, or (b) the
+# lib/obs work counters for the pinned workload drift >5% from the
+# recorded BENCH_counters_baseline.json. Cheap enough to run alongside
+# `dune runtest`.
 bench-smoke:
-	dune exec bench/main.exe -- smoke_parallel
+	dune exec bench/main.exe -- smoke_parallel smoke_counters
 
 examples:
 	dune exec examples/quickstart.exe

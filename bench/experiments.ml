@@ -1360,6 +1360,217 @@ let smoke_parallel () =
   Printf.printf "parallel smoke: sequential and parallel paths agree.\n"
 
 (* ------------------------------------------------------------------ *)
+(* OBS -- deterministic work-counter series (lib/obs).                  *)
+(* Counter-vs-n scaling for the instrumented substrates. Counters are   *)
+(* machine-independent, so unlike the wall-clock series these numbers   *)
+(* must be IDENTICAL across repetitions and across domain counts; any   *)
+(* divergence is a hard failure. Only counters go into the JSON         *)
+(* artifact (timings would make it non-reproducible byte for byte).     *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Cso_obs.Obs
+
+let with_obs_enabled f =
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was) f
+
+(* One named workload per instrumented stack, sized by [n]. Inputs are
+   regenerated from a fixed seed each call so every repetition observes
+   the same work. *)
+let counter_kernels =
+  let pts_of n =
+    let st = Random.State.make [| n; 314159 |] in
+    Array.init n (fun _ ->
+        [| Random.State.float st 1000.0; Random.State.float st 1000.0 |])
+  in
+  [
+    ( "gonzalez",
+      [ 1_000; 2_000; 4_000; 8_000 ],
+      fun n -> ignore (Gonzalez.run_points_fast (pts_of n) ~k:16) );
+    ( "mwu",
+      [ 2_000; 8_000; 32_000 ],
+      fun n -> ignore (mwu_kernel n) );
+    ( "gcso",
+      [ 60; 120; 240 ],
+      fun n ->
+        let w = Planted.gcso_overlapping (rng 9) ~n ~k:3 ~z:2 in
+        ignore (Gcso_general.solve ~eps:0.3 ~rounds:15 w.Planted.geo) );
+  ]
+
+let fig_counters () =
+  with_obs_enabled @@ fun () ->
+  let domain_counts = [ 1; 2 ] and reps = 2 in
+  let rows = ref [] and json_rows = ref [] in
+  List.iter
+    (fun (kernel, sizes, run) ->
+      List.iter
+        (fun n ->
+          (* Every (domain count, repetition) must observe the same
+             counter deltas: atomic adds commute and the kernels are
+             bit-identical across pool sizes, so the totals depend only
+             on the work done. *)
+          let deltas_runs =
+            List.concat_map
+              (fun nd ->
+                List.init reps (fun _ ->
+                    with_domains nd (fun () ->
+                        snd (Obs.with_delta (fun () -> run n)))))
+              domain_counts
+          in
+          let deltas = List.hd deltas_runs in
+          List.iter
+            (fun d ->
+              if d <> deltas then
+                failwith
+                  (Printf.sprintf
+                     "counter series for %s (n=%d) not reproducible across \
+                      runs/domain counts"
+                     kernel n))
+            (List.tl deltas_runs);
+          let pick name = Option.value ~default:0 (List.assoc_opt name deltas) in
+          rows :=
+            [
+              kernel;
+              string_of_int n;
+              string_of_int (pick "metric.dist_evals");
+              string_of_int (pick "geom.bbd.ball_queries");
+              string_of_int (pick "geom.bbd.nodes_visited");
+              string_of_int (pick "lp.mwu.rounds");
+              string_of_int (pick "cso.gcso.oracle_calls");
+            ]
+            :: !rows;
+          json_rows :=
+            Printf.sprintf "    {\"kernel\": \"%s\", \"n\": %d, \"counters\": %s}"
+              kernel n (Obs.counters_json deltas)
+            :: !json_rows)
+        sizes)
+    counter_kernels;
+  Util.print_table
+    ~title:
+      "OBS  work-counter scaling series (identical across 2 runs x domain \
+       counts {1,2}; full per-counter data in BENCH_counters.json)"
+    [ "kernel"; "n"; "dist evals"; "ball queries"; "bbd visits"; "mwu rounds";
+      "oracle calls" ]
+    (List.rev !rows);
+  Util.write_file "BENCH_counters.json"
+    (Printf.sprintf
+       "{\n  \"bench\": \"counters\",\n  \"domain_counts\": [%s],\n  \
+        \"series\": [\n%s\n  ]\n}\n"
+       (String.concat ", " (List.map string_of_int domain_counts))
+       (String.concat ",\n" (List.rev !json_rows)));
+  (* Spans are wall-clock and therefore stdout-only. *)
+  match Obs.span_stats () with
+  | [] -> ()
+  | stats ->
+      Util.print_table ~title:"OBS  timed spans (this process, cumulative)"
+        [ "span"; "calls"; "seconds" ]
+        (List.map
+           (fun (p, calls, secs) ->
+             [ p; string_of_int calls; Printf.sprintf "%.4f" secs ])
+           stats)
+
+(* --- counter-regression gate for `make bench-smoke` --- *)
+
+let smoke_baseline_path = "BENCH_counters_baseline.json"
+
+(* The counters gated against the recorded baseline. Drift beyond 5%
+   means an algorithmic change altered how much work the pinned workload
+   does; rerecord the baseline deliberately if the change is intended. *)
+let smoke_gated =
+  [ "metric.dist_evals"; "kcenter.gonzalez.rounds"; "lp.mwu.rounds" ]
+
+let smoke_counter_workload () =
+  let st = Random.State.make [| 271828; 7 |] in
+  let pts =
+    Array.init 2_000 (fun _ ->
+        [| Random.State.float st 1000.0; Random.State.float st 1000.0 |])
+  in
+  ignore (Gonzalez.run_points_fast pts ~k:8);
+  ignore (mwu_kernel 2_000)
+
+let read_whole_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Minimal scan for ["name": <int>] in the baseline JSON; the file is
+   our own counters_json output, so no general parser is needed. *)
+let find_counter json name =
+  let needle = Printf.sprintf "\"%s\": " name in
+  let nl = String.length needle and jl = String.length json in
+  let rec go i =
+    if i + nl > jl then None
+    else if String.sub json i nl = needle then begin
+      let j = ref (i + nl) in
+      let start = !j in
+      while
+        !j < jl && (match json.[!j] with '0' .. '9' -> true | _ -> false)
+      do
+        incr j
+      done;
+      if !j > start then Some (int_of_string (String.sub json start (!j - start)))
+      else None
+    end
+    else go (i + 1)
+  in
+  go 0
+
+let smoke_counters () =
+  with_obs_enabled @@ fun () ->
+  let deltas =
+    with_domains 1 (fun () -> snd (Obs.with_delta smoke_counter_workload))
+  in
+  let current = List.filter (fun (n, _) -> List.mem n smoke_gated) deltas in
+  if List.length current <> List.length smoke_gated then
+    failwith "counter smoke: pinned workload did not touch a gated counter";
+  if not (Sys.file_exists smoke_baseline_path) then begin
+    Util.write_file smoke_baseline_path
+      (Printf.sprintf
+         "{\n  \"bench\": \"counters_baseline\",\n  \"workload\": \
+          \"smoke\",\n  \"counters\": %s\n}\n"
+         (Obs.counters_json current));
+    Printf.printf
+      "counter smoke: no baseline found; recorded %s (commit it to arm the \
+       gate).\n"
+      smoke_baseline_path
+  end
+  else begin
+    let baseline = read_whole_file smoke_baseline_path in
+    let rows =
+      List.map
+        (fun (name, v) ->
+          match find_counter baseline name with
+          | None ->
+              failwith
+                (Printf.sprintf "counter smoke: %s missing from %s" name
+                   smoke_baseline_path)
+          | Some b ->
+              let drift =
+                if b = 0 then if v = 0 then 0.0 else infinity
+                else
+                  abs_float (float_of_int v -. float_of_int b)
+                  /. float_of_int b
+              in
+              if drift > 0.05 then
+                failwith
+                  (Printf.sprintf
+                     "counter smoke: %s drifted %.1f%% (baseline %d, now %d; \
+                      >5%% gate)"
+                     name (100.0 *. drift) b v);
+              [ name; string_of_int b; string_of_int v;
+                Printf.sprintf "%.2f%%" (100.0 *. drift) ])
+        current
+    in
+    Util.print_table
+      ~title:"SMOKE  counter-regression gate (pinned workload, 5% tolerance)"
+      [ "counter"; "baseline"; "current"; "drift" ]
+      rows;
+    Printf.printf "counter smoke: all gated counters within 5%% of baseline.\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1391,5 +1602,7 @@ let all =
     ("cyclic_rcro", cyclic_rcro);
     ("extension_kmedian", extension_kmedian);
     ("fig_parallel_scaling", fig_parallel_scaling);
+    ("fig_counters", fig_counters);
     ("smoke_parallel", smoke_parallel);
+    ("smoke_counters", smoke_counters);
   ]

@@ -1,5 +1,9 @@
 module Space = Cso_metric.Space
 module Simplex = Cso_lp.Simplex
+module Obs = Cso_obs.Obs
+
+(* Coverage LPs solved by the binary search over pairwise distances. *)
+let c_lp_solves = Obs.counter "cso.lp.solves"
 
 type report = {
   solution : Instance.solution;
@@ -83,6 +87,7 @@ let solve t =
   while !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
     incr lp_solves;
+    Obs.incr c_lp_solves;
     match solve_at t ~r:dists.(mid) with
     | Some sol ->
         Log.debug (fun m ->

@@ -4,6 +4,14 @@ module Range_tree = Cso_geom.Range_tree
 module Wspd = Cso_geom.Wspd
 module Mwu = Cso_lp.Mwu
 module Pool = Cso_parallel.Pool
+module Obs = Cso_obs.Obs
+
+(* MWU oracle/violation closures invoked per radius guess, and the
+   guesses themselves: the paper's outer loop does O(log |Gamma|)
+   guesses, each paying O(rounds) oracle + violation sweeps. *)
+let c_oracle = Obs.counter "cso.gcso.oracle_calls"
+let c_violation = Obs.counter "cso.gcso.violation_sweeps"
+let c_guesses = Obs.counter "cso.gcso.guesses"
 
 type prepared = {
   g : Geo_instance.t;
@@ -51,6 +59,7 @@ let solve_at ?(eps = 0.3) ?rounds ?(cover_mult = 1.0) ?(removal_mult = 2.0)
     in
     let width = float_of_int (k + z) in
     let oracle sigma =
+      Obs.incr c_oracle;
       (* w_l = sum of sigma over the points whose ball query captured l. *)
       Bbd.reset_weights p.bbd;
       Array.iteri
@@ -85,6 +94,7 @@ let solve_at ?(eps = 0.3) ?rounds ?(cover_mult = 1.0) ?(removal_mult = 2.0)
       else None
     in
     let violation sol =
+      Obs.incr c_violation;
       (* R1_i: chosen points captured by point i's ball query. *)
       Bbd.reset_weights p.bbd;
       List.iter
@@ -177,6 +187,7 @@ type report = {
 }
 
 let solve ?(eps = 0.3) ?rounds ?candidates g =
+  Obs.with_span "gcso.solve" @@ fun () ->
   let p = prepare g in
   let n = Array.length g.Geo_instance.points in
   let gamma =
@@ -205,6 +216,7 @@ let solve ?(eps = 0.3) ?rounds ?candidates g =
   while !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
     incr guesses;
+    Obs.incr c_guesses;
     match solve_at ~eps ~rounds:rounds_per_guess p ~r:gamma.(mid) with
     | Some sol ->
         Log.debug (fun m ->

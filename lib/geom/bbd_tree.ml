@@ -1,4 +1,14 @@
 module Point = Cso_metric.Point
+module Obs = Cso_obs.Obs
+
+(* The work measures behind the O(log n + 1/eps^d) query bound of the
+   paper's Section 3: queries issued, nodes touched, internal nodes
+   expanded because their box straddles the (1+eps) sandwich band, and
+   canonical nodes reported. *)
+let c_queries = Obs.counter "geom.bbd.ball_queries"
+let c_visits = Obs.counter "geom.bbd.nodes_visited"
+let c_expansions = Obs.counter "geom.bbd.expansions"
+let c_canonical = Obs.counter "geom.bbd.canonical_nodes"
 
 type node = {
   box : Rect.t;
@@ -125,9 +135,11 @@ let node_point t id = t.nodes.(id).point
 let ball_query_gen ~respect_active t ~center ~radius ~eps =
   if Array.length t.pts = 0 then []
   else begin
+    Obs.incr c_queries;
     let out = ref [] in
     let r_out = (1.0 +. eps) *. radius in
     let rec go id =
+      Obs.incr c_visits;
       let nd = t.nodes.(id) in
       if respect_active && not nd.active then ()
       else begin
@@ -135,8 +147,12 @@ let ball_query_gen ~respect_active t ~center ~radius ~eps =
         if dmin > radius then ()
         else
           let dmax = Rect.max_dist_to_point nd.box center in
-          if dmax <= r_out then out := id :: !out
+          if dmax <= r_out then begin
+            Obs.incr c_canonical;
+            out := id :: !out
+          end
           else if nd.left >= 0 then begin
+            Obs.incr c_expansions;
             go nd.left;
             go nd.right
           end

@@ -4,6 +4,14 @@
    holds each index at most once, so path sums of [Hashtbl.length] count
    distinct sets exactly. *)
 
+module Obs = Cso_obs.Obs
+
+(* Counter-table updates (increments and decrements of per-node set
+   counts) and dense balls carved out: the bounded-degree argument of
+   Appendix D caps updates at O(n / eps^d) per run. *)
+let c_updates = Obs.counter "geom.dense.updates"
+let c_balls = Obs.counter "geom.dense.balls"
+
 let prune_balls tree ~set_of ~inner ~outer ~eps ~threshold ~max_balls =
   let n = Bbd_tree.size tree in
   let pts = Bbd_tree.points tree in
@@ -22,6 +30,7 @@ let prune_balls tree ~set_of ~inner ~outer ~eps ~threshold ~max_balls =
       let j = set_of.(p) in
       List.iter
         (fun u ->
+          Obs.incr c_updates;
           let cur = Option.value ~default:0 (Hashtbl.find_opt sets.(u) j) in
           Hashtbl.replace sets.(u) j (cur + 1))
         nodes)
@@ -70,6 +79,7 @@ let prune_balls tree ~set_of ~inner ~outer ~eps ~threshold ~max_balls =
         match owner u j with
         | None -> () (* already fully decremented *)
         | Some v ->
+            Obs.incr c_updates;
             let c = Hashtbl.find sets.(v) j in
             if c <= 1 then Hashtbl.remove sets.(v) j
             else Hashtbl.replace sets.(v) j (c - 1))
@@ -95,6 +105,7 @@ let prune_balls tree ~set_of ~inner ~outer ~eps ~threshold ~max_balls =
           List.iter (Bbd_tree.deactivate tree) nodes;
           List.iter remove_contributions members;
           balls := (p, members) :: !balls;
+          Obs.incr c_balls;
           incr n_balls;
           if !n_balls > max_balls then raise Too_many;
           changed := true

@@ -1,4 +1,14 @@
 module Point = Cso_metric.Point
+module Obs = Cso_obs.Obs
+
+(* Canonical-decomposition work measures: queries issued, tree nodes
+   touched while descending, canonical nodes emitted, and the total
+   point mass under those canonical nodes. The paper's O(log^d n)
+   canonical-set bound is checked against [canonical_nodes] per query. *)
+let c_queries = Obs.counter "geom.rtree.queries"
+let c_visits = Obs.counter "geom.rtree.nodes_visited"
+let c_canonical = Obs.counter "geom.rtree.canonical_nodes"
+let c_canonical_pts = Obs.counter "geom.rtree.canonical_points"
 
 (* Last-level (dimension d-1) subtree: a segment tree over its subset of
    points sorted by the last coordinate. Its nodes are the canonical
@@ -164,9 +174,14 @@ let size t = Array.length t.pts
 (* Canonical cover of index range [a, b) inside a seg. *)
 let seg_cover seg a b acc =
   let rec go id acc =
+    Obs.incr c_visits;
     let lo = seg.s_lo.(id) and hi = seg.s_hi.(id) in
     if b <= lo || hi <= a then acc
-    else if a <= lo && hi <= b then (seg.base + id) :: acc
+    else if a <= lo && hi <= b then begin
+      Obs.incr c_canonical;
+      Obs.add c_canonical_pts (hi - lo);
+      (seg.base + id) :: acc
+    end
     else go seg.s_left.(id) (go seg.s_right.(id) acc)
   in
   go 0 acc
@@ -176,6 +191,7 @@ let query_nodes t (rect : Rect.t) =
   match t.root with
   | None -> []
   | Some root ->
+      Obs.incr c_queries;
       let rec go tree j acc =
         match tree with
         | Last seg ->
@@ -188,6 +204,7 @@ let query_nodes t (rect : Rect.t) =
             if a >= b then acc
             else
               let rec cover node acc =
+                Obs.incr c_visits;
                 if b <= node.t_lo || node.t_hi <= a then acc
                 else if a <= node.t_lo && node.t_hi <= b then
                   go node.t_assoc (j + 1) acc

@@ -1,4 +1,10 @@
 module Point = Cso_metric.Point
+module Obs = Cso_obs.Obs
+
+(* Pairs emitted and split-tree recursion steps: the decomposition's
+   O(s^d n) pair bound shows up as near-linear growth of both. *)
+let c_pairs = Obs.counter "geom.wspd.pairs"
+let c_find = Obs.counter "geom.wspd.find_calls"
 
 type node = {
   repr : int; (* a point index inside the node *)
@@ -55,17 +61,20 @@ let build_tree pts =
   in
   if n = 0 then None else Some (go 0 n)
 
-let pairs ?(eps = 0.25) pts =
-  (* Separation 4/eps: representative distances then approximate every
-     cross pair within (1 +- eps). *)
-  let s = max (4.0 /. eps) 1.0 in
-  let acc = ref [] in
+(* Core recursion over the split tree, shared by [pairs] and
+   [pairs_info]; [emit u v] receives each well-separated node pair. *)
+let iter_pairs ~s root emit =
   let well_separated u v =
     let gap = Point.l2 u.center v.center -. u.radius -. v.radius in
     gap >= s *. max u.radius v.radius
   in
+  let emit u v =
+    Obs.incr c_pairs;
+    emit u v
+  in
   let rec find u v =
-    if well_separated u v then acc := (u.repr, v.repr) :: !acc
+    Obs.incr c_find;
+    if well_separated u v then emit u v
     else if u.radius >= v.radius then
       match (u.left, u.right) with
       | Some l, Some r ->
@@ -78,7 +87,7 @@ let pairs ?(eps = 0.25) pts =
           | Some l, Some r ->
               find u l;
               find u r
-          | _ -> acc := (u.repr, v.repr) :: !acc)
+          | _ -> emit u v)
     else
       match (v.left, v.right) with
       | Some l, Some r ->
@@ -89,7 +98,7 @@ let pairs ?(eps = 0.25) pts =
           | Some l, Some r ->
               find l v;
               find r v
-          | _ -> acc := (u.repr, v.repr) :: !acc)
+          | _ -> emit u v)
   in
   let rec walk u =
     match (u.left, u.right) with
@@ -99,7 +108,48 @@ let pairs ?(eps = 0.25) pts =
         walk r
     | _ -> ()
   in
-  (match build_tree pts with None -> () | Some root -> walk root);
+  walk root
+
+let separation ?(eps = 0.25) () =
+  (* Separation 4/eps: representative distances then approximate every
+     cross pair within (1 +- eps). *)
+  max (4.0 /. eps) 1.0
+
+let pairs ?(eps = 0.25) pts =
+  let s = separation ~eps () in
+  let acc = ref [] in
+  (match build_tree pts with
+  | None -> ()
+  | Some root -> iter_pairs ~s root (fun u v -> acc := (u.repr, v.repr) :: !acc));
+  !acc
+
+type pair_info = {
+  pi_a : int;
+  pi_b : int;
+  pi_ra : float;
+  pi_rb : float;
+  pi_center_dist : float;
+  pi_pts_a : int list;
+  pi_pts_b : int list;
+}
+
+let rec points_of u acc =
+  match (u.left, u.right) with
+  | Some l, Some r -> points_of l (points_of r acc)
+  | _ -> u.repr :: acc
+
+let pairs_info ?(eps = 0.25) pts =
+  let s = separation ~eps () in
+  let acc = ref [] in
+  (match build_tree pts with
+  | None -> ()
+  | Some root ->
+      iter_pairs ~s root (fun u v ->
+          acc :=
+            { pi_a = u.repr; pi_b = v.repr; pi_ra = u.radius; pi_rb = v.radius;
+              pi_center_dist = Point.l2 u.center v.center;
+              pi_pts_a = points_of u []; pi_pts_b = points_of v [] }
+            :: !acc));
   !acc
 
 let candidate_distances ?(eps = 0.25) pts =

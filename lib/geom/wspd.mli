@@ -12,6 +12,25 @@ val pairs : ?eps:float -> Cso_metric.Point.t array -> (int * int) list
     For every [p <> q] there is a pair [(a, b)] with
     [|dist a b - dist p q| <= eps *. dist p q]. *)
 
+type pair_info = {
+  pi_a : int;  (** representative point index of side A *)
+  pi_b : int;  (** representative point index of side B *)
+  pi_ra : float;  (** enclosing-ball radius of side A *)
+  pi_rb : float;  (** enclosing-ball radius of side B *)
+  pi_center_dist : float;  (** distance between the two ball centers *)
+  pi_pts_a : int list;  (** all point indices under side A *)
+  pi_pts_b : int list;  (** all point indices under side B *)
+}
+(** One well-separated pair with enough geometry to re-check the
+    separation invariant externally:
+    [pi_center_dist - pi_ra - pi_rb >= s * max pi_ra pi_rb] with
+    [s = max (4/eps) 1]. *)
+
+val pairs_info : ?eps:float -> Cso_metric.Point.t array -> pair_info list
+(** Same decomposition as [pairs], but each pair carries its node radii,
+    center distance, and full point sets — the data needed to verify
+    well-separatedness and exact pair coverage in tests. *)
+
 val candidate_distances : ?eps:float -> Cso_metric.Point.t array ->
   float array
 (** Sorted, deduplicated candidate distances (0. included): the array

@@ -1,4 +1,10 @@
 module Space = Cso_metric.Space
+module Obs = Cso_obs.Obs
+
+(* Candidate disks scored (k per radius guess times n candidates) and
+   radius guesses tried by the binary search over pairwise distances. *)
+let c_disk_scores = Obs.counter "kcenter.charikar.disk_scores"
+let c_guesses = Obs.counter "kcenter.charikar.radius_guesses"
 
 type result = {
   centers : int list;
@@ -16,6 +22,7 @@ let run_with_radius (s : Space.t) ~k ~z ~r =
        disks are scored in parallel ([covered] is read-only here); the
        in-order reduction keeps the sequential earliest-argmax choice. *)
     let gain_of p =
+      Obs.incr c_disk_scores;
       let gain = ref 0 in
       for q = 0 to n - 1 do
         if (not covered.(q)) && s.Space.dist p q <= r then incr gain
@@ -64,6 +71,7 @@ let run s ~k ~z =
      radius max covers everything). *)
   while !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
+    Obs.incr c_guesses;
     match run_with_radius s ~k ~z ~r:dists.(mid) with
     | Some res ->
         best := Some res;

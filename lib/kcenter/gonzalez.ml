@@ -1,5 +1,12 @@
 module Space = Cso_metric.Space
 module Pool = Cso_parallel.Pool
+module Obs = Cso_obs.Obs
+
+(* One round per center chosen after the first; [pruned] counts update
+   candidates the triangle-inequality test in [run_points_fast] skipped
+   without evaluating a distance. *)
+let c_rounds = Obs.counter "kcenter.gonzalez.rounds"
+let c_pruned = Obs.counter "kcenter.gonzalez.pruned"
 
 (* Farthest remaining point: max distance, ties broken towards the lower
    index — exactly what the sequential strict-greater scan picks, and
@@ -41,6 +48,7 @@ let run ?first (s : Space.t) ~subset ~k =
       let far = argmax_dist pool dist n in
       if dist.(far) <= 0.0 then continue := false
       else begin
+        Obs.incr c_rounds;
         let c = subset.(far) in
         centers := c :: !centers;
         incr n_centers;
@@ -77,6 +85,7 @@ let run_points_fast pts ~k =
       let far = argmax_dist pool dist n in
       if dist.(far) <= 0.0 then continue := false
       else begin
+        Obs.incr c_rounds;
         let c = far in
         centers.(!n_centers) <- c;
         (* Distance from the new center to each existing center, for the
@@ -91,7 +100,8 @@ let run_points_fast pts ~k =
                 dist.(i) <- d;
                 assigned.(i) <- !n_centers
               end
-            end);
+            end
+            else Obs.incr c_pruned);
         incr n_centers
       end
     done;

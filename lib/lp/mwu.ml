@@ -1,4 +1,13 @@
 module Pool = Cso_parallel.Pool
+module Obs = Cso_obs.Obs
+
+(* Rounds actually executed, oracle invocations (one per round unless
+   the oracle declares infeasibility), and violation entries clamped at
+   |delta| = 1. A nonzero clamp count flags a caller whose [width]
+   underestimates the true oracle width. *)
+let c_rounds = Obs.counter "lp.mwu.rounds"
+let c_oracle = Obs.counter "lp.mwu.oracle_calls"
+let c_clamped = Obs.counter "lp.mwu.clamped"
 
 type 'a outcome =
   | Feasible of 'a list
@@ -29,7 +38,9 @@ let run ~m ~width ~eps ?rounds ?on_round ?on_weights ~oracle ~violation () =
   let sols = ref [] in
   let rec go t =
     if t > rounds then Feasible (List.rev !sols)
-    else
+    else begin
+      Obs.incr c_rounds;
+      Obs.incr c_oracle;
       match oracle sigma with
       | None -> Infeasible
       | Some sol ->
@@ -51,8 +62,14 @@ let run ~m ~width ~eps ?rounds ?on_round ?on_weights ~oracle ~violation () =
           Pool.parallel_for pool ~start:0 ~finish:(m - 1) (fun i ->
               let delta = v.(i) /. width in
               let delta =
-                if delta > 1.0 then 1.0
-                else if delta < -1.0 then -1.0
+                if delta > 1.0 then begin
+                  Obs.incr c_clamped;
+                  1.0
+                end
+                else if delta < -1.0 then begin
+                  Obs.incr c_clamped;
+                  -1.0
+                end
                 else delta
               in
               let s = sigma.(i) *. (1.0 -. (eps /. 4.0 *. delta)) in
@@ -74,5 +91,6 @@ let run ~m ~width ~eps ?rounds ?on_round ?on_weights ~oracle ~violation () =
           | None -> ()
           | Some f -> f (Array.copy sigma));
           go (t + 1)
+    end
   in
-  go 1
+  Obs.with_span "mwu.run" (fun () -> go 1)

@@ -1,3 +1,10 @@
+module Obs = Cso_obs.Obs
+
+(* Pivot operations across both phases (the simplex's unit of work) and
+   top-level solves. *)
+let c_pivots = Obs.counter "lp.simplex.pivots"
+let c_solves = Obs.counter "lp.simplex.solves"
+
 type op = Le | Ge | Eq
 
 type problem = {
@@ -40,6 +47,7 @@ type tableau = {
 }
 
 let pivot t obj r c =
+  Obs.incr c_pivots;
   let piv = t.rows.(r).(c) in
   let row = t.rows.(r) in
   for j = 0 to t.ncols do
@@ -237,7 +245,9 @@ let solve_shifted p =
 
 let solve p =
   validate p;
-  try solve_shifted p with Exit -> Infeasible
+  Obs.incr c_solves;
+  Obs.with_span "simplex.solve" (fun () ->
+      try solve_shifted p with Exit -> Infeasible)
 
 let feasible_point p =
   match solve { p with objective = Array.make p.num_vars 0.0 } with

@@ -1,5 +1,10 @@
 type t = float array
 
+(* Every metric evaluation (any norm) counts once; the paper's
+   complexity claims are stated in distance evaluations, so this is the
+   primary machine-independent cost measure of the whole library. *)
+let c_dist = Cso_obs.Obs.counter "metric.dist_evals"
+
 let dim (p : t) = Array.length p
 
 let make coords = Array.of_list coords
@@ -18,6 +23,7 @@ let check_dims name p q =
 
 let l2_sq p q =
   check_dims "l2_sq" p q;
+  Cso_obs.Obs.incr c_dist;
   let acc = ref 0.0 in
   for i = 0 to Array.length p - 1 do
     let d = p.(i) -. q.(i) in
@@ -29,6 +35,7 @@ let l2 p q = sqrt (l2_sq p q)
 
 let linf p q =
   check_dims "linf" p q;
+  Cso_obs.Obs.incr c_dist;
   let acc = ref 0.0 in
   for i = 0 to Array.length p - 1 do
     let d = abs_float (p.(i) -. q.(i)) in
@@ -38,6 +45,7 @@ let linf p q =
 
 let l1 p q =
   check_dims "l1" p q;
+  Cso_obs.Obs.incr c_dist;
   let acc = ref 0.0 in
   for i = 0 to Array.length p - 1 do
     acc := !acc +. abs_float (p.(i) -. q.(i))

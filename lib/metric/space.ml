@@ -3,12 +3,22 @@ type t = {
   dist : int -> int -> float;
 }
 
+(* Distance probes against the Space interface. Distinct from
+   [metric.dist_evals]: a matrix-backed (or cached) space answers a
+   probe by lookup without evaluating any norm, yet the probe is still
+   the unit of work the k-center algorithms are measured in. *)
+let c_probe = Cso_obs.Obs.counter "metric.space_probes"
+
+let instrument dist i j =
+  Cso_obs.Obs.incr c_probe;
+  dist i j
+
 let create ~size ~dist =
   if size < 0 then invalid_arg "Space.create: negative size";
-  { size; dist }
+  { size; dist = instrument dist }
 
 let of_points ?(dist = Point.l2) pts =
-  { size = Array.length pts; dist = (fun i j -> dist pts.(i) pts.(j)) }
+  { size = Array.length pts; dist = instrument (fun i j -> dist pts.(i) pts.(j)) }
 
 let of_matrix m =
   let n = Array.length m in
@@ -17,7 +27,7 @@ let of_matrix m =
       if Array.length row <> n then
         invalid_arg "Space.of_matrix: matrix is not square")
     m;
-  { size = n; dist = (fun i j -> m.(i).(j)) }
+  { size = n; dist = instrument (fun i j -> m.(i).(j)) }
 
 (* Rows are independent; a whole row is the unit of parallel work so
    that the per-index overhead stays negligible. *)
@@ -31,7 +41,7 @@ let cached s =
       for j = 0 to n - 1 do
         row.(j) <- s.dist i j
       done);
-  { size = n; dist = (fun i j -> m.(i).(j)) }
+  { size = n; dist = instrument (fun i j -> m.(i).(j)) }
 
 let nearest_center s ~centers p =
   match centers with

@@ -1,0 +1,170 @@
+(* One global registry guarded by one mutex. The mutex is only taken on
+   the cold paths (interning a name, snapshot/reset, closing a span);
+   the hot path — [incr] from possibly many domains — is a single
+   atomic load of the switch plus an atomic fetch-and-add, which is
+   what lets instrumented kernels keep their bit-identical-across-
+   domain-counts guarantee: adds commute, so the final value depends
+   only on how many events happened, never on which domain saw them. *)
+
+type counter = {
+  c_name : string;
+  cell : int Atomic.t;
+}
+
+let parse_env () =
+  match Sys.getenv_opt "CSO_OBS" with
+  | None -> true
+  | Some v -> (
+      match String.lowercase_ascii (String.trim v) with
+      | "0" | "false" | "off" | "no" -> false
+      | _ -> true)
+
+let switch = Atomic.make (parse_env ())
+let enabled () = Atomic.get switch
+let set_enabled b = Atomic.set switch b
+
+let mu = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  Mutex.lock mu;
+  let c =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; cell = Atomic.make 0 } in
+        Hashtbl.add counters name c;
+        c
+  in
+  Mutex.unlock mu;
+  c
+
+let name c = c.c_name
+let incr c = if Atomic.get switch then Atomic.incr c.cell
+
+let add c n =
+  if n < 0 then invalid_arg "Obs.add: negative increment";
+  if n <> 0 && Atomic.get switch then ignore (Atomic.fetch_and_add c.cell n)
+
+let value c = Atomic.get c.cell
+
+let value_of n =
+  Mutex.lock mu;
+  let v =
+    match Hashtbl.find_opt counters n with
+    | Some c -> Atomic.get c.cell
+    | None -> 0
+  in
+  Mutex.unlock mu;
+  v
+
+let by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let snapshot () =
+  Mutex.lock mu;
+  let l =
+    Hashtbl.fold (fun n c acc -> (n, Atomic.get c.cell) :: acc) counters []
+  in
+  Mutex.unlock mu;
+  by_name l
+
+let with_delta f =
+  let before = snapshot () in
+  let r = f () in
+  let after = snapshot () in
+  let base = Hashtbl.create (List.length before) in
+  List.iter (fun (n, v) -> Hashtbl.replace base n v) before;
+  let deltas =
+    List.filter_map
+      (fun (n, v) ->
+        let d = v - Option.value ~default:0 (Hashtbl.find_opt base n) in
+        if d <> 0 then Some (n, d) else None)
+      after
+  in
+  (r, deltas)
+
+(* --- spans --- *)
+
+type span = {
+  mutable calls : int;
+  mutable seconds : float;
+}
+
+let spans : (string, span) Hashtbl.t = Hashtbl.create 16
+let clock : (unit -> float) ref = ref Sys.time
+let set_clock f = clock := f
+
+(* Per-domain stack of open span names, innermost first. *)
+let stack_key : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let record_span path dt =
+  Mutex.lock mu;
+  let s =
+    match Hashtbl.find_opt spans path with
+    | Some s -> s
+    | None ->
+        let s = { calls = 0; seconds = 0.0 } in
+        Hashtbl.add spans path s;
+        s
+  in
+  s.calls <- s.calls + 1;
+  s.seconds <- s.seconds +. dt;
+  Mutex.unlock mu
+
+let with_span name f =
+  if not (Atomic.get switch) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let path = String.concat "/" (List.rev (name :: stack)) in
+    Domain.DLS.set stack_key (name :: stack);
+    let t0 = !clock () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = !clock () -. t0 in
+        Domain.DLS.set stack_key stack;
+        record_span path dt)
+      f
+  end
+
+let span_stats () =
+  Mutex.lock mu;
+  let l = Hashtbl.fold (fun p s acc -> (p, s.calls, s.seconds) :: acc) spans [] in
+  Mutex.unlock mu;
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) l
+
+let reset () =
+  Mutex.lock mu;
+  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+  Hashtbl.reset spans;
+  Mutex.unlock mu
+
+(* --- JSON --- *)
+
+let counters_json snap =
+  let cells =
+    List.map (fun (n, v) -> Printf.sprintf "\"%s\": %d" n v) (by_name snap)
+  in
+  "{" ^ String.concat ", " cells ^ "}"
+
+let to_json ?(label = "") () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"bench\": \"obs\",\n";
+  if label <> "" then
+    Buffer.add_string buf (Printf.sprintf "  \"label\": \"%s\",\n" label);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"counters\": %s" (counters_json (snapshot ())));
+  (match span_stats () with
+  | [] -> ()
+  | stats ->
+      Buffer.add_string buf ",\n  \"spans\": [\n";
+      Buffer.add_string buf
+        (String.concat ",\n"
+           (List.map
+              (fun (p, calls, secs) ->
+                Printf.sprintf
+                  "    {\"span\": \"%s\", \"calls\": %d, \"seconds\": %.6f}" p
+                  calls secs)
+              stats));
+      Buffer.add_string buf "\n  ]");
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

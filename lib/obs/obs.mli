@@ -1,0 +1,122 @@
+(** Deterministic work-counter observability layer.
+
+    Wall-clock numbers are meaningless on small or contended hosts (a
+    single-core container reports ~1x "speedups" for every parallel
+    kernel), so the bench harness checks the paper's complexity claims
+    through {e machine-independent operation counts} instead: distance
+    evaluations, BBD/range-tree node visits, MWU rounds, simplex pivots,
+    oracle calls. This module is the registry those counts live in.
+
+    Design constraints, in order:
+
+    - {b Deterministic.} A counter counts algorithmic events, never
+      scheduling events, so for the library's deterministic kernels the
+      final counter values are bit-identical across runs and across
+      [CSO_NUM_DOMAINS] settings (enforced by [test/suite_parallel.ml]
+      and by the [fig_counters] bench).
+    - {b Parallel-safe.} Cells are [Atomic.t]; increments commute, so
+      instrumented code inside [Cso_parallel.Pool] bodies needs no extra
+      locking and no per-domain aggregation step.
+    - {b Cheap when off.} [CSO_OBS=0] (or [set_enabled false]) reduces
+      every instrumentation site to a single atomic load and branch;
+      counters stay at 0 and spans do not touch the clock.
+    - {b Dependency-free.} Only the stdlib; the default span clock is
+      [Sys.time], and callers with access to a wall clock (the bench
+      harness links [unix]) install it via {!set_clock}.
+
+    Counter names are dot-separated, [layer.structure.event], e.g.
+    [geom.bbd.nodes_visited]; the full taxonomy is documented in
+    DESIGN.md section 3c. *)
+
+(** {2 Global switch} *)
+
+val enabled : unit -> bool
+(** Current state of the instrumentation switch. The initial value comes
+    from the [CSO_OBS] environment variable: ["0"], ["false"], ["off"]
+    and ["no"] (case-insensitive) disable it; anything else, including
+    an unset variable, enables it. *)
+
+val set_enabled : bool -> unit
+(** Flip the switch at runtime (tests and benches; takes effect for all
+    domains immediately). Counter values are preserved across flips. *)
+
+(** {2 Monotonic counters} *)
+
+type counter
+(** A named monotonic event counter. Handles are interned: two
+    [counter name] calls with the same name return the same cell, so
+    modules declare their handles once at top level. *)
+
+val counter : string -> counter
+(** Find-or-create the counter registered under [name]. Thread-safe. *)
+
+val name : counter -> string
+
+val incr : counter -> unit
+(** Add 1. No-op (one atomic load + branch) while disabled. *)
+
+val add : counter -> int -> unit
+(** Add [n] (no-op when [n = 0] or while disabled). [n] must be
+    non-negative; counters are monotone between resets. *)
+
+val value : counter -> int
+
+val value_of : string -> int
+(** Value of the counter registered under [name], or [0] if no such
+    counter exists yet. *)
+
+(** {2 Snapshots} *)
+
+val snapshot : unit -> (string * int) list
+(** All registered counters with their current values, sorted by name
+    (zero-valued counters included). The sort makes snapshots directly
+    comparable across runs. *)
+
+val with_delta : (unit -> 'a) -> 'a * (string * int) list
+(** [with_delta f] runs [f] and returns its result together with the
+    per-counter increments observed during the call (non-zero entries
+    only, sorted by name). Counters created by [f] itself count from 0.
+    Not reentrant with concurrent instrumented work on other domains —
+    meant for single-kernel measurements in tests and benches. *)
+
+val reset : unit -> unit
+(** Zero every counter and drop every span record. Registered handles
+    stay valid. *)
+
+(** {2 Hierarchical timed spans}
+
+    Spans measure coarse phases ([gcso.solve], [mwu.run]), not hot
+    loops. Nesting is tracked per domain, and a span's registry key is
+    its slash-joined path from the outermost open span, so
+    [with_span "solve" (fun () -> with_span "oracle" ...)] records under
+    ["solve"] and ["solve/oracle"]. Span timings are {e not} part of
+    {!snapshot} — they are wall-clock (nondeterministic) and live in a
+    separate table so the deterministic counter artifacts stay
+    byte-comparable. *)
+
+val set_clock : (unit -> float) -> unit
+(** Install the time source used by spans (seconds, any fixed origin).
+    Defaults to [Sys.time] (CPU time); the bench harness installs
+    [Unix.gettimeofday]. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Time [f] under the given span name (exceptions still record the
+    partial time). Plain [f ()] while disabled. *)
+
+val span_stats : unit -> (string * int * float) list
+(** [(path, calls, total_seconds)] per recorded span path, sorted by
+    path. *)
+
+(** {2 JSON reporter} *)
+
+val to_json : ?label:string -> unit -> string
+(** Render the current counters (and span stats, if any) as a JSON
+    object in the same hand-rolled style as the [BENCH_*.json] artifacts
+    written by [bench/]:
+    [{"bench": "obs", "label": ..., "counters": {...}, "spans": [...]}].
+    Keys are sorted, so two runs with identical counters produce
+    identical [counters] sections. *)
+
+val counters_json : (string * int) list -> string
+(** Render a counter snapshot (or delta) alone as a sorted JSON object,
+    ["{\"a.b\": 1, ...}"] — the building block bench series rows use. *)

@@ -1,14 +1,27 @@
 module Point = Cso_metric.Point
 module Rect = Cso_geom.Rect
 module Box_complement = Cso_geom.Box_complement
+module Obs = Cso_obs.Obs
+
+(* Yannakakis-backed rectangle probes: the relational algorithms only
+   touch the join through these three oracles plus the complement-cell
+   witness search, so their counts are the paper's "number of oracle
+   calls" measure for Section 5. *)
+let c_count = Obs.counter "relational.oracle.count_rect"
+let c_sample = Obs.counter "relational.oracle.sample_rect"
+let c_any = Obs.counter "relational.oracle.any_in_rect"
+let c_witness = Obs.counter "relational.oracle.outside_witness"
 
 let count_rect inst tree rect =
+  Obs.incr c_count;
   Yannakakis.count (Instance.filter_rect inst rect) tree
 
 let sample_rect ?rng inst tree rect n =
+  Obs.incr c_sample;
   Yannakakis.sample ?rng (Instance.filter_rect inst rect) tree n
 
 let any_in_rect inst tree rect =
+  Obs.incr c_any;
   Yannakakis.any (Instance.filter_rect inst rect) tree
 
 let candidate_linf_distances (inst : Instance.t) =
@@ -40,6 +53,7 @@ let candidate_linf_distances (inst : Instance.t) =
    the centers, if one exists. [r] must not be a realizable coordinate
    difference so that no result lies exactly on a cube boundary. *)
 let outside_witness inst tree ~centers ~r =
+  Obs.incr c_witness;
   let d = Schema.dims inst.Instance.schema in
   let cubes = List.map (fun c -> Rect.cube ~center:c ~side:(2.0 *. r)) centers in
   let cells = Box_complement.decompose cubes d in

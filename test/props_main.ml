@@ -1,0 +1,6 @@
+(* Entry point for the `props` alias: the high-count, fixed-seed
+   property suite (QCHECK_SEED / QCHECK_LONG are set by the dune rule so
+   failures replay deterministically). The alias is attached to runtest,
+   so `dune runtest` and `make test-props` both exercise it. *)
+
+let () = Alcotest.run "cso-props" [ ("props", Suite_props.suite) ]

@@ -191,6 +191,67 @@ let prop_mwu_identical =
       in
       all_equal runs)
 
+(* --- observability counters under parallelism --- *)
+
+module Obs = Cso_obs.Obs
+
+(* A workload touching several instrumented substrates at once. The
+   inputs are built once, outside the per-domain closures: a shared rng
+   inside them would feed different data to each pool size and void the
+   comparison. *)
+let obs_workload_inputs () =
+  let pts = random_pts 600 in
+  let m = 800 in
+  (pts, m)
+
+let run_obs_workload (pts, m) =
+  let g = Gonzalez.run_points_fast pts ~k:5 in
+  let s = Space.of_points pts in
+  let c = Space.cached s in
+  let d01 = c.Space.dist 0 1 in
+  let heaviest sigma =
+    let best = ref 0 in
+    Array.iteri (fun i w -> if w > sigma.(!best) then best := i) sigma;
+    !best
+  in
+  let oracle sigma = Some (heaviest sigma) in
+  let violation cidx =
+    Array.init m (fun i ->
+        if i = cidx then 1.0
+        else -1.0 +. (float_of_int ((i * 31) mod 13) /. 13.0))
+  in
+  let mwu = Mwu.run ~m ~width:1.0 ~eps:0.3 ~rounds:12 ~oracle ~violation () in
+  (g, d01, mwu)
+
+let test_obs_identical_across_domains () =
+  let inputs = obs_workload_inputs () in
+  let runs =
+    on_all_domain_counts (fun _ -> Obs.with_delta (fun () -> run_obs_workload inputs))
+  in
+  (match runs with
+  | (_, deltas) :: _ ->
+      Alcotest.(check bool) "workload produced counter deltas" true
+        (deltas <> [])
+  | [] -> Alcotest.fail "no runs");
+  Alcotest.(check bool)
+    "obs counter deltas bit-identical across 1/2/4 domains" true
+    (all_equal runs)
+
+let test_obs_disabled_is_noop () =
+  let inputs = obs_workload_inputs () in
+  let reference = with_domains 2 (fun () -> run_obs_workload inputs) in
+  let was = Obs.enabled () in
+  Obs.set_enabled false;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was) (fun () ->
+      let result, deltas =
+        with_domains 2 (fun () -> Obs.with_delta (fun () -> run_obs_workload inputs))
+      in
+      Alcotest.(check bool) "no counter moves with CSO_OBS off" true
+        (deltas = []);
+      Alcotest.(check bool) "algorithm results unchanged with CSO_OBS off"
+        true
+        (result = reference))
+
 let suite =
   [
     Alcotest.test_case "pool sizes + validation" `Quick test_pool_sizes;
@@ -206,4 +267,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_gonzalez_identical;
     QCheck_alcotest.to_alcotest prop_charikar_identical;
     QCheck_alcotest.to_alcotest prop_mwu_identical;
+    Alcotest.test_case "obs counters identical across pool sizes" `Quick
+      test_obs_identical_across_domains;
+    Alcotest.test_case "obs disabled is a no-op" `Quick
+      test_obs_disabled_is_noop;
   ]

@@ -1,0 +1,352 @@
+(* Property-test hardening of the geometric substrates plus the obs
+   layer itself. Run under the fixed-seed `props` alias (QCHECK_SEED,
+   QCHECK_LONG) so failures reproduce; every property cross-checks a
+   structure against brute force AND, where stated, against the obs
+   counters the structure maintains. *)
+
+open Cso_geom
+module Point = Cso_metric.Point
+module Mwu = Cso_lp.Mwu
+module Simplex = Cso_lp.Simplex
+module Obs = Cso_obs.Obs
+
+let rng = Random.State.make [| 20250807 |]
+
+let random_points n d =
+  Array.init n (fun _ ->
+      Array.init d (fun _ -> Random.State.float rng 100.0))
+
+let delta_of deltas name =
+  Option.value ~default:0 (List.assoc_opt name deltas)
+
+(* --- BBD sandwich guarantee, general dimension and eps --- *)
+
+let brute_ball pts c r =
+  List.filter
+    (fun i -> Point.l2 pts.(i) c <= r)
+    (List.init (Array.length pts) Fun.id)
+
+let prop_bbd_sandwich_general =
+  QCheck.Test.make
+    ~name:"bbd sandwich: brute ball subset of union subset of (1+eps) ball"
+    ~count:120 ~long_factor:3
+    QCheck.(triple (int_range 1 150) (int_range 1 3) (float_range 0.05 1.0))
+    (fun (n, d, eps) ->
+      let pts = random_points n d in
+      let tree = Bbd_tree.build pts in
+      let center = Array.init d (fun _ -> Random.State.float rng 120.0) in
+      let radius = Random.State.float rng 90.0 +. 0.5 in
+      let (nodes, deltas) =
+        Obs.with_delta (fun () ->
+            Bbd_tree.ball_query tree ~center ~radius ~eps)
+      in
+      let got = List.concat_map (Bbd_tree.points_of_node tree) nodes in
+      let got_sorted = List.sort_uniq compare got in
+      let inner = brute_ball pts center radius in
+      (* Canonical nodes are disjoint. *)
+      List.length got = List.length got_sorted
+      (* Everything within r is captured... *)
+      && List.for_all (fun i -> List.mem i got_sorted) inner
+      (* ...and nothing beyond (1+eps) r. *)
+      && List.for_all
+           (fun i ->
+             Point.l2 pts.(i) center <= ((1.0 +. eps) *. radius) +. 1e-9)
+           got
+      (* The obs counters agree with what the query reported. *)
+      && delta_of deltas "geom.bbd.ball_queries" = 1
+      && delta_of deltas "geom.bbd.canonical_nodes" = List.length nodes
+      && delta_of deltas "geom.bbd.nodes_visited"
+         >= delta_of deltas "geom.bbd.canonical_nodes")
+
+(* --- Range tree: canonical union = brute force, O(log^d n) count --- *)
+
+let random_rect d =
+  Rect.of_intervals
+    (List.init d (fun _ ->
+         let a = Random.State.float rng 100.0 in
+         let b = Random.State.float rng 100.0 in
+         (min a b, max a b)))
+
+let canonical_bound n d =
+  (* Each of the d levels contributes at most 2*(log2 n + 2) canonical
+     or descent nodes; the product bounds the canonical set size. Safe
+     (not tight) for the fair median splits used by the builder. *)
+  let log2n = int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.0)) in
+  let per_level = 2 * (log2n + 2) in
+  int_of_float (float_of_int per_level ** float_of_int d)
+
+let prop_rtree_canonical =
+  QCheck.Test.make
+    ~name:"range tree canonical: union = brute force, count = O(log^d n)"
+    ~count:120 ~long_factor:3
+    QCheck.(pair (int_range 1 150) (int_range 1 3))
+    (fun (n, d) ->
+      let pts = random_points n d in
+      let t = Range_tree.build pts in
+      let rect = random_rect d in
+      let (nodes, deltas) =
+        Obs.with_delta (fun () -> Range_tree.query_nodes t rect)
+      in
+      let union =
+        List.sort compare (List.concat_map (Range_tree.node_points t) nodes)
+      in
+      let want = List.sort compare (Rect.points_inside rect pts) in
+      (* Union of canonical nodes is exactly the brute-force answer,
+         with no point double-counted. *)
+      union = want
+      && List.length nodes <= canonical_bound n d
+      && delta_of deltas "geom.rtree.canonical_nodes" = List.length nodes
+      && delta_of deltas "geom.rtree.canonical_points" = List.length union)
+
+(* --- WSPD: well-separatedness and exact pair coverage --- *)
+
+let prop_wspd_separation_and_coverage =
+  QCheck.Test.make
+    ~name:"wspd pairs are well-separated and cover every point pair once"
+    ~count:80 ~long_factor:3
+    QCheck.(triple (int_range 2 60) (int_range 1 3) (float_range 0.1 0.8))
+    (fun (n, d, eps) ->
+      let pts = random_points n d in
+      let s = max (4.0 /. eps) 1.0 in
+      let infos = Wspd.pairs_info ~eps pts in
+      (* Every pair satisfies the separation inequality with the
+         separation constant recomputed here, independently of the
+         library. Leaf-leaf fallback pairs have both radii 0, for which
+         the inequality is trivially true — so no exemption needed. *)
+      let separated =
+        List.for_all
+          (fun pi ->
+            pi.Wspd.pi_center_dist -. pi.Wspd.pi_ra -. pi.Wspd.pi_rb
+            >= (s *. max pi.Wspd.pi_ra pi.Wspd.pi_rb) -. 1e-9)
+          infos
+      in
+      (* Exact coverage: each unordered index pair {p, q}, p <> q, lies
+         in A x B of exactly one decomposition pair. *)
+      let seen = Hashtbl.create (n * n) in
+      let dups = ref false in
+      List.iter
+        (fun pi ->
+          List.iter
+            (fun a ->
+              List.iter
+                (fun b ->
+                  let key = (min a b, max a b) in
+                  if Hashtbl.mem seen key then dups := true
+                  else Hashtbl.add seen key ())
+                pi.Wspd.pi_pts_b)
+            pi.Wspd.pi_pts_a)
+        infos;
+      let all_covered = Hashtbl.length seen = n * (n - 1) / 2 in
+      separated && (not !dups) && all_covered)
+
+(* --- Simplex vs MWU cross-oracle agreement --- *)
+
+(* Random small feasibility system A x >= b over the box [0,1]^nv, rows
+   normalized so every violation lies in [-1, 1] (width 1). The MWU
+   oracle maximizes the aggregated constraint exactly, so:
+   - MWU Infeasible certifies real infeasibility => simplex agrees;
+   - simplex feasible => MWU must be Feasible and its averaged solution
+     satisfies every normalized constraint up to eps. *)
+let prop_simplex_mwu_agree =
+  QCheck.Test.make ~name:"simplex and mwu agree on random bounded LPs"
+    ~count:60 ~long_factor:3
+    QCheck.(pair (int_range 1 6) (int_range 1 4))
+    (fun (m, nv) ->
+      let a =
+        Array.init m (fun _ ->
+            Array.init nv (fun _ -> float_of_int (Random.State.int rng 7 - 3)))
+      in
+      let b =
+        Array.init m (fun _ -> float_of_int (Random.State.int rng 5 - 2))
+      in
+      (* Row normalization: |a'_i . x - b'_i| <= 1 on the box. *)
+      let w =
+        Array.init m (fun i ->
+            Array.fold_left (fun acc v -> acc +. abs_float v) 0.0 a.(i)
+            +. abs_float b.(i) +. 1.0)
+      in
+      let a' = Array.mapi (fun i row -> Array.map (fun v -> v /. w.(i)) row) a in
+      let b' = Array.mapi (fun i v -> v /. w.(i)) b in
+      let eps = 0.3 in
+      let oracle sigma =
+        let x =
+          Array.init nv (fun j ->
+              let c = ref 0.0 in
+              for i = 0 to m - 1 do
+                c := !c +. (sigma.(i) *. a'.(i).(j))
+              done;
+              if !c > 0.0 then 1.0 else 0.0)
+        in
+        let lhs = ref 0.0 and rhs = ref 0.0 in
+        for i = 0 to m - 1 do
+          let ax = ref 0.0 in
+          for j = 0 to nv - 1 do
+            ax := !ax +. (a'.(i).(j) *. x.(j))
+          done;
+          lhs := !lhs +. (sigma.(i) *. !ax);
+          rhs := !rhs +. (sigma.(i) *. b'.(i))
+        done;
+        if !lhs >= !rhs -. 1e-12 then Some x else None
+      in
+      let violation x =
+        Array.init m (fun i ->
+            let ax = ref 0.0 in
+            for j = 0 to nv - 1 do
+              ax := !ax +. (a'.(i).(j) *. x.(j))
+            done;
+            !ax -. b'.(i))
+      in
+      let (mwu, deltas) =
+        Obs.with_delta (fun () ->
+            Mwu.run ~m ~width:1.0 ~eps ~oracle ~violation ())
+      in
+      (* Round count respects the O(width log m / eps^2) budget. *)
+      let budget = Mwu.default_rounds ~m ~width:1.0 ~eps in
+      let rounds_ok = delta_of deltas "lp.mwu.rounds" <= budget in
+      let lp =
+        {
+          Simplex.num_vars = nv;
+          objective = Array.make nv 0.0;
+          constraints =
+            List.init m (fun i -> (Array.copy a.(i), Simplex.Ge, b.(i)));
+          bounds = Simplex.box nv;
+        }
+      in
+      let simplex_feasible = Simplex.feasible_point lp <> None in
+      rounds_ok
+      &&
+      match mwu with
+      | Mwu.Infeasible -> not simplex_feasible
+      | Mwu.Feasible sols ->
+          (not simplex_feasible)
+          || (sols <> []
+             &&
+             let t = float_of_int (List.length sols) in
+             let x_hat = Array.make nv 0.0 in
+             List.iter
+               (fun x ->
+                 Array.iteri
+                   (fun j v -> x_hat.(j) <- x_hat.(j) +. (v /. t))
+                   x)
+               sols;
+             Array.for_all
+               (fun v -> v >= -.(eps +. 1e-6))
+               (violation x_hat)))
+
+(* --- the obs layer itself --- *)
+
+let test_obs_interning () =
+  let a = Obs.counter "props.obs.shared" in
+  let b = Obs.counter "props.obs.shared" in
+  let v0 = Obs.value a in
+  Obs.incr a;
+  Obs.incr b;
+  Alcotest.(check int) "two handles share the cell" (v0 + 2) (Obs.value a);
+  Alcotest.(check int) "value_of sees the same cell" (v0 + 2)
+    (Obs.value_of "props.obs.shared");
+  Alcotest.(check string) "name preserved" "props.obs.shared" (Obs.name a)
+
+let test_obs_add () =
+  let c = Obs.counter "props.obs.add" in
+  let v0 = Obs.value c in
+  Obs.add c 5;
+  Obs.add c 0;
+  Alcotest.(check int) "add accumulates" (v0 + 5) (Obs.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Obs.add: negative increment") (fun () -> Obs.add c (-1))
+
+let test_obs_snapshot_sorted () =
+  ignore (Obs.counter "props.obs.zzz");
+  ignore (Obs.counter "props.obs.aaa");
+  let snap = Obs.snapshot () in
+  let names = List.map fst snap in
+  Alcotest.(check bool) "sorted by name" true
+    (names = List.sort compare names);
+  Alcotest.(check bool) "zero counters included" true
+    (List.mem_assoc "props.obs.aaa" snap)
+
+let test_obs_with_delta () =
+  let c = Obs.counter "props.obs.delta" in
+  let (r, deltas) =
+    Obs.with_delta (fun () ->
+        Obs.incr c;
+        Obs.incr c;
+        "done")
+  in
+  Alcotest.(check string) "result passes through" "done" r;
+  Alcotest.(check int) "delta of touched counter" 2
+    (delta_of deltas "props.obs.delta");
+  Alcotest.(check bool) "untouched counters absent" true
+    (not (List.mem_assoc "props.obs.aaa" deltas))
+
+let test_obs_disabled () =
+  let c = Obs.counter "props.obs.off" in
+  let v0 = Obs.value c in
+  let was = Obs.enabled () in
+  Obs.set_enabled false;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was) (fun () ->
+      Obs.incr c;
+      Obs.add c 7);
+  Alcotest.(check int) "no movement while disabled" v0 (Obs.value c)
+
+let test_obs_spans () =
+  (* Fake clock: each read advances by 1s, so durations are exact. *)
+  let t = ref 0.0 in
+  Obs.set_clock (fun () ->
+      let v = !t in
+      t := v +. 1.0;
+      v);
+  Fun.protect ~finally:(fun () -> Obs.set_clock Sys.time) (fun () ->
+      let r =
+        Obs.with_span "props_outer" (fun () ->
+            Obs.with_span "props_inner" (fun () -> 41 + 1))
+      in
+      Alcotest.(check int) "span passes the result through" 42 r;
+      let stats = Obs.span_stats () in
+      let find p =
+        List.find_opt (fun (path, _, _) -> path = p) stats
+      in
+      Alcotest.(check bool) "outer span recorded" true
+        (find "props_outer" <> None);
+      Alcotest.(check bool) "nested path recorded" true
+        (find "props_outer/props_inner" <> None);
+      (* Exceptions still close the span. *)
+      (try
+         Obs.with_span "props_raises" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Alcotest.(check bool) "span recorded despite exception" true
+        (find "props_raises" <> None
+        || List.exists (fun (p, _, _) -> p = "props_raises")
+             (Obs.span_stats ())))
+
+let test_obs_json () =
+  let c = Obs.counter "props.obs.json" in
+  Obs.incr c;
+  let j = Obs.to_json ~label:"props" () in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "bench tag" true (contains "\"bench\": \"obs\"" j);
+  Alcotest.(check bool) "label" true (contains "\"label\": \"props\"" j);
+  Alcotest.(check bool) "counter name" true (contains "props.obs.json" j);
+  let cj = Obs.counters_json [ ("b", 2); ("a", 1) ] in
+  Alcotest.(check string) "counters_json sorts" "{\"a\": 1, \"b\": 2}" cj
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_bbd_sandwich_general;
+    QCheck_alcotest.to_alcotest prop_rtree_canonical;
+    QCheck_alcotest.to_alcotest prop_wspd_separation_and_coverage;
+    QCheck_alcotest.to_alcotest prop_simplex_mwu_agree;
+    Alcotest.test_case "obs counter interning" `Quick test_obs_interning;
+    Alcotest.test_case "obs add" `Quick test_obs_add;
+    Alcotest.test_case "obs snapshot sorted, zeros included" `Quick
+      test_obs_snapshot_sorted;
+    Alcotest.test_case "obs with_delta" `Quick test_obs_with_delta;
+    Alcotest.test_case "obs disabled counters freeze" `Quick test_obs_disabled;
+    Alcotest.test_case "obs spans nest and survive exceptions" `Quick
+      test_obs_spans;
+    Alcotest.test_case "obs json output" `Quick test_obs_json;
+  ]
