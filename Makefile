@@ -1,6 +1,7 @@
 # Convenience wrapper around dune. See README.md.
 
-.PHONY: all build test test-props bench bench-smoke examples clean reproduce
+.PHONY: all build test test-props bench bench-smoke trace-smoke examples \
+	clean reproduce
 
 all: build
 
@@ -20,12 +21,25 @@ bench:
 	dune exec bench/main.exe
 
 # Tiny CI gates: exits non-zero if (a) any domain-parallel kernel produces
-# a result that is not bit-identical to the sequential path, or (b) the
+# a result that is not bit-identical to the sequential path, (b) the
 # lib/obs work counters for the pinned workload drift >5% from the
-# recorded BENCH_counters_baseline.json. Cheap enough to run alongside
+# recorded BENCH_counters_baseline.json, or (c) any fitted log-log
+# complexity exponent leaves its declared budget or drifts >0.1 from the
+# recorded BENCH_budgets_baseline.json. Cheap enough to run alongside
 # `dune runtest`.
 bench-smoke:
-	dune exec bench/main.exe -- smoke_parallel smoke_counters
+	dune exec bench/main.exe -- smoke_parallel smoke_counters smoke_budgets
+
+# Trace round-trip gate: record a traced GCSO run, re-read the JSONL
+# through the csokit parser (proving writer and parser agree), check the
+# Chrome export parses, and re-check the committed budget baseline
+# through the CLI path. Temp artifacts are cleaned up on success.
+trace-smoke:
+	dune exec bin/csokit.exe -- trace --run gcso -n 60 --seed 7 \
+		--jsonl trace_smoke.jsonl --chrome trace_smoke_chrome.json
+	dune exec bin/csokit.exe -- trace --in trace_smoke.jsonl
+	dune exec bin/csokit.exe -- budgets --series BENCH_budgets_baseline.json
+	rm -f trace_smoke.jsonl trace_smoke_chrome.json
 
 examples:
 	dune exec examples/quickstart.exe
@@ -34,9 +48,11 @@ examples:
 	dune exec examples/crowdsourcing.exe
 	dune exec examples/robust_summaries.exe
 
-# Full reproduction run: tests and the Table-1 harness, outputs captured.
+# Full reproduction run: tests, the trace/budget round-trip gate, and
+# the Table-1 harness, outputs captured.
 reproduce:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	$(MAKE) trace-smoke 2>&1 | tee trace_output.txt
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 clean:

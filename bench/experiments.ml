@@ -1571,6 +1571,231 @@ let smoke_counters () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* BUDGETS -- machine-checked complexity budgets (Obs.Budget).          *)
+(* Each instrumented kernel declares the log-log exponent its           *)
+(* counter-vs-n series must fit (Table 1 shapes); the fit runs on       *)
+(* deterministic counter deltas, so the emitted JSON is byte-           *)
+(* reproducible and any asymptotic regression is a hard failure.        *)
+(* ------------------------------------------------------------------ *)
+
+module Bbd = Cso_geom.Bbd_tree
+module Range_tree = Cso_geom.Range_tree
+module Rect = Cso_geom.Rect
+
+let declared_budgets =
+  Bbd.budgets @ Range_tree.budgets @ Gonzalez.budgets @ Mwu.budgets
+
+let budget_pts_of n =
+  let st = Random.State.make [| n; 314159 |] in
+  Array.init n (fun _ ->
+      [| Random.State.float st 1000.0; Random.State.float st 1000.0 |])
+
+(* 64 query centers/rects from a size-independent seed so per-query
+   means are comparable across n. *)
+let budget_n_queries = 64
+
+let budget_queries () =
+  let st = Random.State.make [| 8191; 13 |] in
+  Array.init budget_n_queries (fun _ ->
+      [| Random.State.float st 1000.0; Random.State.float st 1000.0 |])
+
+let budget_rects () =
+  let st = Random.State.make [| 4099; 29 |] in
+  Array.init budget_n_queries (fun _ ->
+      let lo0 = Random.State.float st 800.0 in
+      let lo1 = Random.State.float st 800.0 in
+      Rect.make ~lo:[| lo0; lo1 |]
+        ~hi:[| lo0 +. 150.0; lo1 +. 150.0 |])
+
+let counter_delta name f =
+  let (), deltas = Obs.with_delta f in
+  float_of_int (Option.value ~default:0 (List.assoc_opt name deltas))
+
+(* One series per declared budget: sizes and a measurement returning the
+   per-size y value (total work, or mean per-query work). *)
+let budget_series =
+  [
+    ( "metric.dist_evals",
+      [ 1_000; 2_000; 4_000; 8_000 ],
+      fun n ->
+        counter_delta "metric.dist_evals" (fun () ->
+            ignore (Gonzalez.run_points_fast (budget_pts_of n) ~k:16)) );
+    ( "geom.bbd.nodes_per_query",
+      [ 1_000; 2_000; 4_000; 8_000 ],
+      fun n ->
+        let t = Bbd.build (budget_pts_of n) in
+        let queries = budget_queries () in
+        counter_delta "geom.bbd.nodes_visited" (fun () ->
+            Array.iter
+              (fun c ->
+                ignore (Bbd.ball_query t ~center:c ~radius:120.0 ~eps:0.3))
+              queries)
+        /. float_of_int budget_n_queries );
+    ( "geom.rtree.canonical_per_query",
+      [ 1_000; 2_000; 4_000; 8_000 ],
+      fun n ->
+        let t = Range_tree.build (budget_pts_of n) in
+        let rects = budget_rects () in
+        counter_delta "geom.rtree.canonical_nodes" (fun () ->
+            Array.iter (fun r -> ignore (Range_tree.query_nodes t r)) rects)
+        /. float_of_int budget_n_queries );
+    ( "lp.mwu.rounds",
+      [ 2_000; 8_000; 32_000 ],
+      fun n -> counter_delta "lp.mwu.rounds" (fun () -> ignore (mwu_kernel n))
+    );
+  ]
+
+let budget_of name =
+  match
+    List.find_opt (fun b -> b.Obs.Budget.b_name = name) declared_budgets
+  with
+  | Some b -> b
+  | None -> failwith ("no declared budget for series " ^ name)
+
+(* Runs every budget series (optionally scaled down), hard-fails on
+   cross-domain-count divergence and on any budget violation, and writes
+   the rows to [json_path]. Returns the rendered row strings. *)
+let run_budget_checks ~label ~scale ~domain_counts ~json_path () =
+  with_obs_enabled @@ fun () ->
+  let rows = ref [] and json_rows = ref [] in
+  List.iter
+    (fun (name, sizes, measure) ->
+      let sizes =
+        if scale = 1 then sizes else List.map (fun n -> n / scale) sizes
+      in
+      let points_runs =
+        List.map
+          (fun nd ->
+            with_domains nd (fun () ->
+                List.map (fun n -> (float_of_int n, measure n)) sizes))
+          domain_counts
+      in
+      let points = List.hd points_runs in
+      List.iter
+        (fun p ->
+          if p <> points then
+            failwith
+              (Printf.sprintf
+                 "budget series %s not reproducible across domain counts"
+                 name))
+        (List.tl points_runs);
+      let b = budget_of name in
+      let fitted =
+        match Obs.Budget.check b points with
+        | Ok fitted -> fitted
+        | Error msg -> failwith msg
+      in
+      rows :=
+        [
+          name;
+          Printf.sprintf "%.2f" b.Obs.Budget.b_expected;
+          Printf.sprintf "%.2f" b.Obs.Budget.b_tolerance;
+          Printf.sprintf "%.3f" fitted;
+          "ok";
+        ]
+        :: !rows;
+      json_rows :=
+        ("    " ^ Obs.Budget.row_json b ~fitted ~points) :: !json_rows)
+    budget_series;
+  Util.print_table
+    ~title:
+      (Printf.sprintf
+         "BUDGETS (%s)  fitted log-log exponents vs declared Table-1 shapes \
+          (identical across domain counts {%s})"
+         label
+         (String.concat "," (List.map string_of_int domain_counts)))
+    [ "series"; "expected"; "tolerance"; "fitted"; "verdict" ]
+    (List.rev !rows);
+  Util.write_file json_path
+    (Printf.sprintf
+       "{\n  \"bench\": \"budgets\",\n  \"variant\": \"%s\",\n  \
+        \"domain_counts\": [%s],\n  \"budgets\": [\n%s\n  ]\n}\n"
+       label
+       (String.concat ", " (List.map string_of_int domain_counts))
+       (String.concat ",\n" (List.rev !json_rows)));
+  List.rev !json_rows
+
+let fig_budgets () =
+  ignore
+    (run_budget_checks ~label:"full" ~scale:1 ~domain_counts:[ 1; 2 ]
+       ~json_path:"BENCH_budgets.json" ())
+
+let budgets_baseline_path = "BENCH_budgets_baseline.json"
+
+(* Budget gate for `make bench-smoke`: check the declared exponents and
+   gate the fitted values against the committed baseline (0.1 absolute
+   drift — fits are deterministic, so any drift means the workload or
+   the algorithm changed). Runs at full series sizes: the whole sweep is
+   sub-second, and small-n prefixes inflate polylog slopes. *)
+let smoke_budgets () =
+  let json_rows =
+    run_budget_checks ~label:"smoke" ~scale:1 ~domain_counts:[ 1; 2 ]
+      ~json_path:"BENCH_budgets_smoke.json" ()
+  in
+  let body =
+    Printf.sprintf
+      "{\n  \"bench\": \"budgets\",\n  \"variant\": \"baseline\",\n  \
+       \"budgets\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" json_rows)
+  in
+  if not (Sys.file_exists budgets_baseline_path) then begin
+    Util.write_file budgets_baseline_path body;
+    Printf.printf
+      "budget smoke: no baseline found; recorded %s (commit it to arm the \
+       gate).\n"
+      budgets_baseline_path
+  end
+  else begin
+    let baseline = read_whole_file budgets_baseline_path in
+    let doc = Obs.Json.parse baseline in
+    let baseline_rows =
+      match Obs.Json.member "budgets" doc with
+      | Some (Obs.Json.Arr rows) -> rows
+      | _ -> failwith (budgets_baseline_path ^ ": no \"budgets\" array")
+    in
+    let fitted_of rows name =
+      List.find_map
+        (fun row ->
+          match (Obs.Json.member "name" row, Obs.Json.member "fitted" row) with
+          | Some (Obs.Json.Str n), Some (Obs.Json.Num f) when n = name ->
+              Some f
+          | _ -> None)
+        rows
+    in
+    let current_rows =
+      match
+        Obs.Json.member "budgets"
+          (Obs.Json.parse
+             (Printf.sprintf "{\"budgets\": [\n%s\n]}"
+                (String.concat ",\n" json_rows)))
+      with
+      | Some (Obs.Json.Arr rows) -> rows
+      | _ -> assert false
+    in
+    List.iter
+      (fun (name, _, _) ->
+        let b =
+          match fitted_of baseline_rows name with
+          | Some f -> f
+          | None ->
+              failwith
+                (Printf.sprintf "budget smoke: %s missing from %s" name
+                   budgets_baseline_path)
+        in
+        let c = Option.get (fitted_of current_rows name) in
+        if abs_float (c -. b) > 0.1 then
+          failwith
+            (Printf.sprintf
+               "budget smoke: %s fitted exponent drifted (baseline %.3f, now \
+                %.3f; >0.1 gate)"
+               name b c))
+      budget_series;
+    Printf.printf
+      "budget smoke: all fitted exponents within 0.1 of baseline and inside \
+       declared tolerances.\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1603,6 +1828,8 @@ let all =
     ("extension_kmedian", extension_kmedian);
     ("fig_parallel_scaling", fig_parallel_scaling);
     ("fig_counters", fig_counters);
+    ("fig_budgets", fig_budgets);
     ("smoke_parallel", smoke_parallel);
     ("smoke_counters", smoke_counters);
+    ("smoke_budgets", smoke_budgets);
   ]

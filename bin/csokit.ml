@@ -211,6 +211,153 @@ let run_gen kind out n k z seed =
         w.Cso_workload.Planted.bad_sets);
   `Ok ()
 
+(* --- trace command --- *)
+
+module Obs = Cso_obs.Obs
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let trace_workload kind n k z seed =
+  let rng = Random.State.make [| seed |] in
+  match kind with
+  | `Gcso ->
+      let w = Cso_workload.Planted.gcso_overlapping rng ~n ~k ~z in
+      ignore (Cso_core.Gcso_general.solve w.Cso_workload.Planted.geo)
+  | `Cso ->
+      let w = Cso_workload.Planted.cso rng ~n ~m:(4 * max 1 z) ~k ~z in
+      ignore (Cso_core.Cso_general.solve w.Cso_workload.Planted.instance)
+  | `Relational ->
+      let w =
+        Cso_workload.Relational_gen.rcto1 rng ~n1:n ~n2:(max 4 (n / 3)) ~k ~z
+      in
+      let inst = w.Cso_workload.Relational_gen.instance in
+      let tree =
+        Cso_relational.Join_tree.build_exn inst.Cso_relational.Instance.schema
+      in
+      ignore (Cso_core.Rcto1.solve inst tree ~k ~z)
+
+let print_phase_table events =
+  let phases = Obs.Trace.phases events in
+  let top_deltas deltas =
+    let sorted =
+      List.sort (fun (_, a) (_, b) -> compare b a) deltas
+    in
+    let rec take k = function
+      | x :: tl when k > 0 -> x :: take (k - 1) tl
+      | _ -> []
+    in
+    String.concat " "
+      (List.map (fun (n, v) -> Printf.sprintf "%s=+%d" n v) (take 3 sorted))
+  in
+  Fmt.pr "%-40s %8s %12s %12s  %s@." "phase" "calls" "total(s)" "self(s)"
+    "top counter deltas";
+  List.iter
+    (fun p ->
+      Fmt.pr "%-40s %8d %12.6f %12.6f  %s@." p.Obs.Trace.ph_path
+        p.Obs.Trace.ph_calls p.Obs.Trace.ph_total p.Obs.Trace.ph_self
+        (top_deltas p.Obs.Trace.ph_deltas))
+    phases
+
+let run_trace in_file kind n k z seed jsonl_out chrome_out =
+ guard @@ fun () ->
+  let events =
+    match in_file with
+    | Some f -> Obs.Trace.parse_jsonl (read_file f)
+    | None ->
+        Obs.set_enabled true;
+        Obs.Trace.clear ();
+        Obs.Trace.set_enabled true;
+        Fun.protect
+          ~finally:(fun () -> Obs.Trace.set_enabled false)
+          (fun () -> trace_workload kind n k z seed);
+        Obs.Trace.events ()
+  in
+  Fmt.pr "%d trace events (%d dropped)@." (List.length events)
+    (Obs.Trace.dropped ());
+  print_phase_table events;
+  (match jsonl_out with
+  | None -> ()
+  | Some path ->
+      write_file path (Obs.Trace.to_jsonl events);
+      Fmt.pr "wrote %s (%d events)@." path (List.length events));
+  (match chrome_out with
+  | None -> ()
+  | Some path ->
+      let chrome = Obs.Trace.to_chrome events in
+      (* Round-trip through the parser so a malformed export fails here
+         instead of inside Perfetto. *)
+      (match Obs.Json.member "traceEvents" (Obs.Json.parse chrome) with
+      | Some (Obs.Json.Arr evs) when List.length evs = List.length events -> ()
+      | _ -> failwith "chrome export: traceEvents array mismatch");
+      write_file path chrome;
+      Fmt.pr "wrote %s (well-formed Chrome trace JSON)@." path);
+  `Ok ()
+
+(* --- budgets command --- *)
+
+let all_budgets () =
+  Cso_geom.Bbd_tree.budgets @ Cso_geom.Range_tree.budgets
+  @ Cso_kcenter.Gonzalez.budgets @ Cso_lp.Mwu.budgets
+
+let run_budgets series_file =
+ guard @@ fun () ->
+  let module J = Obs.Json in
+  let req key row =
+    match J.member key row with
+    | Some v -> v
+    | None -> failwith (series_file ^ ": budget row missing \"" ^ key ^ "\"")
+  in
+  let doc = J.parse (read_file series_file) in
+  let rows =
+    match J.member "budgets" doc with
+    | Some (J.Arr rows) -> rows
+    | _ -> failwith (series_file ^ ": no \"budgets\" array")
+  in
+  let declared = all_budgets () in
+  let failures = ref 0 and checked = ref 0 in
+  List.iter
+    (fun row ->
+      let name = J.str (req "name" row) in
+      let points =
+        List.map
+          (fun p ->
+            match J.arr p with
+            | [ x; y ] -> (J.num x, J.num y)
+            | _ -> failwith (series_file ^ ": bad point in " ^ name))
+          (J.arr (req "points" row))
+      in
+      match
+        List.find_opt (fun b -> b.Obs.Budget.b_name = name) declared
+      with
+      | None -> Fmt.pr "%-36s SKIP no declared budget@." name
+      | Some b -> (
+          incr checked;
+          match Obs.Budget.check b points with
+          | Ok fitted ->
+              Fmt.pr "%-36s OK   fitted %.3f within %.2f +/- %.2f@." name
+                fitted b.Obs.Budget.b_expected b.Obs.Budget.b_tolerance
+          | Error msg ->
+              incr failures;
+              Fmt.pr "%-36s FAIL %s@." name msg))
+    rows;
+  if !checked = 0 then failwith (series_file ^ ": no checkable budget series");
+  if !failures > 0 then
+    failwith (Printf.sprintf "%d budget(s) violated" !failures)
+  else begin
+    Fmt.pr "all %d checked budgets within tolerance@." !checked;
+    `Ok ()
+  end
+
 (* --- cmdliner wiring --- *)
 
 let setup_logs verbose =
@@ -368,10 +515,79 @@ let relational_cmd =
         $ verbose_arg $ json_arg $ schema_arg $ rel_arg $ k_arg $ z_arg
         $ algo_arg $ dirty_arg $ iters_arg))
 
+let trace_cmd =
+  let in_arg =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "in" ] ~docv:"FILE"
+          ~doc:"Read an existing JSONL trace instead of running a workload.")
+  in
+  let run_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("gcso", `Gcso); ("cso", `Cso); ("relational", `Relational) ])
+          `Gcso
+      & info [ "run" ] ~doc:"Planted workload to run with tracing enabled.")
+  in
+  let n_arg = Arg.(value & opt int 80 & info [ "n" ] ~doc:"Points.") in
+  let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Centers.") in
+  let z_arg = Arg.(value & opt int 2 & info [ "z" ] ~doc:"Outlier sets.") in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let jsonl_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE" ~doc:"Write the trace as JSONL.")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON file (load in chrome://tracing \
+             or Perfetto).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a workload with structured tracing (or read a JSONL trace) and \
+          print a phase table")
+    Term.(
+      ret
+        (const (fun v i r n k z s jl ch ->
+             setup_logs v;
+             run_trace i r n k z s jl ch)
+        $ verbose_arg $ in_arg $ run_arg $ n_arg $ k_arg $ z_arg $ seed_arg
+        $ jsonl_arg $ chrome_arg))
+
+let budgets_cmd =
+  let series_arg =
+    Arg.(
+      value
+      & opt non_dir_file "BENCH_budgets_baseline.json"
+      & info [ "series" ] ~docv:"FILE"
+          ~doc:
+            "Budget series file (BENCH_budgets.json format) to check against \
+             the declared complexity budgets.")
+  in
+  Cmd.v
+    (Cmd.info "budgets"
+       ~doc:"Check a counter-vs-n series file against declared complexity \
+             budgets")
+    Term.(ret (const run_budgets $ series_arg))
+
 let main =
   Cmd.group
     (Cmd.info "csokit" ~version:"1.0.0"
        ~doc:"Clustering with set outliers (PODS 2025) toolkit")
-    [ gcso_cmd; cso_cmd; relational_cmd; gen_cmd ]
+    [ gcso_cmd; cso_cmd; relational_cmd; gen_cmd; trace_cmd; budgets_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* Spans default to [Sys.time] (CPU time); the CLI has [unix] linked,
+     so give traces real wall-clock timestamps. *)
+  Obs.set_clock Unix.gettimeofday;
+  exit (Cmd.eval main)

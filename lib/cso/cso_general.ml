@@ -78,6 +78,7 @@ let solve_at ?cover_mult ?removal_mult t ~r =
   | Some sol -> Some (round ?removal_mult t ~r ~sol)
 
 let solve t =
+  Obs.with_span "cso.solve" @@ fun () ->
   (* The binary search probes most pairwise distances many times over. *)
   let t = if Instance.n_elements t <= 2048 then Instance.with_cached_space t else t in
   let dists = Space.pairwise_distances t.Instance.space in

@@ -13,6 +13,11 @@ let c_oracle = Obs.counter "cso.gcso.oracle_calls"
 let c_violation = Obs.counter "cso.gcso.violation_sweeps"
 let c_guesses = Obs.counter "cso.gcso.guesses"
 
+(* Canonical ball nodes per constraint point at each radius guess —
+   observed inside a parallel tabulate body, which is safe because
+   histogram increments are atomic and commute. *)
+let h_ball_nodes = Obs.Hist.hist "cso.gcso.ball_nodes_per_point"
+
 type prepared = {
   g : Geo_instance.t;
   bbd : Bbd.t;
@@ -55,7 +60,9 @@ let solve_at ?(eps = 0.3) ?rounds ?(cover_mult = 1.0) ?(removal_mult = 2.0)
     (* Ball queries are read-only tree walks; fan them out. *)
     let canon =
       Pool.tabulate (Pool.get_default ()) ~chunk:64 n (fun i ->
-          Bbd.ball_query p.bbd ~center:pts.(i) ~radius:rc ~eps)
+          let nodes = Bbd.ball_query p.bbd ~center:pts.(i) ~radius:rc ~eps in
+          Obs.Hist.observe h_ball_nodes (List.length nodes);
+          nodes)
     in
     let width = float_of_int (k + z) in
     let oracle sigma =

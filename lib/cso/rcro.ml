@@ -2,6 +2,7 @@ module Point = Cso_metric.Point
 module Rel = Cso_relational
 module Yannakakis = Cso_relational.Yannakakis
 module Bbd_outliers = Cso_kcenter.Bbd_outliers
+module Obs = Cso_obs.Obs
 
 type report = {
   centers : Point.t list;
@@ -14,6 +15,7 @@ type report = {
 let solve ?rng ?(eps = 0.25) inst tree ~k ~z =
   if k <= 0 then invalid_arg "Rcro.solve: k <= 0";
   if z < 0 then invalid_arg "Rcro.solve: z < 0";
+  Obs.with_span "rcro.solve" @@ fun () ->
   let rng = match rng with Some r -> r | None -> Random.State.make [| 5 |] in
   let total = Yannakakis.count inst tree in
   if total = 0 then

@@ -4,6 +4,7 @@ module Box_complement = Cso_geom.Box_complement
 module Rel = Cso_relational
 module Oracles = Cso_relational.Oracles
 module Yannakakis = Cso_relational.Yannakakis
+module Obs = Cso_obs.Obs
 
 type report = {
   centers : Point.t list;
@@ -52,6 +53,7 @@ let drain inst tree ~i2 ~centers ~r_hat ~z =
 let solve ?rng ?iters inst tree ~k ~z =
   if k <= 0 then invalid_arg "Rcto.solve: k <= 0";
   if z < 0 then invalid_arg "Rcto.solve: z < 0";
+  Obs.with_span "rcto.solve" @@ fun () ->
   let rng = match rng with Some r -> r | None -> Random.State.make [| 11 |] in
   let schema = inst.Rel.Instance.schema in
   let g = Rel.Schema.n_relations schema in

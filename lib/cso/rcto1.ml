@@ -1,6 +1,7 @@
 module Point = Cso_metric.Point
 module Rel = Cso_relational
 module Oracles = Cso_relational.Oracles
+module Obs = Cso_obs.Obs
 
 type report = {
   centers : Point.t list;
@@ -33,6 +34,7 @@ let summarize inst tree ~dirty_rel ~k =
 let solve ?(eps = 0.3) ?rounds ?(dirty_rel = 0) inst tree ~k ~z =
   if k <= 0 then invalid_arg "Rcto1.solve: k <= 0";
   if z < 0 then invalid_arg "Rcto1.solve: z < 0";
+  Obs.with_span "rcto1.solve" @@ fun () ->
   let d = Rel.Schema.dims inst.Rel.Instance.schema in
   let sqd = sqrt (float_of_int d) in
   let summaries = Array.of_list (summarize inst tree ~dirty_rel ~k) in

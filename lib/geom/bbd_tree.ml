@@ -10,6 +10,25 @@ let c_visits = Obs.counter "geom.bbd.nodes_visited"
 let c_expansions = Obs.counter "geom.bbd.expansions"
 let c_canonical = Obs.counter "geom.bbd.canonical_nodes"
 
+(* Per-query magnitude: the aggregate [c_visits] can't tell "O(log n)
+   everywhere" from "O(log n) on average with a heavy tail"; the
+   histogram can. *)
+let h_nodes = Obs.Hist.hist "geom.bbd.nodes_per_query"
+
+let budgets =
+  [
+    {
+      Obs.Budget.b_name = "geom.bbd.nodes_per_query";
+      b_expected = 0.0;
+      b_tolerance = 0.6;
+      b_doc =
+        "Paper Sec 3: O(log n + eps^(1-d)) nodes per ball query. The \
+         kd-tree substitute (DESIGN.md substitution 2) is near-log on \
+         average, so the fitted exponent of mean nodes/query vs n must \
+         stay well below the O(n) regression slope of 1.";
+    };
+  ]
+
 type node = {
   box : Rect.t;
   parent : int;
@@ -137,9 +156,11 @@ let ball_query_gen ~respect_active t ~center ~radius ~eps =
   else begin
     Obs.incr c_queries;
     let out = ref [] in
+    let visited = ref 0 in
     let r_out = (1.0 +. eps) *. radius in
     let rec go id =
       Obs.incr c_visits;
+      incr visited;
       let nd = t.nodes.(id) in
       if respect_active && not nd.active then ()
       else begin
@@ -161,6 +182,7 @@ let ball_query_gen ~respect_active t ~center ~radius ~eps =
       end
     in
     go t.root;
+    Obs.Hist.observe h_nodes !visited;
     !out
   end
 

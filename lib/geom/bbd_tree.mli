@@ -96,3 +96,9 @@ val active_count_in_ball : t -> center:Cso_metric.Point.t -> radius:float ->
   eps:float -> int
 (** Sum of active counts over the canonical nodes of the (active) query:
     approximately [|B(c,r) cap active P|]. *)
+
+val budgets : Cso_obs.Obs.Budget.t list
+(** Declared complexity budget for the per-query node-visit histogram
+    ([geom.bbd.nodes_per_query]): fitted log-log exponent vs n must stay
+    near 0 (polylog per query), far from the O(n) regression slope.
+    Checked by [bench/fig_budgets] and [csokit budgets]. *)

@@ -10,6 +10,24 @@ let c_visits = Obs.counter "geom.rtree.nodes_visited"
 let c_canonical = Obs.counter "geom.rtree.canonical_nodes"
 let c_canonical_pts = Obs.counter "geom.rtree.canonical_points"
 
+(* Per-query canonical-set size — the quantity the O(log^d n) bound is
+   actually about. *)
+let h_canonical = Obs.Hist.hist "geom.rtree.canonical_per_query"
+
+let budgets =
+  [
+    {
+      Obs.Budget.b_name = "geom.rtree.canonical_per_query";
+      b_expected = 0.0;
+      b_tolerance = 0.6;
+      b_doc =
+        "Paper Sec 2 prelims: a d-dim range tree decomposes any rectangle \
+         into O(log^d n) canonical nodes. Polylog grows slower than any \
+         power of n, so the fitted exponent of mean canonical nodes per \
+         query vs n must stay well below 1 (the O(n) regression).";
+    };
+  ]
+
 (* Last-level (dimension d-1) subtree: a segment tree over its subset of
    points sorted by the last coordinate. Its nodes are the canonical
    nodes of the whole structure; they get global ids [base .. base+nn-1]
@@ -215,7 +233,11 @@ let query_nodes t (rect : Rect.t) =
               in
               cover inner.i_root acc
       in
-      go root 0 []
+      let nodes = go root 0 [] in
+      (* Every element of the canonical cover reaches the result list,
+         so its length is exactly canonical-nodes-for-this-query. *)
+      Obs.Hist.observe h_canonical (List.length nodes);
+      nodes
 
 (* Locates the seg owning a global node id by binary search on bases. *)
 let seg_of_global t gid =

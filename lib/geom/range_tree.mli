@@ -60,3 +60,9 @@ val marked_on_paths : t -> int -> bool
 (** [marked_on_paths t i] is true iff some node of [U_i] has a non-zero
     mark — i.e. point [i] lies in some rectangle previously recorded with
     [add_mark] on its canonical nodes. *)
+
+val budgets : Cso_obs.Obs.Budget.t list
+(** Declared complexity budget for the per-query canonical-set size
+    ([geom.rtree.canonical_per_query]): O(log^d n) canonical nodes per
+    query means a fitted log-log exponent near 0. Checked by
+    [bench/fig_budgets] and [csokit budgets]. *)

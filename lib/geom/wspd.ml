@@ -6,6 +6,13 @@ module Obs = Cso_obs.Obs
 let c_pairs = Obs.counter "geom.wspd.pairs"
 let c_find = Obs.counter "geom.wspd.find_calls"
 
+(* Distribution of achieved separation ratios (center distance over the
+   larger radius) across emitted pairs. Every emitted pair must clear
+   the requested [s]; the histogram shows how much slack the fair-split
+   tree actually leaves. Leaf-leaf fallback pairs have radius 0 on both
+   sides and land in the top bucket (ratio = infinity). *)
+let h_sep = Obs.Hist.hist "geom.wspd.pair_sep_ratio"
+
 type node = {
   repr : int; (* a point index inside the node *)
   center : Point.t;
@@ -70,6 +77,13 @@ let iter_pairs ~s root emit =
   in
   let emit u v =
     Obs.incr c_pairs;
+    if Obs.enabled () then begin
+      let rmax = max u.radius v.radius in
+      let ratio =
+        if rmax > 0.0 then Point.l2 u.center v.center /. rmax else infinity
+      in
+      Obs.Hist.observe_float h_sep ratio
+    end;
     emit u v
   in
   let rec find u v =

@@ -6,6 +6,10 @@ module Obs = Cso_obs.Obs
 let c_disk_scores = Obs.counter "kcenter.charikar.disk_scores"
 let c_guesses = Obs.counter "kcenter.charikar.radius_guesses"
 
+(* Disks scored per radius guess (k greedy iterations x n candidates):
+   the per-guess work Charikar's analysis charges the binary search. *)
+let h_scores = Obs.Hist.hist "kcenter.charikar.disk_scores_per_guess"
+
 type result = {
   centers : int list;
   outliers : int list;
@@ -14,6 +18,7 @@ type result = {
 
 let run_with_radius (s : Space.t) ~k ~z ~r =
   let n = s.Space.size in
+  Obs.Hist.observe h_scores (k * n);
   let pool = Cso_parallel.Pool.get_default () in
   let covered = Array.make n false in
   let centers = ref [] in

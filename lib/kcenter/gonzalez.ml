@@ -8,6 +8,19 @@ module Obs = Cso_obs.Obs
 let c_rounds = Obs.counter "kcenter.gonzalez.rounds"
 let c_pruned = Obs.counter "kcenter.gonzalez.pruned"
 
+let budgets =
+  [
+    {
+      Obs.Budget.b_name = "metric.dist_evals";
+      b_expected = 1.0;
+      b_tolerance = 0.3;
+      b_doc =
+        "Gonzalez 2-approximation is O(nk) distance relaxations; at fixed \
+         k the dist-eval series must be ~linear in n (Table 1 runtime \
+         column for the k-center subroutine).";
+    };
+  ]
+
 (* Farthest remaining point: max distance, ties broken towards the lower
    index — exactly what the sequential strict-greater scan picks, and
    associative, so the chunked reduction is bit-identical to it. *)

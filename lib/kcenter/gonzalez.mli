@@ -34,3 +34,9 @@ val run_points_fast : Cso_metric.Point.t array -> k:int -> int list * float
     at distance [>= 2 d_i] from point [i]'s current center, [d(c, i)]
     cannot improve [d_i] and is skipped. Large constant-factor speedups
     on clustered inputs with many centers. *)
+
+val budgets : Cso_obs.Obs.Budget.t list
+(** Declared complexity budget for the distance-evaluation series of the
+    Gonzalez kernel ([metric.dist_evals] at fixed k): O(nk) work means a
+    fitted log-log exponent of ~1 in n. Checked by [bench/fig_budgets]
+    and [csokit budgets]. *)

@@ -9,6 +9,24 @@ let c_rounds = Obs.counter "lp.mwu.rounds"
 let c_oracle = Obs.counter "lp.mwu.oracle_calls"
 let c_clamped = Obs.counter "lp.mwu.clamped"
 
+(* How many constraints the oracle's round-t solution violates: the
+   distribution should drift toward low buckets as the weights
+   concentrate on hard constraints. *)
+let h_violated = Obs.Hist.hist "lp.mwu.violated_per_round"
+
+let budgets =
+  [
+    {
+      Obs.Budget.b_name = "lp.mwu.rounds";
+      b_expected = 0.0;
+      b_tolerance = 0.05;
+      b_doc =
+        "Thm 3.1: MWU runs O(xi log m / eps^2) rounds. At the fixed round \
+         budget used by the bench kernels the executed-round count is \
+         independent of n, so the fitted exponent must be ~0 exactly.";
+    };
+  ]
+
 type 'a outcome =
   | Feasible of 'a list
   | Infeasible
@@ -47,6 +65,12 @@ let run ~m ~width ~eps ?rounds ?on_round ?on_weights ~oracle ~violation () =
           sols := sol :: !sols;
           let v = violation sol in
           if Array.length v <> m then invalid_arg "Mwu.run: violation length";
+          if Obs.enabled () then begin
+            (* Sequential count so the bucket vector is deterministic. *)
+            let violated = ref 0 in
+            Array.iter (fun x -> if x < 0.0 then incr violated) v;
+            Obs.Hist.observe h_violated !violated
+          end;
           (match on_round with
           | None -> ()
           | Some f ->

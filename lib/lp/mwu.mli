@@ -53,3 +53,9 @@ val run :
     Per-constraint weight updates run on the default
     [Cso_parallel.Pool]; results are bit-identical for every pool
     size. *)
+
+val budgets : Cso_obs.Obs.Budget.t list
+(** Declared complexity budget for [lp.mwu.rounds]: at a fixed round
+    budget the executed-round count is independent of the instance size,
+    so its counter-vs-n series must fit a flat (exponent ~0) line.
+    Checked by [bench/fig_budgets] and [csokit budgets]. *)

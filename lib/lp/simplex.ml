@@ -5,6 +5,12 @@ module Obs = Cso_obs.Obs
 let c_pivots = Obs.counter "lp.simplex.pivots"
 let c_solves = Obs.counter "lp.simplex.solves"
 
+(* Pivots per top-level solve. The per-solve figure comes from a
+   domain-local counter rather than the global atomic: concurrent solves
+   on other domains would otherwise pollute each other's deltas. *)
+let h_pivots = Obs.Hist.hist "lp.simplex.pivots_per_solve"
+let dls_pivots : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
 type op = Le | Ge | Eq
 
 type problem = {
@@ -48,6 +54,7 @@ type tableau = {
 
 let pivot t obj r c =
   Obs.incr c_pivots;
+  incr (Domain.DLS.get dls_pivots);
   let piv = t.rows.(r).(c) in
   let row = t.rows.(r) in
   for j = 0 to t.ncols do
@@ -246,8 +253,13 @@ let solve_shifted p =
 let solve p =
   validate p;
   Obs.incr c_solves;
-  Obs.with_span "simplex.solve" (fun () ->
-      try solve_shifted p with Exit -> Infeasible)
+  let local = Domain.DLS.get dls_pivots in
+  let before = !local in
+  Fun.protect
+    ~finally:(fun () -> Obs.Hist.observe h_pivots (!local - before))
+    (fun () ->
+      Obs.with_span "simplex.solve" (fun () ->
+          try solve_shifted p with Exit -> Infeasible))
 
 let feasible_point p =
   match solve { p with objective = Array.make p.num_vars 0.0 } with

@@ -1,10 +1,11 @@
 (* One global registry guarded by one mutex. The mutex is only taken on
-   the cold paths (interning a name, snapshot/reset, closing a span);
-   the hot path — [incr] from possibly many domains — is a single
-   atomic load of the switch plus an atomic fetch-and-add, which is
-   what lets instrumented kernels keep their bit-identical-across-
-   domain-counts guarantee: adds commute, so the final value depends
-   only on how many events happened, never on which domain saw them. *)
+   the cold paths (interning a name, snapshot/reset, closing a span,
+   pushing a trace event); the hot path — [incr] / [Hist.observe] from
+   possibly many domains — is a single atomic load of the switch plus an
+   atomic fetch-and-add, which is what lets instrumented kernels keep
+   their bit-identical-across-domain-counts guarantee: adds commute, so
+   the final value depends only on how many events happened, never on
+   which domain saw them. *)
 
 type counter = {
   c_name : string;
@@ -60,28 +61,344 @@ let value_of n =
 
 let by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l
 
+(* Snapshot with the registry mutex held by the caller. *)
+let snapshot_locked () =
+  by_name
+    (Hashtbl.fold (fun n c acc -> (n, Atomic.get c.cell) :: acc) counters [])
+
 let snapshot () =
   Mutex.lock mu;
-  let l =
-    Hashtbl.fold (fun n c acc -> (n, Atomic.get c.cell) :: acc) counters []
-  in
+  let l = snapshot_locked () in
   Mutex.unlock mu;
-  by_name l
+  l
+
+(* Nonzero per-counter differences between two snapshots. Counters
+   present only in [after] count from 0. *)
+let deltas_between before after =
+  let base = Hashtbl.create (List.length before) in
+  List.iter (fun (n, v) -> Hashtbl.replace base n v) before;
+  List.filter_map
+    (fun (n, v) ->
+      let d = v - Option.value ~default:0 (Hashtbl.find_opt base n) in
+      if d <> 0 then Some (n, d) else None)
+    after
 
 let with_delta f =
+  (* Both snapshots are taken under the registry mutex, so each one is a
+     consistent view of the counter table even while other domains
+     intern new counters. What the mutex cannot (and need not) rule out:
+     increments performed by concurrent *unrelated* work on other
+     domains land inside the measured window and are attributed to [f].
+     That interleaving is benign for every current caller — the
+     determinism suites and benches measure one kernel at a time — and
+     is documented in the .mli. *)
   let before = snapshot () in
   let r = f () in
   let after = snapshot () in
-  let base = Hashtbl.create (List.length before) in
-  List.iter (fun (n, v) -> Hashtbl.replace base n v) before;
-  let deltas =
-    List.filter_map
-      (fun (n, v) ->
-        let d = v - Option.value ~default:0 (Hashtbl.find_opt base n) in
-        if d <> 0 then Some (n, d) else None)
-      after
-  in
-  (r, deltas)
+  (r, deltas_between before after)
+
+(* --- JSON escaping + a minimal parser ---------------------------------
+   The reporters below hand-roll their JSON for byte-stable output; the
+   parser exists so the trace/budget round-trip tooling (csokit trace,
+   csokit budgets, the trace-smoke gate) stays dependency-free. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let fail msg = raise (Parse_error msg)
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = Stdlib.incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then advance ()
+      else fail (Printf.sprintf "expected '%c' at offset %d" c !pos)
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "bad literal at offset %d" !pos)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+              advance ();
+              (if !pos >= n then fail "unterminated escape"
+               else
+                 match s.[!pos] with
+                 | '"' -> Buffer.add_char buf '"'; advance ()
+                 | '\\' -> Buffer.add_char buf '\\'; advance ()
+                 | '/' -> Buffer.add_char buf '/'; advance ()
+                 | 'b' -> Buffer.add_char buf '\b'; advance ()
+                 | 'f' -> Buffer.add_char buf '\012'; advance ()
+                 | 'n' -> Buffer.add_char buf '\n'; advance ()
+                 | 'r' -> Buffer.add_char buf '\r'; advance ()
+                 | 't' -> Buffer.add_char buf '\t'; advance ()
+                 | 'u' ->
+                     advance ();
+                     if !pos + 4 > n then fail "truncated \\u escape";
+                     let hex = String.sub s !pos 4 in
+                     pos := !pos + 4;
+                     let code =
+                       try int_of_string ("0x" ^ hex)
+                       with _ -> fail "bad \\u escape"
+                     in
+                     (* Only ASCII escapes are emitted by this module;
+                        anything above is replaced, not decoded. *)
+                     if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                     else Buffer.add_char buf '?'
+                 | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+              go ()
+          | c -> Buffer.add_char buf c; advance (); go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && num_char s.[!pos] do
+        advance ()
+      done;
+      if !pos = start then fail (Printf.sprintf "bad number at %d" start)
+      else
+        match float_of_string_opt (String.sub s start (!pos - start)) with
+        | Some f -> f
+        | None -> fail (Printf.sprintf "bad number at %d" start)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); members ((k, v) :: acc)
+              | Some '}' -> advance (); List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}' in object"
+            in
+            Obj (members [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); items (v :: acc)
+              | Some ']' -> advance (); List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']' in array"
+            in
+            Arr (items [])
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail (Printf.sprintf "trailing garbage at offset %d" !pos);
+    v
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+  let str = function Str s -> s | _ -> fail "expected string"
+  let num = function Num f -> f | _ -> fail "expected number"
+  let arr = function Arr l -> l | _ -> fail "expected array"
+  let obj = function Obj l -> l | _ -> fail "expected object"
+end
+
+(* --- log2-bucketed histograms ----------------------------------------- *)
+
+module Hist = struct
+  (* Bucket 0 holds non-positive (and NaN) observations; bucket b >= 1
+     holds magnitudes in [2^(b-65), 2^(b-64)), so integers >= 1 land in
+     buckets 65.. and sub-unit float magnitudes (WSPD ratios below 1,
+     never produced in practice) still have somewhere deterministic to
+     go. 128 buckets cover every finite double. *)
+  let n_buckets = 128
+
+  type t = {
+    h_name : string;
+    cells : int Atomic.t array;
+  }
+
+  let hists : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let hist name =
+    Mutex.lock mu;
+    let h =
+      match Hashtbl.find_opt hists name with
+      | Some h -> h
+      | None ->
+          let h =
+            { h_name = name; cells = Array.init n_buckets (fun _ -> Atomic.make 0) }
+          in
+          Hashtbl.add hists name h;
+          h
+    in
+    Mutex.unlock mu;
+    h
+
+  let name h = h.h_name
+
+  let bucket_of_int v =
+    if v <= 0 then 0
+    else begin
+      (* 64 + (floor(log2 v) + 1): exact, no float detour. *)
+      let b = ref 0 and x = ref v in
+      while !x > 0 do
+        Stdlib.incr b;
+        x := !x lsr 1
+      done;
+      min (n_buckets - 1) (64 + !b)
+    end
+
+  let bucket_of_float v =
+    if Float.is_nan v || v <= 0.0 then 0
+    else if not (Float.is_finite v) then n_buckets - 1
+    else
+      (* frexp: v = m * 2^e, m in [0.5, 1), so e = floor(log2 v) + 1 —
+         the same bucket an equal-valued integer gets. Float exponents
+         are exact, so bucketing is deterministic. *)
+      let _, e = Float.frexp v in
+      max 1 (min (n_buckets - 1) (64 + e))
+
+  let bucket_lo b = if b <= 0 then 0.0 else Float.ldexp 1.0 (b - 65)
+
+  let observe h v =
+    if Atomic.get switch then Atomic.incr h.cells.(bucket_of_int v)
+
+  let observe_float h v =
+    if Atomic.get switch then Atomic.incr h.cells.(bucket_of_float v)
+
+  let sparse_of_cells cells =
+    let acc = ref [] in
+    for b = n_buckets - 1 downto 0 do
+      let c = Atomic.get cells.(b) in
+      if c > 0 then acc := (b, c) :: !acc
+    done;
+    !acc
+
+  let buckets h = sparse_of_cells h.cells
+  let total h = List.fold_left (fun acc (_, c) -> acc + c) 0 (buckets h)
+
+  let snapshot_arrays_locked () =
+    by_name
+      (Hashtbl.fold
+         (fun n h acc -> (n, Array.map Atomic.get h.cells) :: acc)
+         hists [])
+
+  let snapshot () =
+    Mutex.lock mu;
+    let l =
+      by_name
+        (Hashtbl.fold
+           (fun n h acc -> (n, sparse_of_cells h.cells) :: acc)
+           hists [])
+    in
+    Mutex.unlock mu;
+    l
+
+  let with_delta f =
+    let full () =
+      Mutex.lock mu;
+      let l = snapshot_arrays_locked () in
+      Mutex.unlock mu;
+      l
+    in
+    let before = full () in
+    let r = f () in
+    let after = full () in
+    let base = Hashtbl.create (List.length before) in
+    List.iter (fun (n, a) -> Hashtbl.replace base n a) before;
+    let deltas =
+      List.filter_map
+        (fun (n, a) ->
+          let b0 = Hashtbl.find_opt base n in
+          let sparse = ref [] in
+          for b = n_buckets - 1 downto 0 do
+            let prev = match b0 with Some arr -> arr.(b) | None -> 0 in
+            let d = a.(b) - prev in
+            if d > 0 then sparse := (b, d) :: !sparse
+          done;
+          if !sparse = [] then None else Some (n, !sparse))
+        after
+    in
+    (r, deltas)
+
+  let reset_locked () =
+    Hashtbl.iter
+      (fun _ h -> Array.iter (fun c -> Atomic.set c 0) h.cells)
+      hists
+end
 
 (* --- spans --- *)
 
@@ -111,18 +428,73 @@ let record_span path dt =
   s.seconds <- s.seconds +. dt;
   Mutex.unlock mu
 
+(* --- trace ring (state; the public surface is module Trace below) --- *)
+
+type trace_event = {
+  ev_path : string;
+  ev_name : string;
+  ev_depth : int;
+  ev_domain : int;
+  ev_t0 : float;
+  ev_t1 : float;
+  ev_deltas : (string * int) list;
+}
+
+let trace_switch = Atomic.make false
+let trace_cap = ref 4096
+let trace_buf : trace_event array ref = ref [||]
+let trace_len = ref 0
+let trace_next = ref 0
+let trace_dropped = ref 0
+
+let trace_clear_locked () =
+  trace_buf := [||];
+  trace_len := 0;
+  trace_next := 0;
+  trace_dropped := 0
+
+let trace_push ev =
+  Mutex.lock mu;
+  let cap = !trace_cap in
+  if cap > 0 then begin
+    if Array.length !trace_buf <> cap then begin
+      trace_buf := Array.make cap ev;
+      trace_len := 0;
+      trace_next := 0
+    end;
+    !trace_buf.(!trace_next) <- ev;
+    trace_next := (!trace_next + 1) mod cap;
+    if !trace_len < cap then trace_len := !trace_len + 1
+    else Stdlib.incr trace_dropped
+  end;
+  Mutex.unlock mu
+
 let with_span name f =
   if not (Atomic.get switch) then f ()
   else begin
     let stack = Domain.DLS.get stack_key in
+    let depth = List.length stack in
     let path = String.concat "/" (List.rev (name :: stack)) in
     Domain.DLS.set stack_key (name :: stack);
+    let tracing = Atomic.get trace_switch in
+    let snap0 = if tracing then snapshot () else [] in
     let t0 = !clock () in
     Fun.protect
       ~finally:(fun () ->
-        let dt = !clock () -. t0 in
+        let t1 = !clock () in
         Domain.DLS.set stack_key stack;
-        record_span path dt)
+        record_span path (t1 -. t0);
+        if tracing then
+          trace_push
+            {
+              ev_path = path;
+              ev_name = name;
+              ev_depth = depth;
+              ev_domain = (Domain.self () :> int);
+              ev_t0 = t0;
+              ev_t1 = t1;
+              ev_deltas = deltas_between snap0 (snapshot ());
+            })
       f
   end
 
@@ -136,13 +508,28 @@ let reset () =
   Mutex.lock mu;
   Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
   Hashtbl.reset spans;
+  Hist.reset_locked ();
+  trace_clear_locked ();
   Mutex.unlock mu
 
-(* --- JSON --- *)
+(* --- JSON reporters --- *)
 
 let counters_json snap =
   let cells =
-    List.map (fun (n, v) -> Printf.sprintf "\"%s\": %d" n v) (by_name snap)
+    List.map
+      (fun (n, v) -> Printf.sprintf "\"%s\": %d" (Json.escape n) v)
+      (by_name snap)
+  in
+  "{" ^ String.concat ", " cells ^ "}"
+
+let hists_json snap =
+  let cells =
+    List.map
+      (fun (n, sparse) ->
+        Printf.sprintf "\"%s\": [%s]" (Json.escape n)
+          (String.concat ", "
+             (List.map (fun (b, c) -> Printf.sprintf "[%d, %d]" b c) sparse)))
+      (List.sort (fun (a, _) (b, _) -> compare a b) snap)
   in
   "{" ^ String.concat ", " cells ^ "}"
 
@@ -150,9 +537,15 @@ let to_json ?(label = "") () =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{\n  \"bench\": \"obs\",\n";
   if label <> "" then
-    Buffer.add_string buf (Printf.sprintf "  \"label\": \"%s\",\n" label);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"label\": \"%s\",\n" (Json.escape label));
   Buffer.add_string buf
     (Printf.sprintf "  \"counters\": %s" (counters_json (snapshot ())));
+  (match List.filter (fun (_, sparse) -> sparse <> []) (Hist.snapshot ()) with
+  | [] -> ()
+  | hists ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\n  \"hists\": %s" (hists_json hists)));
   (match span_stats () with
   | [] -> ()
   | stats ->
@@ -162,9 +555,227 @@ let to_json ?(label = "") () =
            (List.map
               (fun (p, calls, secs) ->
                 Printf.sprintf
-                  "    {\"span\": \"%s\", \"calls\": %d, \"seconds\": %.6f}" p
-                  calls secs)
+                  "    {\"span\": \"%s\", \"calls\": %d, \"seconds\": %.6f}"
+                  (Json.escape p) calls secs)
               stats));
       Buffer.add_string buf "\n  ]");
   Buffer.add_string buf "\n}\n";
   Buffer.contents buf
+
+(* --- trace: public surface --- *)
+
+module Trace = struct
+  type event = trace_event = {
+    ev_path : string;
+    ev_name : string;
+    ev_depth : int;
+    ev_domain : int;
+    ev_t0 : float;
+    ev_t1 : float;
+    ev_deltas : (string * int) list;
+  }
+
+  let enabled () = Atomic.get trace_switch
+  let set_enabled b = Atomic.set trace_switch b
+
+  let set_capacity n =
+    if n < 1 then invalid_arg "Obs.Trace.set_capacity: capacity < 1";
+    Mutex.lock mu;
+    trace_cap := n;
+    trace_clear_locked ();
+    Mutex.unlock mu
+
+  let clear () =
+    Mutex.lock mu;
+    trace_clear_locked ();
+    Mutex.unlock mu
+
+  let dropped () =
+    Mutex.lock mu;
+    let d = !trace_dropped in
+    Mutex.unlock mu;
+    d
+
+  let events () =
+    Mutex.lock mu;
+    let cap = Array.length !trace_buf in
+    let len = !trace_len in
+    let out =
+      List.init len (fun i ->
+          !trace_buf.((!trace_next - len + i + (2 * cap)) mod (max 1 cap)))
+    in
+    Mutex.unlock mu;
+    out
+
+  let event_jsonl ev =
+    Printf.sprintf
+      "{\"path\": \"%s\", \"name\": \"%s\", \"depth\": %d, \"domain\": %d, \
+       \"t0\": %.9f, \"t1\": %.9f, \"deltas\": %s}"
+      (Json.escape ev.ev_path) (Json.escape ev.ev_name) ev.ev_depth
+      ev.ev_domain ev.ev_t0 ev.ev_t1
+      (counters_json ev.ev_deltas)
+
+  let to_jsonl evs = String.concat "\n" (List.map event_jsonl evs) ^ "\n"
+
+  let of_json j =
+    let field k =
+      match Json.member k j with
+      | Some v -> v
+      | None -> raise (Json.Parse_error ("trace event: missing field " ^ k))
+    in
+    {
+      ev_path = Json.str (field "path");
+      ev_name = Json.str (field "name");
+      ev_depth = int_of_float (Json.num (field "depth"));
+      ev_domain = int_of_float (Json.num (field "domain"));
+      ev_t0 = Json.num (field "t0");
+      ev_t1 = Json.num (field "t1");
+      ev_deltas =
+        List.map
+          (fun (k, v) -> (k, int_of_float (Json.num v)))
+          (Json.obj (field "deltas"));
+    }
+
+  let parse_jsonl s =
+    String.split_on_char '\n' s
+    |> List.filter (fun line -> String.trim line <> "")
+    |> List.map (fun line -> of_json (Json.parse line))
+
+  let to_chrome evs =
+    (* Chrome trace-event JSON ("X" complete events, microsecond
+       timestamps): loadable in chrome://tracing and Perfetto. Counter
+       deltas ride along as event args. *)
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\"traceEvents\": [\n";
+    Buffer.add_string buf
+      (String.concat ",\n"
+         (List.map
+            (fun ev ->
+              let deltas =
+                String.concat ", "
+                  (List.map
+                     (fun (n, v) ->
+                       Printf.sprintf "\"%s\": %d" (Json.escape n) v)
+                     ev.ev_deltas)
+              in
+              Printf.sprintf
+                "  {\"name\": \"%s\", \"cat\": \"cso\", \"ph\": \"X\", \
+                 \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d, \
+                 \"args\": {\"path\": \"%s\"%s%s}}"
+                (Json.escape ev.ev_name)
+                (ev.ev_t0 *. 1e6)
+                ((ev.ev_t1 -. ev.ev_t0) *. 1e6)
+                ev.ev_domain (Json.escape ev.ev_path)
+                (if deltas = "" then "" else ", ")
+                deltas)
+            evs));
+    Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\"}\n";
+    Buffer.contents buf
+
+  type phase = {
+    ph_path : string;
+    ph_calls : int;
+    ph_total : float;
+    ph_self : float;
+    ph_deltas : (string * int) list;
+  }
+
+  let merge_deltas a b =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (n, v) ->
+        Hashtbl.replace tbl n (v + Option.value ~default:0 (Hashtbl.find_opt tbl n)))
+      (a @ b);
+    by_name (Hashtbl.fold (fun n v acc -> (n, v) :: acc) tbl [])
+
+  let phases evs =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun ev ->
+        let calls, total, deltas =
+          Option.value ~default:(0, 0.0, []) (Hashtbl.find_opt tbl ev.ev_path)
+        in
+        Hashtbl.replace tbl ev.ev_path
+          ( calls + 1,
+            total +. (ev.ev_t1 -. ev.ev_t0),
+            merge_deltas deltas ev.ev_deltas ))
+      evs;
+    let parent p =
+      match String.rindex_opt p '/' with
+      | Some i -> Some (String.sub p 0 i)
+      | None -> None
+    in
+    let child_total = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun p (_, total, _) ->
+        match parent p with
+        | Some pp ->
+            Hashtbl.replace child_total pp
+              (total
+              +. Option.value ~default:0.0 (Hashtbl.find_opt child_total pp))
+        | None -> ())
+      tbl;
+    Hashtbl.fold
+      (fun p (calls, total, deltas) acc ->
+        let children =
+          Option.value ~default:0.0 (Hashtbl.find_opt child_total p)
+        in
+        (* Coarse clocks can observe a child "longer" than its parent;
+           self-time is clamped at 0 rather than reported negative. *)
+        {
+          ph_path = p;
+          ph_calls = calls;
+          ph_total = total;
+          ph_self = Float.max 0.0 (total -. children);
+          ph_deltas = deltas;
+        }
+        :: acc)
+      tbl []
+    |> List.sort (fun a b -> compare a.ph_path b.ph_path)
+end
+
+(* --- complexity budgets --- *)
+
+module Budget = struct
+  type t = {
+    b_name : string;
+    b_expected : float;
+    b_tolerance : float;
+    b_doc : string;
+  }
+
+  let fit pts =
+    let pts = List.filter (fun (x, y) -> x > 0.0 && y > 0.0) pts in
+    let n = List.length pts in
+    if n < 2 then invalid_arg "Obs.Budget.fit: need at least two positive points";
+    let lx = List.map (fun (x, _) -> log x) pts in
+    let ly = List.map (fun (_, y) -> log y) pts in
+    let nf = float_of_int n in
+    let mean l = List.fold_left ( +. ) 0.0 l /. nf in
+    let mx = mean lx and my = mean ly in
+    let cov =
+      List.fold_left2 (fun a x y -> a +. ((x -. mx) *. (y -. my))) 0.0 lx ly
+    in
+    let var = List.fold_left (fun a x -> a +. ((x -. mx) *. (x -. mx))) 0.0 lx in
+    if var <= 0.0 then invalid_arg "Obs.Budget.fit: degenerate size range";
+    cov /. var
+
+  let check b pts =
+    let s = fit pts in
+    if abs_float (s -. b.b_expected) <= b.b_tolerance then Ok s
+    else
+      Error
+        (Printf.sprintf
+           "budget %s VIOLATED: fitted log-log exponent %.3f outside %.2f ± \
+            %.2f — %s"
+           b.b_name s b.b_expected b.b_tolerance b.b_doc)
+
+  let row_json b ~fitted ~points =
+    Printf.sprintf
+      "{\"name\": \"%s\", \"expected\": %.2f, \"tolerance\": %.2f, \
+       \"fitted\": %.6f, \"points\": [%s], \"doc\": \"%s\"}"
+      (Json.escape b.b_name) b.b_expected b.b_tolerance fitted
+      (String.concat ", "
+         (List.map (fun (x, y) -> Printf.sprintf "[%.6f, %.6f]" x y) points))
+      (Json.escape b.b_doc)
+end

@@ -53,6 +53,7 @@ let candidate_linf_distances (inst : Instance.t) =
    the centers, if one exists. [r] must not be a realizable coordinate
    difference so that no result lies exactly on a cube boundary. *)
 let outside_witness inst tree ~centers ~r =
+  Obs.with_span "oracle.outside_witness" @@ fun () ->
   Obs.incr c_witness;
   let d = Schema.dims inst.Instance.schema in
   let cubes = List.map (fun c -> Rect.cube ~center:c ~side:(2.0 *. r)) centers in
@@ -61,6 +62,7 @@ let outside_witness inst tree ~centers ~r =
 
 let farthest_linf inst tree ~centers ~cand =
   if centers = [] then invalid_arg "Oracles.farthest_linf: no centers";
+  Obs.with_span "oracle.farthest_linf" @@ fun () ->
   let len = Array.length cand in
   (* Binary search the largest index [i] such that some result lies
      strictly beyond radius (cand.(i) + cand.(i+1)) / 2; the farthest

@@ -195,20 +195,52 @@ let prop_mwu_identical =
 
 module Obs = Cso_obs.Obs
 
-(* A workload touching several instrumented substrates at once. The
+(* A workload touching several instrumented substrates at once —
+   including every histogram site: BBD ball queries (nodes/query),
+   range-tree rect queries (canonical/query), WSPD pair emission
+   (separation ratios), MWU rounds (violations/round) and a GCSO solve,
+   whose per-point ball queries run inside [Pool.tabulate] bodies. The
    inputs are built once, outside the per-domain closures: a shared rng
    inside them would feed different data to each pool size and void the
    comparison. *)
+module Bbd = Cso_geom.Bbd_tree
+module Rtree = Cso_geom.Range_tree
+module Rect = Cso_geom.Rect
+module Wspd = Cso_geom.Wspd
+module Planted = Cso_workload.Planted
+
 let obs_workload_inputs () =
   let pts = random_pts 600 in
   let m = 800 in
-  (pts, m)
+  let gcso =
+    Planted.gcso_overlapping (Random.State.make [| 77; 13 |]) ~n:48 ~k:3 ~z:2
+  in
+  (pts, m, gcso)
 
-let run_obs_workload (pts, m) =
+let run_obs_workload (pts, m, gcso) =
   let g = Gonzalez.run_points_fast pts ~k:5 in
   let s = Space.of_points pts in
   let c = Space.cached s in
   let d01 = c.Space.dist 0 1 in
+  let bbd = Bbd.build pts in
+  let bbd_hits =
+    List.map
+      (fun i ->
+        List.length
+          (Bbd.ball_query bbd ~center:pts.(i) ~radius:15.0 ~eps:0.2))
+      [ 0; 7; 41; 99 ]
+  in
+  let rt = Rtree.build pts in
+  let rt_hits =
+    List.map
+      (fun i ->
+        let lo = pts.(i) in
+        let r = Rect.of_intervals [ (lo.(0), lo.(0) +. 25.0); (lo.(1), lo.(1) +. 25.0) ] in
+        List.length (Rtree.query_nodes rt r))
+      [ 3; 17; 55 ]
+  in
+  let wspd = List.length (Wspd.pairs_info ~eps:0.5 (Array.sub pts 0 40)) in
+  let gr = Cso_core.Gcso_general.solve gcso.Planted.geo in
   let heaviest sigma =
     let best = ref 0 in
     Array.iteri (fun i w -> if w > sigma.(!best) then best := i) sigma;
@@ -221,7 +253,7 @@ let run_obs_workload (pts, m) =
         else -1.0 +. (float_of_int ((i * 31) mod 13) /. 13.0))
   in
   let mwu = Mwu.run ~m ~width:1.0 ~eps:0.3 ~rounds:12 ~oracle ~violation () in
-  (g, d01, mwu)
+  (g, d01, bbd_hits, rt_hits, wspd, gr.Cso_core.Gcso_general.radius, mwu)
 
 let test_obs_identical_across_domains () =
   let inputs = obs_workload_inputs () in
@@ -243,14 +275,107 @@ let test_obs_disabled_is_noop () =
   let was = Obs.enabled () in
   Obs.set_enabled false;
   Fun.protect ~finally:(fun () -> Obs.set_enabled was) (fun () ->
-      let result, deltas =
-        with_domains 2 (fun () -> Obs.with_delta (fun () -> run_obs_workload inputs))
+      let (result, deltas), hist_deltas =
+        with_domains 2 (fun () ->
+            Obs.Hist.with_delta (fun () ->
+                Obs.with_delta (fun () -> run_obs_workload inputs)))
       in
       Alcotest.(check bool) "no counter moves with CSO_OBS off" true
         (deltas = []);
+      Alcotest.(check bool) "no histogram moves with CSO_OBS off" true
+        (hist_deltas = []);
       Alcotest.(check bool) "algorithm results unchanged with CSO_OBS off"
         true
         (result = reference))
+
+let test_hist_identical_across_domains () =
+  let inputs = obs_workload_inputs () in
+  let runs =
+    on_all_domain_counts (fun _ ->
+        Obs.Hist.with_delta (fun () -> run_obs_workload inputs))
+  in
+  (match runs with
+  | (_, hist_deltas) :: _ ->
+      Alcotest.(check bool) "workload filled histograms" true
+        (hist_deltas <> []);
+      (* The workload must reach every instrumented histogram family. *)
+      List.iter
+        (fun name ->
+          Alcotest.(check bool) (name ^ " observed") true
+            (List.mem_assoc name hist_deltas))
+        [
+          "geom.bbd.nodes_per_query";
+          "geom.rtree.canonical_per_query";
+          "geom.wspd.pair_sep_ratio";
+          "lp.mwu.violated_per_round";
+          "cso.gcso.ball_nodes_per_point";
+        ]
+  | [] -> Alcotest.fail "no runs");
+  Alcotest.(check bool)
+    "hist bucket vectors bit-identical across 1/2/4 domains" true
+    (all_equal runs)
+
+(* The acceptance bar for the artifacts is stronger than structural
+   equality: the {e rendered} JSON must be byte-identical across domain
+   counts and across repeated runs, because bench gates diff these
+   strings against committed baselines. *)
+let test_obs_artifacts_byte_stable () =
+  let inputs = obs_workload_inputs () in
+  let render nd =
+    with_domains nd (fun () ->
+        let (_, counter_deltas), hist_deltas =
+          Obs.Hist.with_delta (fun () ->
+              Obs.with_delta (fun () -> run_obs_workload inputs))
+        in
+        (Obs.counters_json counter_deltas, Obs.hists_json hist_deltas))
+  in
+  let runs = List.concat_map (fun nd -> [ render nd; render nd ]) domain_counts in
+  (match runs with
+  | (cj, hj) :: _ ->
+      Alcotest.(check bool) "counters json non-trivial" true
+        (String.length cj > 2);
+      Alcotest.(check bool) "hists json non-trivial" true
+        (String.length hj > 2)
+  | [] -> Alcotest.fail "no runs");
+  Alcotest.(check bool)
+    "rendered counter/hist JSON byte-identical across domains and reps" true
+    (all_equal runs)
+
+(* Budget rows feed BENCH_budgets.json; a fitted exponent that moves
+   with the pool size would make the budget gate flaky. The series here
+   is synthetic (formula points, no rng) so both reps see the same
+   input bytes. *)
+let test_budget_row_byte_stable () =
+  let budget = List.hd Gonzalez.budgets in
+  let sizes = [ 300; 600; 1200 ] in
+  let pts_of n =
+    Array.init n (fun i ->
+        [| float_of_int (i * 7919 mod 1000); float_of_int (i * 104729 mod 1000) |])
+  in
+  let render nd =
+    with_domains nd (fun () ->
+        let points =
+          List.map
+            (fun n ->
+              let _, deltas =
+                Obs.with_delta (fun () ->
+                    ignore (Gonzalez.run_points_fast (pts_of n) ~k:4))
+              in
+              let evals =
+                Option.value ~default:0
+                  (List.assoc_opt "metric.dist_evals" deltas)
+              in
+              (float_of_int n, float_of_int evals))
+            sizes
+        in
+        match Obs.Budget.check budget points with
+        | Ok fitted -> Obs.Budget.row_json budget ~fitted ~points
+        | Error msg -> Alcotest.fail msg)
+  in
+  let runs = List.concat_map (fun nd -> [ render nd; render nd ]) domain_counts in
+  Alcotest.(check bool)
+    "budget row JSON byte-identical across domains and reps" true
+    (all_equal runs)
 
 let suite =
   [
@@ -271,4 +396,10 @@ let suite =
       test_obs_identical_across_domains;
     Alcotest.test_case "obs disabled is a no-op" `Quick
       test_obs_disabled_is_noop;
+    Alcotest.test_case "hist buckets identical across pool sizes" `Quick
+      test_hist_identical_across_domains;
+    Alcotest.test_case "obs artifacts byte-stable" `Quick
+      test_obs_artifacts_byte_stable;
+    Alcotest.test_case "budget rows byte-stable" `Quick
+      test_budget_row_byte_stable;
   ]

@@ -19,6 +19,11 @@ let random_points n d =
 let delta_of deltas name =
   Option.value ~default:0 (List.assoc_opt name deltas)
 
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
 (* --- BBD sandwich guarantee, general dimension and eps --- *)
 
 let brute_ball pts c r =
@@ -323,16 +328,251 @@ let test_obs_json () =
   let c = Obs.counter "props.obs.json" in
   Obs.incr c;
   let j = Obs.to_json ~label:"props" () in
-  let contains needle hay =
-    let nl = String.length needle and hl = String.length hay in
-    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
-    go 0
-  in
   Alcotest.(check bool) "bench tag" true (contains "\"bench\": \"obs\"" j);
   Alcotest.(check bool) "label" true (contains "\"label\": \"props\"" j);
   Alcotest.(check bool) "counter name" true (contains "props.obs.json" j);
   let cj = Obs.counters_json [ ("b", 2); ("a", 1) ] in
   Alcotest.(check string) "counters_json sorts" "{\"a\": 1, \"b\": 2}" cj
+
+(* --- histograms --- *)
+
+module Hist = Obs.Hist
+
+let test_hist_buckets () =
+  Alcotest.(check int) "v <= 0 lands in bucket 0" 0 (Hist.bucket_of_int 0);
+  Alcotest.(check int) "negative lands in bucket 0" 0 (Hist.bucket_of_int (-3));
+  Alcotest.(check int) "bucket_of_int 1 = 65" 65 (Hist.bucket_of_int 1);
+  Alcotest.(check int) "2 starts bucket 66" 66 (Hist.bucket_of_int 2);
+  Alcotest.(check int) "3 stays in bucket 66" 66 (Hist.bucket_of_int 3);
+  Alcotest.(check int) "4 starts bucket 67" 67 (Hist.bucket_of_int 4);
+  Alcotest.(check int) "nan in bucket 0" 0 (Hist.bucket_of_float Float.nan);
+  Alcotest.(check int) "infinity in last bucket" (Hist.n_buckets - 1)
+    (Hist.bucket_of_float infinity);
+  Alcotest.(check int) "sub-1 magnitudes below bucket 65" 64
+    (Hist.bucket_of_float 0.5);
+  Alcotest.(check (float 0.0)) "bucket_lo 65 = 1" 1.0 (Hist.bucket_lo 65);
+  Alcotest.(check (float 0.0)) "bucket_lo 66 = 2" 2.0 (Hist.bucket_lo 66);
+  Alcotest.(check (float 0.0)) "bucket_lo 64 = 0.5" 0.5 (Hist.bucket_lo 64);
+  Alcotest.(check (float 0.0)) "bucket_lo 0 = 0" 0.0 (Hist.bucket_lo 0)
+
+let prop_hist_bucket_brackets =
+  QCheck.Test.make
+    ~name:"hist bucket brackets its value; float and int scales agree"
+    ~count:300 ~long_factor:3
+    QCheck.(int_range 1 1_000_000_000)
+    (fun v ->
+      let b = Hist.bucket_of_int v in
+      let lo = Hist.bucket_lo b in
+      lo <= float_of_int v
+      && float_of_int v < 2.0 *. lo
+      && b = Hist.bucket_of_float (float_of_int v))
+
+let test_hist_observe () =
+  let h = Hist.hist "props.hist.unit" in
+  let (), deltas =
+    Hist.with_delta (fun () ->
+        Hist.observe h 1;
+        Hist.observe h 3;
+        Hist.observe_float h 2.5;
+        Hist.observe h 0)
+  in
+  let buckets = Option.value ~default:[] (List.assoc_opt "props.hist.unit" deltas) in
+  Alcotest.(check (list (pair int int)))
+    "sparse buckets: 0 -> b0, 1 -> b65, {3, 2.5} -> b66"
+    [ (0, 1); (65, 1); (66, 2) ]
+    buckets;
+  Alcotest.(check string) "interned name" "props.hist.unit" (Hist.name h);
+  Alcotest.(check bool) "snapshot lists the histogram" true
+    (List.mem_assoc "props.hist.unit" (Hist.snapshot ()))
+
+let test_hist_disabled () =
+  let h = Hist.hist "props.hist.off" in
+  let t0 = Hist.total h in
+  let was = Obs.enabled () in
+  Obs.set_enabled false;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was) (fun () ->
+      Hist.observe h 5;
+      Hist.observe_float h 5.0);
+  Alcotest.(check int) "no observations while disabled" t0 (Hist.total h)
+
+(* --- trace ring --- *)
+
+let with_fake_clock f =
+  let t = ref 0.0 in
+  Obs.set_clock (fun () ->
+      let v = !t in
+      t := v +. 1.0;
+      v);
+  Fun.protect ~finally:(fun () -> Obs.set_clock Sys.time) f
+
+let with_tracing f =
+  let was = Obs.Trace.enabled () in
+  Obs.Trace.set_enabled true;
+  Obs.Trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_enabled was;
+      Obs.Trace.clear ())
+    f
+
+let test_trace_roundtrip () =
+  with_fake_clock @@ fun () ->
+  with_tracing @@ fun () ->
+  let c = Obs.counter "props.trace.work" in
+  Obs.with_span "props_t_outer" (fun () ->
+      Obs.incr c;
+      Obs.with_span "props_t_inner" (fun () -> Obs.incr c));
+  let evs = Obs.Trace.events () in
+  (match evs with
+  | [ inner; outer ] ->
+      (* Events are pushed at span end, so the child precedes its
+         parent. *)
+      Alcotest.(check string) "inner path" "props_t_outer/props_t_inner"
+        inner.Obs.Trace.ev_path;
+      Alcotest.(check string) "inner leaf name" "props_t_inner"
+        inner.Obs.Trace.ev_name;
+      Alcotest.(check int) "inner depth" 1 inner.Obs.Trace.ev_depth;
+      Alcotest.(check string) "outer path" "props_t_outer"
+        outer.Obs.Trace.ev_path;
+      Alcotest.(check int) "outer depth" 0 outer.Obs.Trace.ev_depth;
+      Alcotest.(check int) "outer deltas include nested increments" 2
+        (delta_of outer.Obs.Trace.ev_deltas "props.trace.work");
+      Alcotest.(check bool) "fake clock gives positive duration" true
+        (outer.Obs.Trace.ev_t1 > outer.Obs.Trace.ev_t0)
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 events, got %d" (List.length l)));
+  let jsonl = Obs.Trace.to_jsonl evs in
+  Alcotest.(check bool) "jsonl round-trip is exact" true
+    (Obs.Trace.parse_jsonl jsonl = evs);
+  match Obs.Json.member "traceEvents" (Obs.Json.parse (Obs.Trace.to_chrome evs)) with
+  | Some (Obs.Json.Arr l) ->
+      Alcotest.(check int) "chrome export has one X event per span" 2
+        (List.length l)
+  | _ -> Alcotest.fail "chrome export lacks a traceEvents array"
+
+let test_trace_ring_bounded () =
+  with_fake_clock @@ fun () ->
+  with_tracing @@ fun () ->
+  Obs.Trace.set_capacity 4;
+  Fun.protect ~finally:(fun () -> Obs.Trace.set_capacity 4096) @@ fun () ->
+  for i = 1 to 10 do
+    Obs.with_span (Printf.sprintf "props_ring_%d" i) (fun () -> ())
+  done;
+  let evs = Obs.Trace.events () in
+  Alcotest.(check int) "ring keeps only the capacity" 4 (List.length evs);
+  Alcotest.(check int) "overwritten events counted" 6 (Obs.Trace.dropped ());
+  Alcotest.(check string) "oldest surviving event first" "props_ring_7"
+    (List.hd evs).Obs.Trace.ev_path
+
+let test_trace_phases () =
+  let ev path name depth t0 t1 deltas =
+    {
+      Obs.Trace.ev_path = path; ev_name = name; ev_depth = depth;
+      ev_domain = 0; ev_t0 = t0; ev_t1 = t1; ev_deltas = deltas;
+    }
+  in
+  let phases evs =
+    List.map
+      (fun p -> (p.Obs.Trace.ph_path, (p.Obs.Trace.ph_calls, p.Obs.Trace.ph_total, p.Obs.Trace.ph_self)))
+      (Obs.Trace.phases evs)
+  in
+  let tbl =
+    phases
+      [
+        ev "a/b" "b" 1 1.0 9.0 [ ("c", 3) ];
+        ev "a" "a" 0 0.0 10.0 [ ("c", 3) ];
+      ]
+  in
+  Alcotest.(check (option (triple int (float 1e-9) (float 1e-9))))
+    "parent self = total minus direct child"
+    (Some (1, 10.0, 2.0))
+    (List.assoc_opt "a" tbl);
+  Alcotest.(check (option (triple int (float 1e-9) (float 1e-9))))
+    "leaf self = total"
+    (Some (1, 8.0, 8.0))
+    (List.assoc_opt "a/b" tbl);
+  (* A coarse clock can report a child longer than its parent; self time
+     must clamp at zero rather than go negative. *)
+  let clamped =
+    phases [ ev "a/b" "b" 1 0.0 5.0 []; ev "a" "a" 0 0.0 4.0 [] ]
+  in
+  (match List.assoc_opt "a" clamped with
+  | Some (_, _, self) ->
+      Alcotest.(check (float 0.0)) "self clamped at zero" 0.0 self
+  | None -> Alcotest.fail "phase missing")
+
+(* --- budgets --- *)
+
+let test_budget_fit () =
+  let series expo = List.map (fun x -> (x, 3.0 *. (x ** expo))) [ 100.; 200.; 400.; 800. ] in
+  Alcotest.(check (float 1e-9)) "planted exponent 1.5 recovered" 1.5
+    (Obs.Budget.fit (series 1.5));
+  Alcotest.(check (float 1e-9)) "planted exponent 0 recovered" 0.0
+    (Obs.Budget.fit (series 0.0));
+  Alcotest.(check (float 1e-9)) "planted exponent 1 recovered" 1.0
+    (Obs.Budget.fit (series 1.0));
+  Alcotest.check_raises "fewer than two positive points rejected"
+    (Invalid_argument "Obs.Budget.fit: need at least two positive points")
+    (fun () -> ignore (Obs.Budget.fit [ (100.0, 5.0) ]));
+  Alcotest.check_raises "degenerate size range rejected"
+    (Invalid_argument "Obs.Budget.fit: degenerate size range")
+    (fun () -> ignore (Obs.Budget.fit [ (100.0, 5.0); (100.0, 9.0) ]))
+
+let test_budget_check () =
+  let b =
+    {
+      Obs.Budget.b_name = "props.budget.log";
+      b_expected = 0.0;
+      b_tolerance = 0.3;
+      b_doc = "logarithmic per-query work";
+    }
+  in
+  let sizes = [ 128.; 512.; 2048.; 8192.; 32768. ] in
+  (* Genuinely logarithmic work passes an O(log n)-style budget... *)
+  (match Obs.Budget.check b (List.map (fun x -> (x, log x)) sizes) with
+  | Ok fitted ->
+      Alcotest.(check bool) "log series fits below tolerance" true
+        (Float.abs fitted < 0.3)
+  | Error msg -> Alcotest.fail msg);
+  (* ...and superlinear work hard-fails it, with the doc string in the
+     message so the failure explains which bound broke. *)
+  match Obs.Budget.check b (List.map (fun x -> (x, x ** 1.2)) sizes) with
+  | Ok fitted -> Alcotest.fail (Printf.sprintf "superlinear passed: %g" fitted)
+  | Error msg ->
+      Alcotest.(check bool) "failure message carries the budget doc" true
+        (contains "logarithmic per-query work" msg)
+
+(* --- JSON escaping --- *)
+
+let test_json_escape_roundtrip () =
+  let nasty = "a\"b\\c\nd\te\rf\x01g" in
+  let doc = "{\"k\": \"" ^ Obs.Json.escape nasty ^ "\"}" in
+  (match Obs.Json.parse doc with
+  | Obs.Json.Obj [ ("k", Obs.Json.Str s) ] ->
+      Alcotest.(check string) "escape/parse round-trips" nasty s
+  | _ -> Alcotest.fail "unexpected shape");
+  Alcotest.(check string) "counters_json escapes names"
+    "{\"a\\\"b\": 1}"
+    (Obs.counters_json [ ("a\"b", 1) ]);
+  Alcotest.check_raises "trailing garbage rejected"
+    (Obs.Json.Parse_error "trailing garbage at offset 3") (fun () ->
+      ignore (Obs.Json.parse "{} x"))
+
+(* --- with_delta vs concurrent counter registration --- *)
+
+let test_with_delta_concurrent_registration () =
+  (* A domain spawned inside the measured window registers a counter the
+     begin-snapshot has never seen; the delta must still count it from
+     zero rather than raise or drop it. *)
+  let (), deltas =
+    Obs.with_delta (fun () ->
+        Domain.join
+          (Domain.spawn (fun () ->
+               let c = Obs.counter "props.obs.spawned_mid_window" in
+               Obs.incr c;
+               Obs.incr c)))
+  in
+  Alcotest.(check int) "mid-window registration counted from zero" 2
+    (delta_of deltas "props.obs.spawned_mid_window")
 
 let suite =
   [
@@ -349,4 +589,20 @@ let suite =
     Alcotest.test_case "obs spans nest and survive exceptions" `Quick
       test_obs_spans;
     Alcotest.test_case "obs json output" `Quick test_obs_json;
+    Alcotest.test_case "hist bucket scheme" `Quick test_hist_buckets;
+    QCheck_alcotest.to_alcotest prop_hist_bucket_brackets;
+    Alcotest.test_case "hist observe + with_delta" `Quick test_hist_observe;
+    Alcotest.test_case "hist disabled is frozen" `Quick test_hist_disabled;
+    Alcotest.test_case "trace round-trip (jsonl + chrome)" `Quick
+      test_trace_roundtrip;
+    Alcotest.test_case "trace ring is bounded" `Quick test_trace_ring_bounded;
+    Alcotest.test_case "trace phase table" `Quick test_trace_phases;
+    Alcotest.test_case "budget fit recovers planted exponents" `Quick
+      test_budget_fit;
+    Alcotest.test_case "budget check passes log, fails superlinear" `Quick
+      test_budget_check;
+    Alcotest.test_case "json escaping round-trips" `Quick
+      test_json_escape_roundtrip;
+    Alcotest.test_case "with_delta vs concurrent registration" `Quick
+      test_with_delta_concurrent_registration;
   ]
