@@ -28,7 +28,7 @@ bench:
 # recorded BENCH_budgets_baseline.json. Cheap enough to run alongside
 # `dune runtest`.
 bench-smoke:
-	dune exec bench/main.exe -- smoke_parallel smoke_counters smoke_budgets
+	dune exec bench/main.exe -- smoke_parallel smoke_counters smoke_budgets smoke_kernels
 
 # Trace round-trip gate: record a traced GCSO run, re-read the JSONL
 # through the csokit parser (proving writer and parser agree), check the

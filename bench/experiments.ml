@@ -701,7 +701,7 @@ let fig_mwu_convergence () =
   let rows = ref [] in
   let top_k weights kk =
     let idx = Array.init (Array.length weights) Fun.id in
-    Array.sort (fun a b -> compare weights.(b) weights.(a)) idx;
+    Array.sort (fun a b -> Float.compare weights.(b) weights.(a)) idx;
     Array.to_list (Array.sub idx 0 (min kk (Array.length idx)))
   in
   for t = 1 to 320 do
@@ -1796,6 +1796,416 @@ let smoke_budgets () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* KERNELS -- cache-resident compute core (DESIGN.md, section 3e).      *)
+(* Boxed Point kernels vs the packed SoA store, the batched BBD ball    *)
+(* sweep under domain counts {1,2}, and the flat simplex tableau vs     *)
+(* the row-of-rows reference. Checksums, counter deltas and histogram   *)
+(* deltas must be bit-identical between the paired variants; wall-clock *)
+(* lands in BENCH_kernels.json, and the deterministic work counts are   *)
+(* gated exactly against a committed baseline in `make bench-smoke`.    *)
+(* ------------------------------------------------------------------ *)
+
+module Points = Cso_metric.Points
+module Simplex = Cso_lp.Simplex
+
+(* Timing sections run with counters off: an atomic add per call would
+   dominate a four-flop distance kernel and mask the layout effect the
+   bench exists to measure. Identity sections re-run with counters on. *)
+let with_obs_disabled f =
+  let was = Obs.enabled () in
+  Obs.set_enabled false;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was) f
+
+let kernel_pts_of n d =
+  let st = Random.State.make [| n; d; 424243 |] in
+  Array.init n (fun _ -> Array.init d (fun _ -> Random.State.float st 1000.0))
+
+(* Fixed total eval budget per row so wall-clock is comparable across
+   sizes. Each pass sweeps the whole store against a shifted copy of
+   itself -- the access pattern of the Gonzalez and violation sweeps. *)
+let kernel_eval_target = 1 lsl 22
+let kernel_passes n = max 1 (kernel_eval_target / n)
+
+(* Scattered partner index: a Weyl-style multiplicative hash, masked to
+   [0, n) (sizes are powers of two). Sequential partners would let the
+   hardware prefetcher hide the boxed layout's pointer chase entirely;
+   scattered access is what the BBD / ball-query sweeps actually do, so
+   that is the pattern the bench measures. Cheap (one multiply + mask,
+   no division) and identical for both variants. *)
+let kernel_partner n i p = (((i + p) * 0x9E3779B1) land max_int) land (n - 1)
+
+let boxed_sweep pts passes =
+  let n = Array.length pts in
+  let acc = ref 0.0 in
+  for p = 1 to passes do
+    for i = 0 to n - 1 do
+      acc := !acc +. Point.l2_sq pts.(i) pts.(kernel_partner n i p)
+    done
+  done;
+  !acc
+
+let packed_sweep c passes =
+  let n = Points.length c in
+  let acc = ref 0.0 in
+  for p = 1 to passes do
+    for i = 0 to n - 1 do
+      acc := !acc +. Points.l2_sq_idx c i (kernel_partner n i p)
+    done
+  done;
+  !acc
+
+(* Row sweeps: all n distances from one (rotating) center per pass. The
+   boxed API can only express this as n kernel calls; the packed store
+   has the batch [l2_sq_to] row kernel. The checksum folds one rotating
+   element per pass so the full result feeds the bit-identity check. *)
+let boxed_row_sweep pts dst passes =
+  let n = Array.length pts in
+  let acc = ref 0.0 in
+  for p = 0 to passes - 1 do
+    let i = (p * 131) land (n - 1) in
+    let pi = pts.(i) in
+    for j = 0 to n - 1 do
+      dst.(j) <- Point.l2_sq pi pts.(j)
+    done;
+    acc := !acc +. dst.((p * 17) land (n - 1))
+  done;
+  !acc
+
+let packed_row_sweep c dst passes =
+  let n = Points.length c in
+  let acc = ref 0.0 in
+  for p = 0 to passes - 1 do
+    Points.l2_sq_to c ((p * 131) land (n - 1)) dst;
+    acc := !acc +. dst.((p * 17) land (n - 1))
+  done;
+  !acc
+
+let timed_best reps f =
+  let r0, t0 = Util.time f in
+  let best = ref t0 in
+  for _ = 2 to reps do
+    let _, t = Util.time f in
+    if t < !best then best := t
+  done;
+  (r0, !best)
+
+(* Random instances with the exact shape of Cso_general's coverage LP:
+   a center-capacity row (Le k), an outlier-capacity row (Le z) and one
+   Ge-1 coverage row per element, over [0,1] box variables. *)
+let coverage_lp ~n ~m ~k ~z seed =
+  let st = Random.State.make [| n; m; seed; 31337 |] in
+  let nv = n + m in
+  let centers_cap =
+    let a = Array.make nv 0.0 in
+    for i = 0 to n - 1 do
+      a.(i) <- 1.0
+    done;
+    (a, Simplex.Le, float_of_int k)
+  in
+  let outliers_cap =
+    let a = Array.make nv 0.0 in
+    for j = 0 to m - 1 do
+      a.(n + j) <- 1.0
+    done;
+    (a, Simplex.Le, float_of_int z)
+  in
+  let coverage =
+    List.init n (fun i ->
+        let a = Array.make nv 0.0 in
+        a.(i) <- 1.0;
+        for _ = 1 to 1 + Random.State.int st 3 do
+          a.(Random.State.int st n) <- 1.0
+        done;
+        for _ = 1 to 1 + Random.State.int st 2 do
+          a.(n + Random.State.int st m) <- 1.0
+        done;
+        (a, Simplex.Ge, 1.0))
+  in
+  {
+    Simplex.num_vars = nv;
+    objective = Array.make nv 0.0;
+    constraints = centers_cap :: outliers_cap :: coverage;
+    bounds = Simplex.box nv;
+  }
+
+let kernel_lps () =
+  List.concat_map
+    (fun (n, m, k, z, count) ->
+      List.init count (fun s -> coverage_lp ~n ~m ~k ~z s))
+    [ (24, 10, 4, 3, 6); (40, 14, 5, 4, 4); (56, 18, 6, 4, 2) ]
+
+(* Shared by [fig_kernels] and [smoke_kernels]: runs every paired
+   variant, hard-fails on any identity violation (and, at n >= 4096, on
+   the packed kernel being slower than the boxed one), writes
+   [json_path] and returns the deterministic work counts. *)
+let run_kernel_checks ~label ~sizes ~balls_n ~reps ~json_path () =
+  let rows = ref [] and json_rows = ref [] and counts = ref [] in
+  let record kernel size variant secs speedup =
+    rows :=
+      [ kernel; size; variant; Util.fmt_time secs;
+        Printf.sprintf "%.2fx" speedup ]
+      :: !rows;
+    json_rows :=
+      Printf.sprintf
+        "    {\"kernel\": \"%s\", \"size\": \"%s\", \"variant\": \"%s\", \
+         \"seconds\": %.6f, \"speedup\": %.3f}"
+        kernel size variant secs speedup
+      :: !json_rows
+  in
+  let pick deltas name =
+    Option.value ~default:0 (List.assoc_opt name deltas)
+  in
+  (* --- distance kernels: boxed Point vs packed SoA --- *)
+  List.iter
+    (fun (n, d) ->
+      if n land (n - 1) <> 0 then
+        invalid_arg "run_kernel_checks: sizes must be powers of two";
+      let pts = kernel_pts_of n d in
+      let c = Points.of_array pts in
+      let passes = kernel_passes n in
+      let rb, db =
+        with_obs_enabled (fun () ->
+            Obs.with_delta (fun () -> boxed_sweep pts passes))
+      in
+      let rp, dp =
+        with_obs_enabled (fun () ->
+            Obs.with_delta (fun () -> packed_sweep c passes))
+      in
+      if Int64.bits_of_float rb <> Int64.bits_of_float rp then
+        failwith
+          (Printf.sprintf
+             "kernel check: packed l2_sq checksum diverged from boxed at \
+              n=%d d=%d"
+             n d);
+      if db <> dp then
+        failwith
+          (Printf.sprintf
+             "kernel check: packed counter deltas diverged from boxed at \
+              n=%d d=%d"
+             n d);
+      let evals = pick dp "metric.dist_evals" in
+      if evals <> passes * n then
+        failwith
+          (Printf.sprintf
+             "kernel check: expected %d dist evals at n=%d d=%d, counted %d"
+             (passes * n) n d evals);
+      counts := (Printf.sprintf "kernels.dist_evals.n%d_d%d" n d, evals)
+                :: !counts;
+      let _, tb =
+        with_obs_disabled (fun () ->
+            timed_best reps (fun () -> boxed_sweep pts passes))
+      in
+      let _, tp =
+        with_obs_disabled (fun () ->
+            timed_best reps (fun () -> packed_sweep c passes))
+      in
+      if n >= 4096 && tp > tb then
+        failwith
+          (Printf.sprintf
+             "kernel check: packed l2_sq SLOWER than boxed at n=%d d=%d \
+              (%.6fs vs %.6fs); the SoA layout must never lose at this size"
+             n d tp tb);
+      let size = Printf.sprintf "n=%d d=%d" n d in
+      record "l2_sq" size "boxed" tb 1.0;
+      record "l2_sq" size "packed" tp (if tp > 0.0 then tb /. tp else 1.0);
+      (* Row sweeps: boxed per-call loop vs the batch row kernel. *)
+      let db_dst = Array.make n 0.0 and dp_dst = Array.make n 0.0 in
+      let rrb, rdb =
+        with_obs_enabled (fun () ->
+            Obs.with_delta (fun () -> boxed_row_sweep pts db_dst passes))
+      in
+      let rrp, rdp =
+        with_obs_enabled (fun () ->
+            Obs.with_delta (fun () -> packed_row_sweep c dp_dst passes))
+      in
+      if
+        Int64.bits_of_float rrb <> Int64.bits_of_float rrp
+        || not
+             (Array.for_all2
+                (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+                db_dst dp_dst)
+      then
+        failwith
+          (Printf.sprintf
+             "kernel check: l2_sq_to row kernel diverged from per-call \
+              sweep at n=%d d=%d"
+             n d);
+      if rdb <> rdp then
+        failwith
+          (Printf.sprintf
+             "kernel check: row-kernel counter deltas diverged at n=%d d=%d"
+             n d);
+      let row_evals = pick rdp "metric.dist_evals" in
+      if row_evals <> passes * n then
+        failwith
+          (Printf.sprintf
+             "kernel check: expected %d row dist evals at n=%d d=%d, \
+              counted %d"
+             (passes * n) n d row_evals);
+      counts := (Printf.sprintf "kernels.row_evals.n%d_d%d" n d, row_evals)
+                :: !counts;
+      let _, trb =
+        with_obs_disabled (fun () ->
+            timed_best reps (fun () -> boxed_row_sweep pts db_dst passes))
+      in
+      let _, trp =
+        with_obs_disabled (fun () ->
+            timed_best reps (fun () -> packed_row_sweep c dp_dst passes))
+      in
+      if n >= 4096 && trp > trb then
+        failwith
+          (Printf.sprintf
+             "kernel check: packed row kernel SLOWER than boxed at n=%d \
+              d=%d (%.6fs vs %.6fs)"
+             n d trp trb);
+      record "l2_sq_row" size "boxed" trb 1.0;
+      record "l2_sq_row" size "packed" trp
+        (if trp > 0.0 then trb /. trp else 1.0))
+    sizes;
+  (* --- batched BBD ball sweep: the one pooled kernel here, so results,
+     counters and histograms must agree across domain counts {1,2} --- *)
+  let bpts = kernel_pts_of balls_n 2 in
+  let bt = Bbd.build bpts in
+  let radius = 120.0 and eps = 0.3 in
+  let ball_run nd =
+    with_domains nd (fun () ->
+        with_obs_enabled (fun () ->
+            Obs.Hist.with_delta (fun () ->
+                Obs.with_delta (fun () ->
+                    Marshal.to_string (Bbd.balls_all bt ~radius ~eps) []))))
+  in
+  let run1 = ball_run 1 in
+  if ball_run 2 <> run1 then
+    failwith
+      "kernel check: balls_all diverged across domain counts {1,2} \
+       (results, counters and histograms must be bit-identical)";
+  let (_, bd), _ = run1 in
+  counts :=
+    ("kernels.balls_all.nodes_visited", pick bd "geom.bbd.nodes_visited")
+    :: ("kernels.balls_all.queries", pick bd "geom.bbd.ball_queries")
+    :: !counts;
+  let ball_t1 = ref 0.0 in
+  List.iter
+    (fun nd ->
+      let _, t =
+        with_domains nd (fun () ->
+            with_obs_disabled (fun () ->
+                timed_best reps (fun () ->
+                    ignore (Bbd.balls_all bt ~radius ~eps))))
+      in
+      if nd = 1 then ball_t1 := t;
+      record "balls_all"
+        (Printf.sprintf "n=%d d=2" balls_n)
+        (Printf.sprintf "%d domains" nd)
+        t
+        (if t > 0.0 then !ball_t1 /. t else 1.0))
+    [ 1; 2 ];
+  (* --- flat simplex tableau vs row-of-rows reference --- *)
+  let lps = kernel_lps () in
+  let lp_run solver =
+    with_obs_enabled (fun () ->
+        Obs.Hist.with_delta (fun () ->
+            Obs.with_delta (fun () ->
+                List.map (fun lp -> Marshal.to_string (solver lp) []) lps)))
+  in
+  let ((out_f, cd_f), hd_f) = lp_run Simplex.solve in
+  let ((out_r, cd_r), hd_r) = lp_run Simplex.solve_reference in
+  if out_f <> out_r then
+    failwith "kernel check: flat simplex outcomes diverged from reference";
+  if cd_f <> cd_r || hd_f <> hd_r then
+    failwith
+      "kernel check: flat simplex counters/histograms diverged from \
+       reference (lp.simplex.pivots_per_solve must be unchanged)";
+  counts :=
+    ("kernels.simplex.pivots", pick cd_f "lp.simplex.pivots")
+    :: ("kernels.simplex.solves", pick cd_f "lp.simplex.solves")
+    :: !counts;
+  let _, tr =
+    with_obs_disabled (fun () ->
+        timed_best reps (fun () ->
+            List.iter (fun lp -> ignore (Simplex.solve_reference lp)) lps))
+  in
+  let _, tf =
+    with_obs_disabled (fun () ->
+        timed_best reps (fun () ->
+            List.iter (fun lp -> ignore (Simplex.solve lp)) lps))
+  in
+  let lp_size = Printf.sprintf "%d coverage LPs" (List.length lps) in
+  record "simplex" lp_size "reference" tr 1.0;
+  record "simplex" lp_size "flat" tf (if tf > 0.0 then tr /. tf else 1.0);
+  let counts =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) !counts
+  in
+  Util.print_table
+    ~title:
+      (Printf.sprintf
+         "KERNELS (%s)  boxed vs packed compute core (bit-identical \
+          outputs/counters enforced; speedups vs the paired baseline)"
+         label)
+    [ "kernel"; "size"; "variant"; "wall-clock"; "speedup" ]
+    (List.rev !rows);
+  Util.write_file json_path
+    (Printf.sprintf
+       "{\n  \"bench\": \"kernels\",\n  \"variant\": \"%s\",\n  \"rows\": \
+        [\n%s\n  ],\n  \"counters\": %s\n}\n"
+       label
+       (String.concat ",\n" (List.rev !json_rows))
+       (Obs.counters_json counts));
+  counts
+
+let fig_kernels () =
+  ignore
+    (run_kernel_checks ~label:"full"
+       ~sizes:[ (1024, 4); (4096, 4); (16384, 4); (16384, 2) ]
+       ~balls_n:4_000 ~reps:3 ~json_path:"BENCH_kernels.json" ())
+
+let kernels_baseline_path = "BENCH_kernels_baseline.json"
+
+(* Kernel gate for `make bench-smoke`: beyond the identity and
+   packed-not-slower checks inside [run_kernel_checks], the
+   deterministic work counts (dist evals, BBD sweep work, simplex
+   pivots) must match the committed baseline exactly -- they depend
+   only on the pinned workload, so any drift is an algorithmic change
+   that must be recorded deliberately. *)
+let smoke_kernels () =
+  let counts =
+    run_kernel_checks ~label:"smoke" ~sizes:[ (4096, 4) ] ~balls_n:2_000
+      ~reps:3 ~json_path:"BENCH_kernels_smoke.json" ()
+  in
+  if not (Sys.file_exists kernels_baseline_path) then begin
+    Util.write_file kernels_baseline_path
+      (Printf.sprintf
+         "{\n  \"bench\": \"kernels_baseline\",\n  \"workload\": \
+          \"smoke\",\n  \"counters\": %s\n}\n"
+         (Obs.counters_json counts));
+    Printf.printf
+      "kernel smoke: no baseline found; recorded %s (commit it to arm the \
+       gate).\n"
+      kernels_baseline_path
+  end
+  else begin
+    let baseline = read_whole_file kernels_baseline_path in
+    List.iter
+      (fun (name, v) ->
+        match find_counter baseline name with
+        | None ->
+            failwith
+              (Printf.sprintf "kernel smoke: %s missing from %s" name
+                 kernels_baseline_path)
+        | Some b ->
+            if v <> b then
+              failwith
+                (Printf.sprintf
+                   "kernel smoke: %s drifted (baseline %d, now %d; counts \
+                    are deterministic, so the gate is exact)"
+                   name b v))
+      counts;
+    Printf.printf
+      "kernel smoke: packed/boxed and flat/reference paths bit-identical; \
+       all work counts match baseline exactly.\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1829,7 +2239,9 @@ let all =
     ("fig_parallel_scaling", fig_parallel_scaling);
     ("fig_counters", fig_counters);
     ("fig_budgets", fig_budgets);
+    ("fig_kernels", fig_kernels);
     ("smoke_parallel", smoke_parallel);
     ("smoke_counters", smoke_counters);
     ("smoke_budgets", smoke_budgets);
+    ("smoke_kernels", smoke_kernels);
   ]

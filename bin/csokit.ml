@@ -250,7 +250,7 @@ let print_phase_table events =
   let phases = Obs.Trace.phases events in
   let top_deltas deltas =
     let sorted =
-      List.sort (fun (_, a) (_, b) -> compare b a) deltas
+      List.sort (fun (_, a) (_, b) -> Int.compare b a) deltas
     in
     let rec take k = function
       | x :: tl when k > 0 -> x :: take (k - 1) tl

@@ -26,8 +26,10 @@ type prepared = {
 }
 
 let prepare (g : Geo_instance.t) =
-  let bbd = Bbd.build g.Geo_instance.points in
-  let rtree = Range_tree.build g.Geo_instance.points in
+  (* Pack the coordinates once; both trees share the packed store. *)
+  let coords = Cso_metric.Points.of_array g.Geo_instance.points in
+  let bbd = Bbd.build_packed coords in
+  let rtree = Range_tree.build_packed coords in
   let rect_nodes =
     Array.map (fun rect -> Range_tree.query_nodes rtree rect) g.Geo_instance.rects
   in
@@ -36,7 +38,9 @@ let prepare (g : Geo_instance.t) =
 (* Indices of the [k] largest weights. *)
 let top_k weights k =
   let idx = Array.init (Array.length weights) Fun.id in
-  Array.sort (fun a b -> compare weights.(b) weights.(a)) idx;
+  (* Monomorphic float sort; same descending order as the polymorphic
+     comparator (ties keep falling through to the sort's own order). *)
+  Array.sort (fun a b -> Float.compare weights.(b) weights.(a)) idx;
   Array.to_list (Array.sub idx 0 (min k (Array.length idx)))
 
 type oracle_sol = {
@@ -56,14 +60,13 @@ let solve_at ?(eps = 0.3) ?rounds ?(cover_mult = 1.0) ?(removal_mult = 2.0)
   else begin
     let rc = cover_mult *. r in
     (* Canonical ball nodes per point: fixed for this guess, shared by
-       every Oracle and Update call. *)
-    (* Ball queries are read-only tree walks; fan them out. *)
-    let canon =
-      Pool.tabulate (Pool.get_default ()) ~chunk:64 n (fun i ->
-          let nodes = Bbd.ball_query p.bbd ~center:pts.(i) ~radius:rc ~eps in
-          Obs.Hist.observe h_ball_nodes (List.length nodes);
-          nodes)
-    in
+       every Oracle and Update call. One batched sweep over the packed
+       store (parallel, allocation-free traversal scratch); lists and
+       counters are identical to per-point [ball_query] calls. *)
+    let canon = Bbd.balls_all p.bbd ~radius:rc ~eps in
+    Array.iter
+      (fun nodes -> Obs.Hist.observe h_ball_nodes (List.length nodes))
+      canon;
     let width = float_of_int (k + z) in
     let oracle sigma =
       Obs.incr c_oracle;

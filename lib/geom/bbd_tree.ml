@@ -1,5 +1,7 @@
 module Point = Cso_metric.Point
+module Points = Cso_metric.Points
 module Obs = Cso_obs.Obs
+module Pool = Cso_parallel.Pool
 
 (* The work measures behind the O(log n + 1/eps^d) query bound of the
    paper's Section 3: queries issued, nodes touched, internal nodes
@@ -44,6 +46,7 @@ type node = {
 }
 
 type t = {
+  coords : Points.t;
   pts : Point.t array;
   mutable nodes : node array;
   mutable n_nodes : int;
@@ -76,14 +79,15 @@ let push t node =
   t.n_nodes <- t.n_nodes + 1;
   t.n_nodes - 1
 
-(* Widest dimension of the bounding box of [idx.(lo..hi-1)]. *)
-let widest_dim pts idx lo hi =
-  let d = Point.dim pts.(idx.(lo)) in
+(* Widest dimension of the bounding box of [idx.(lo..hi-1)], read straight
+   off the packed coordinate store. *)
+let widest_dim coords idx lo hi =
+  let d = Points.dim coords in
   let best = ref 0 and best_w = ref neg_infinity in
   for j = 0 to d - 1 do
     let mn = ref infinity and mx = ref neg_infinity in
     for i = lo to hi - 1 do
-      let x = pts.(idx.(i)).(j) in
+      let x = Points.coord coords idx.(i) j in
       if x < !mn then mn := x;
       if x > !mx then mx := x
     done;
@@ -95,10 +99,10 @@ let widest_dim pts idx lo hi =
   done;
   !best
 
-let build pts =
-  let n = Array.length pts in
+let build_with coords pts =
+  let n = Points.length coords in
   let t =
-    { pts; nodes = Array.make (max 1 (2 * n)) dummy_node; n_nodes = 0;
+    { coords; pts; nodes = Array.make (max 1 (2 * n)) dummy_node; n_nodes = 0;
       root = 0; leaf_of = Array.make n (-1) }
   in
   if n = 0 then t
@@ -107,7 +111,7 @@ let build pts =
     (* Builds the subtree over idx.(lo..hi-1); returns its node id. *)
     let rec go parent lo hi =
       let count = hi - lo in
-      let box = Rect.bounding_box (Array.init count (fun i -> pts.(idx.(lo + i)))) in
+      let box = Rect.bounding_box_idx coords idx ~lo ~hi in
       if count = 1 then begin
         let p = idx.(lo) in
         let id =
@@ -120,9 +124,12 @@ let build pts =
         id
       end
       else begin
-        let j = widest_dim pts idx lo hi in
+        let j = widest_dim coords idx lo hi in
         let sub = Array.sub idx lo count in
-        Array.sort (fun a b -> compare pts.(a).(j) pts.(b).(j)) sub;
+        Array.sort
+          (fun a b ->
+            Float.compare (Points.coord coords a j) (Points.coord coords b j))
+          sub;
         Array.blit sub 0 idx lo count;
         let mid = lo + (count / 2) in
         let id =
@@ -141,8 +148,12 @@ let build pts =
     t
   end
 
-let size t = Array.length t.pts
+let build pts = build_with (Points.of_array pts) pts
+let build_packed coords = build_with coords (Points.to_array coords)
+
+let size t = t.coords.Points.n
 let points t = t.pts
+let coords t = t.coords
 let node_count t id = t.nodes.(id).count
 let node_active_count t id =
   if t.nodes.(id).active then t.nodes.(id).active_count else 0
@@ -151,46 +162,105 @@ let n_nodes t = t.n_nodes
 let parent t id = t.nodes.(id).parent
 let node_point t id = t.nodes.(id).point
 
+(* Per-domain traversal scratch: an explicit DFS stack and a canonical-id
+   buffer, reused across queries so the hot sweep allocates only the
+   result lists. Domain-local, hence race-free under [Pool] fan-out. *)
+type scratch = {
+  mutable stk : int array;
+  mutable cbuf : int array;
+  mutable ctr : float array; (* packed-center staging for [balls_all] *)
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { stk = Array.make 64 0; cbuf = Array.make 64 0; ctr = Array.make 8 0.0 })
+
+let scratch_for t =
+  let s = Domain.DLS.get scratch_key in
+  let need = max 64 (t.n_nodes + 1) in
+  if Array.length s.stk < need then s.stk <- Array.make need 0;
+  if Array.length s.cbuf < need then s.cbuf <- Array.make need 0;
+  if Array.length s.ctr < t.coords.Points.dim then
+    s.ctr <- Array.make t.coords.Points.dim 0.0;
+  s
+
+(* Iterative DFS. Pushing [right] before [left] pops the left subtree
+   first, reproducing the recursive [go left; go right] visit order
+   exactly — canonical ids land in [cbuf] in discovery order and the
+   final list is built back-to-front, matching the [id :: !out]
+   accumulation of the recursive original element for element (GCSO
+   folds over these lists in float order, so the order is part of the
+   bit-identity contract). *)
+let query_into ~respect_active t ~center ~radius ~eps s =
+  Obs.incr c_queries;
+  let visited = ref 0 in
+  let r_out = (1.0 +. eps) *. radius in
+  let stk = s.stk and cbuf = s.cbuf in
+  let sp = ref 1 and cnt = ref 0 in
+  stk.(0) <- t.root;
+  while !sp > 0 do
+    decr sp;
+    let id = Array.unsafe_get stk !sp in
+    Obs.incr c_visits;
+    incr visited;
+    let nd = Array.unsafe_get t.nodes id in
+    if respect_active && not nd.active then ()
+    else begin
+      let dmin = Rect.min_dist_to_point nd.box center in
+      if dmin > radius then ()
+      else
+        let dmax = Rect.max_dist_to_point nd.box center in
+        if dmax <= r_out then begin
+          Obs.incr c_canonical;
+          Array.unsafe_set cbuf !cnt id;
+          incr cnt
+        end
+        else if nd.left >= 0 then begin
+          Obs.incr c_expansions;
+          (* Two pushes per expansion, one pop per visit: the stack top
+             never exceeds one slot per tree level plus one, well inside
+             the [n_nodes + 1] capacity of the scratch. *)
+          Array.unsafe_set stk !sp nd.right;
+          incr sp;
+          Array.unsafe_set stk !sp nd.left;
+          incr sp
+        end
+          (* A leaf always satisfies dmax = dmin <= radius <= r_out here,
+             so this branch is unreachable for leaves. *)
+    end
+  done;
+  Obs.Hist.observe h_nodes !visited;
+  let rec mk acc k = if k >= !cnt then acc else mk (cbuf.(k) :: acc) (k + 1) in
+  mk [] 0
+
 let ball_query_gen ~respect_active t ~center ~radius ~eps =
-  if Array.length t.pts = 0 then []
-  else begin
-    Obs.incr c_queries;
-    let out = ref [] in
-    let visited = ref 0 in
-    let r_out = (1.0 +. eps) *. radius in
-    let rec go id =
-      Obs.incr c_visits;
-      incr visited;
-      let nd = t.nodes.(id) in
-      if respect_active && not nd.active then ()
-      else begin
-        let dmin = Rect.min_dist_to_point nd.box center in
-        if dmin > radius then ()
-        else
-          let dmax = Rect.max_dist_to_point nd.box center in
-          if dmax <= r_out then begin
-            Obs.incr c_canonical;
-            out := id :: !out
-          end
-          else if nd.left >= 0 then begin
-            Obs.incr c_expansions;
-            go nd.left;
-            go nd.right
-          end
-            (* A leaf always satisfies dmax = dmin <= radius <= r_out here,
-               so this branch is unreachable for leaves. *)
-      end
-    in
-    go t.root;
-    Obs.Hist.observe h_nodes !visited;
-    !out
-  end
+  if t.coords.Points.n = 0 then []
+  else query_into ~respect_active t ~center ~radius ~eps (scratch_for t)
 
 let ball_query t ~center ~radius ~eps =
   ball_query_gen ~respect_active:false t ~center ~radius ~eps
 
 let ball_query_active t ~center ~radius ~eps =
   ball_query_gen ~respect_active:true t ~center ~radius ~eps
+
+(* One canonical-node query per point, batched: the per-domain scratch is
+   fetched once per chunk index, the center is staged into the packed
+   scratch row (no boxed point per query), and results land in disjoint
+   slots. Result lists and every counter/histogram event are identical
+   to [n] separate [ball_query]s with boxed centers. *)
+let balls_all t ~radius ~eps =
+  let n = t.coords.Points.n in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n [] in
+    let pool = Pool.get_default () in
+    Pool.parallel_for pool ~chunk:64 ~start:0 ~finish:(n - 1) (fun i ->
+        let s = scratch_for t in
+        Points.blit_point t.coords i s.ctr;
+        out.(i) <-
+          query_into ~respect_active:false t ~center:s.ctr ~radius ~eps s);
+    out
+  end
 
 let points_of_node t id =
   let acc = ref [] in

@@ -17,7 +17,13 @@
 type t
 
 val build : Cso_metric.Point.t array -> t
-(** Builds the tree; single-point leaves. Accepts the empty array. *)
+(** Builds the tree; single-point leaves. Accepts the empty array.
+    Internally the coordinates are packed into a {!Cso_metric.Points.t}
+    store; the boxed array is retained for the {!points} view. *)
+
+val build_packed : Cso_metric.Points.t -> t
+(** Builds the tree straight from a packed store (same tree, same boxes,
+    same node ids as [build (Points.to_array pts)]). *)
 
 val size : t -> int
 (** Number of points. *)
@@ -25,9 +31,22 @@ val size : t -> int
 val points : t -> Cso_metric.Point.t array
 (** The underlying point array (do not mutate). *)
 
+val coords : t -> Cso_metric.Points.t
+(** The packed coordinate store the tree was built over. *)
+
 val ball_query : t -> center:Cso_metric.Point.t -> radius:float ->
   eps:float -> int list
 (** Canonical node ids with the sandwich guarantee above. *)
+
+val balls_all : t -> radius:float -> eps:float -> int list array
+(** [balls_all t ~radius ~eps] is
+    [Array.init (size t) (fun i -> ball_query t ~center:pts.(i) ~radius ~eps)]
+    computed in one batched pass: the points are swept in parallel over
+    the default {!Cso_parallel.Pool} with per-domain reusable traversal
+    scratch, so no boxed center or stack frame is allocated per query.
+    Result lists, their order, and every [geom.bbd.*] counter and
+    histogram event are identical to the per-point loop (and across pool
+    sizes). *)
 
 val ball_query_active : t -> center:Cso_metric.Point.t -> radius:float ->
   eps:float -> int list

@@ -23,7 +23,7 @@ let decompose ?domain boxes d =
         boxes
     in
     let all = domain.Rect.lo.(j) :: domain.Rect.hi.(j) :: vals in
-    List.sort_uniq compare all
+    List.sort_uniq Float.compare all
   in
   let intervals j =
     let rec pair = function

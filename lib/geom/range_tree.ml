@@ -1,4 +1,5 @@
 module Point = Cso_metric.Point
+module Points = Cso_metric.Points
 module Obs = Cso_obs.Obs
 
 (* Canonical-decomposition work measures: queries issued, tree nodes
@@ -60,7 +61,7 @@ and itnode = {
 }
 
 type t = {
-  pts : Point.t array;
+  coords : Points.t;
   d : int;
   root : tree option;
   weight : float array; (* indexed by global canonical-node id *)
@@ -96,16 +97,21 @@ type build_state = {
   b_point_leaves : int list array;
 }
 
-let build pts =
-  let n = Array.length pts in
-  let d = if n = 0 then 1 else Point.dim pts.(0) in
+let build_packed coords =
+  let n = Points.length coords in
+  let d = if n = 0 then 1 else Points.dim coords in
   let state =
     { next = 0; parents = []; segs = []; b_point_leaves = Array.make n [] }
   in
   let build_seg subset =
     let m = Array.length subset in
     let sorted = Array.copy subset in
-    Array.sort (fun a b -> compare pts.(a).(d - 1) pts.(b).(d - 1)) sorted;
+    Array.sort
+      (fun a b ->
+        Float.compare
+          (Points.coord coords a (d - 1))
+          (Points.coord coords b (d - 1)))
+      sorted;
     let nn = (2 * m) - 1 in
     let base = state.next in
     state.next <- state.next + nn;
@@ -140,7 +146,7 @@ let build pts =
       {
         base;
         s_pts = sorted;
-        s_keys = Array.map (fun p -> pts.(p).(d - 1)) sorted;
+        s_keys = Array.map (fun p -> Points.coord coords p (d - 1)) sorted;
         s_lo;
         s_hi;
         s_left;
@@ -154,8 +160,11 @@ let build pts =
     if j = d - 1 then Last (build_seg subset)
     else begin
       let sorted = Array.copy subset in
-      Array.sort (fun a b -> compare pts.(a).(j) pts.(b).(j)) sorted;
-      let keys = Array.map (fun p -> pts.(p).(j)) sorted in
+      Array.sort
+        (fun a b ->
+          Float.compare (Points.coord coords a j) (Points.coord coords b j))
+        sorted;
+      let keys = Array.map (fun p -> Points.coord coords p j) sorted in
       let rec go lo hi =
         let assoc = build_tree (Array.sub sorted lo (hi - lo)) (j + 1) in
         if hi - lo = 1 then
@@ -176,7 +185,7 @@ let build pts =
   in
   let parent = Array.of_list (List.rev state.parents) in
   {
-    pts;
+    coords;
     d;
     root;
     weight = Array.make state.next 0.0;
@@ -187,7 +196,9 @@ let build pts =
     point_leaves = state.b_point_leaves;
   }
 
-let size t = Array.length t.pts
+let build pts = build_packed (Points.of_array pts)
+
+let size t = Points.length t.coords
 
 (* Canonical cover of index range [a, b) inside a seg. *)
 let seg_cover seg a b acc =
@@ -269,7 +280,7 @@ let count t rect =
   List.fold_left (fun acc gid -> acc + node_count t gid) 0 (query_nodes t rect)
 
 let set_point_weights t w =
-  if Array.length w <> Array.length t.pts then
+  if Array.length w <> Points.length t.coords then
     invalid_arg "Range_tree.set_point_weights: length";
   Array.iter
     (fun seg ->

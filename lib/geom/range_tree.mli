@@ -19,7 +19,12 @@
 type t
 
 val build : Cso_metric.Point.t array -> t
-(** Accepts the empty array and any dimension [>= 1]. *)
+(** Accepts the empty array and any dimension [>= 1]. Coordinates are
+    packed into a {!Cso_metric.Points.t} store internally. *)
+
+val build_packed : Cso_metric.Points.t -> t
+(** Builds straight from a packed store — same tree and node ids as
+    [build (Points.to_array pts)], without re-boxing. *)
 
 val size : t -> int
 

@@ -79,6 +79,27 @@ let bounding_box pts =
     pts;
   { lo; hi }
 
+(* Packed equivalent of [bounding_box] over the points [idx.(lo..hi-1)]
+   of a packed store: same seed-with-first-point, same strict-compare
+   updates, so the box coordinates are bit-identical to boxing the points
+   first. *)
+let bounding_box_idx coords idx ~lo ~hi =
+  if hi <= lo then invalid_arg "Rect.bounding_box_idx: empty";
+  let module Points = Cso_metric.Points in
+  let d = Points.dim coords in
+  let bl = Array.make d 0.0 and bh = Array.make d 0.0 in
+  Points.blit_point coords idx.(lo) bl;
+  Points.blit_point coords idx.(lo) bh;
+  for i = lo to hi - 1 do
+    let p = idx.(i) in
+    for j = 0 to d - 1 do
+      let x = Points.coord coords p j in
+      if x < bl.(j) then bl.(j) <- x;
+      if x > bh.(j) then bh.(j) <- x
+    done
+  done;
+  { lo = bl; hi = bh }
+
 let cube ~center ~side =
   let h = side /. 2.0 in
   {

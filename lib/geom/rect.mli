@@ -36,6 +36,13 @@ val inter : t -> t -> t option
 val bounding_box : Cso_metric.Point.t array -> t
 (** Smallest rectangle containing all points; raises on empty input. *)
 
+val bounding_box_idx :
+  Cso_metric.Points.t -> int array -> lo:int -> hi:int -> t
+(** [bounding_box_idx coords idx ~lo ~hi] is the bounding box of the
+    packed points [idx.(lo) .. idx.(hi - 1)] — bit-identical to boxing
+    those points and calling {!bounding_box}, without the boxing. Raises
+    on an empty index range. *)
+
 val cube : center:Cso_metric.Point.t -> side:float -> t
 (** Axis-aligned hypercube: the [L_inf] ball of radius [side /. 2.]. *)
 

@@ -1,4 +1,5 @@
 module Point = Cso_metric.Point
+module Points = Cso_metric.Points
 module Obs = Cso_obs.Obs
 
 (* Pairs emitted and split-tree recursion steps: the decomposition's
@@ -21,8 +22,8 @@ type node = {
   right : node option;
 }
 
-let node_of_box pts idx lo hi =
-  let box = Rect.bounding_box (Array.init (hi - lo) (fun i -> pts.(idx.(lo + i)))) in
+let node_of_box coords idx lo hi =
+  let box = Rect.bounding_box_idx coords idx ~lo ~hi in
   let center =
     Array.init (Rect.dim box) (fun j -> (box.Rect.lo.(j) +. box.Rect.hi.(j)) /. 2.0)
   in
@@ -30,17 +31,20 @@ let node_of_box pts idx lo hi =
   (center, radius)
 
 (* Fair-split tree: split the widest dimension of the bounding box at the
-   median point. Identical-coordinate inputs still split by index count. *)
+   median point. Identical-coordinate inputs still split by index count.
+   Coordinates come from the packed store; node centers stay boxed (they
+   are fresh synthesized points, not members of the input set). *)
 let build_tree pts =
   let n = Array.length pts in
+  let coords = Points.of_array pts in
   let idx = Array.init n (fun i -> i) in
   let widest lo hi =
-    let d = Point.dim pts.(idx.(lo)) in
+    let d = Points.dim coords in
     let best = ref 0 and best_w = ref neg_infinity in
     for j = 0 to d - 1 do
       let mn = ref infinity and mx = ref neg_infinity in
       for i = lo to hi - 1 do
-        let x = pts.(idx.(i)).(j) in
+        let x = Points.coord coords idx.(i) j in
         if x < !mn then mn := x;
         if x > !mx then mx := x
       done;
@@ -52,13 +56,16 @@ let build_tree pts =
     !best
   in
   let rec go lo hi =
-    let center, radius = node_of_box pts idx lo hi in
+    let center, radius = node_of_box coords idx lo hi in
     if hi - lo = 1 then
       { repr = idx.(lo); center; radius; left = None; right = None }
     else begin
       let j = widest lo hi in
       let sub = Array.sub idx lo (hi - lo) in
-      Array.sort (fun a b -> compare pts.(a).(j) pts.(b).(j)) sub;
+      Array.sort
+        (fun a b ->
+          Float.compare (Points.coord coords a j) (Points.coord coords b j))
+        sub;
       Array.blit sub 0 idx lo (hi - lo);
       let mid = lo + ((hi - lo) / 2) in
       let l = go lo mid in
@@ -170,7 +177,8 @@ let candidate_distances ?(eps = 0.25) pts =
   let ps = pairs ~eps pts in
   let ds = List.map (fun (a, b) -> Point.l2 pts.(a) pts.(b)) ps in
   let arr = Array.of_list (0.0 :: ds) in
-  Array.sort compare arr;
+  (* Monomorphic float sort; same total order as the polymorphic one. *)
+  Array.sort Float.compare arr;
   let out = ref [] in
   Array.iter
     (fun d -> match !out with x :: _ when x = d -> () | _ -> out := d :: !out)

@@ -80,14 +80,25 @@ let run_points pts ~k =
   let s = Space.of_points pts in
   run_all s ~k
 
-let run_points_fast pts ~k =
-  let module Point = Cso_metric.Point in
-  let n = Array.length pts in
+(* The packed kernel behind [run_points_fast]: same relaxation, same
+   triangle-inequality prune, every distance through the index kernel on
+   the packed store — results and counter deltas are bit-identical to
+   the boxed loop on the same coordinates. *)
+let run_packed coords ~k =
+  let module Points = Cso_metric.Points in
+  let n = Points.length coords in
   if n = 0 then ([], 0.0)
-  else if k <= 0 then invalid_arg "Gonzalez.run_points_fast: k <= 0"
+  else if k <= 0 then invalid_arg "Gonzalez.run_packed: k <= 0"
   else begin
     let pool = Pool.get_default () in
-    let dist = Pool.tabulate pool n (fun i -> Point.l2 pts.(0) pts.(i)) in
+    (* Seed sweep through the batch row kernel: one pass over the store,
+       then square roots in place — the same floats and the same
+       dist-eval delta as [l2_idx coords 0 i] per index. *)
+    let dist = Array.make n 0.0 in
+    Points.l2_sq_to coords 0 dist;
+    for i = 0 to n - 1 do
+      dist.(i) <- sqrt dist.(i)
+    done;
     let assigned = Array.make n 0 in
     (* centers.(j) = point index of the j-th chosen center. *)
     let centers = Array.make (min k n) 0 in
@@ -104,11 +115,11 @@ let run_points_fast pts ~k =
         (* Distance from the new center to each existing center, for the
            triangle-inequality skip test. *)
         let to_centers =
-          Array.init !n_centers (fun j -> Point.l2 pts.(c) pts.(centers.(j)))
+          Array.init !n_centers (fun j -> Points.l2_idx coords c centers.(j))
         in
         Pool.parallel_for pool ~start:0 ~finish:(n - 1) (fun i ->
             if to_centers.(assigned.(i)) < 2.0 *. dist.(i) then begin
-              let d = Point.l2 pts.(c) pts.(i) in
+              let d = Points.l2_idx coords c i in
               if d < dist.(i) then begin
                 dist.(i) <- d;
                 assigned.(i) <- !n_centers
@@ -121,3 +132,7 @@ let run_points_fast pts ~k =
     ( List.init !n_centers (fun j -> centers.(j)),
       max_dist pool dist n )
   end
+
+let run_points_fast pts ~k =
+  if k <= 0 then invalid_arg "Gonzalez.run_points_fast: k <= 0";
+  run_packed (Cso_metric.Points.of_array pts) ~k

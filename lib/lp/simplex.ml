@@ -250,7 +250,253 @@ let solve_shifted p =
       done;
       Optimal { value = !value; solution }
 
-let solve p =
+(* ------------------------------------------------------------------ *)
+(* Flat tableau.
+
+   Same algorithm as above, with the m x (ncols + 1) tableau stored in
+   one row-major [float array] of stride [ncols + 1]: one allocation,
+   no per-row pointer chase in the pivot's elimination sweep (the
+   dominant cost of a solve). Every arithmetic operation, its order,
+   and the [abs_float f > 0.0] elimination skip are kept literally, so
+   outcomes, pivot sequences and the [lp.simplex.*] counters are
+   bit-identical to the reference implementation kept above. *)
+
+type ftableau = {
+  tab : float array; (* row i at offset i * stride *)
+  fbasis : int array;
+  fncols : int;
+  fm : int;
+  stride : int; (* fncols + 1 *)
+}
+
+let fpivot t obj r c =
+  Obs.incr c_pivots;
+  incr (Domain.DLS.get dls_pivots);
+  let tab = t.tab and stride = t.stride and nc = t.fncols in
+  let ro = r * stride in
+  let piv = tab.(ro + c) in
+  for j = ro to ro + nc do
+    Array.unsafe_set tab j (Array.unsafe_get tab j /. piv)
+  done;
+  for i = 0 to t.fm - 1 do
+    if i <> r then begin
+      let io = i * stride in
+      let f = Array.unsafe_get tab (io + c) in
+      if abs_float f > 0.0 then begin
+        (* Elimination sweep, four elements per iteration. Each element
+           is updated independently with the same single fused
+           expression as the reference, so the unroll changes neither
+           results nor rounding -- only loop overhead. *)
+        let a = ref io and b = ref ro in
+        let last = io + nc in
+        while !a + 3 <= last do
+          let a0 = !a and b0 = !b in
+          Array.unsafe_set tab a0
+            (Array.unsafe_get tab a0 -. (f *. Array.unsafe_get tab b0));
+          Array.unsafe_set tab (a0 + 1)
+            (Array.unsafe_get tab (a0 + 1)
+            -. (f *. Array.unsafe_get tab (b0 + 1)));
+          Array.unsafe_set tab (a0 + 2)
+            (Array.unsafe_get tab (a0 + 2)
+            -. (f *. Array.unsafe_get tab (b0 + 2)));
+          Array.unsafe_set tab (a0 + 3)
+            (Array.unsafe_get tab (a0 + 3)
+            -. (f *. Array.unsafe_get tab (b0 + 3)));
+          a := a0 + 4;
+          b := b0 + 4
+        done;
+        while !a <= last do
+          let a0 = !a and b0 = !b in
+          Array.unsafe_set tab a0
+            (Array.unsafe_get tab a0 -. (f *. Array.unsafe_get tab b0));
+          a := a0 + 1;
+          b := b0 + 1
+        done
+      end
+    end
+  done;
+  (let f = obj.(c) in
+   if abs_float f > 0.0 then
+     for j = 0 to nc do
+       obj.(j) <- obj.(j) -. (f *. Array.unsafe_get tab (ro + j))
+     done);
+  t.fbasis.(r) <- c
+
+let fobjective_row t cost =
+  let obj = Array.make (t.fncols + 1) 0.0 in
+  for j = 0 to t.fncols do
+    let zj = ref 0.0 in
+    Array.iteri
+      (fun i b -> zj := !zj +. (cost.(b) *. t.tab.((i * t.stride) + j)))
+      t.fbasis;
+    obj.(j) <- !zj -. (if j < t.fncols then cost.(j) else 0.0)
+  done;
+  obj
+
+let foptimize t cost allowed =
+  let obj = fobjective_row t cost in
+  let m = t.fm in
+  let rec loop () =
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.fncols - 1 do
+         if allowed.(j) && obj.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal obj.(t.fncols)
+    else begin
+      let c = !entering in
+      (* Ratio test; Bland tie-break on the leaving basic variable. *)
+      let best_row = ref (-1) and best_ratio = ref infinity in
+      for i = 0 to m - 1 do
+        let a = t.tab.((i * t.stride) + c) in
+        if a > eps then begin
+          let ratio = t.tab.((i * t.stride) + t.fncols) /. a in
+          if
+            ratio < !best_ratio -. eps
+            || (ratio < !best_ratio +. eps
+                && (!best_row < 0 || t.fbasis.(i) < t.fbasis.(!best_row)))
+          then begin
+            best_row := i;
+            best_ratio := ratio
+          end
+        end
+      done;
+      if !best_row < 0 then `Unbounded
+      else begin
+        fpivot t obj !best_row c;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let solve_shifted_flat p =
+  let n = p.num_vars in
+  let shift = Array.map fst p.bounds in
+  let width = Array.map (fun (lo, hi) -> hi -. lo) p.bounds in
+  (* Rows: user constraints with rhs shifted, then the upper bounds. *)
+  let user_rows =
+    List.map
+      (fun (a, op, b) ->
+        let b' = ref b in
+        for i = 0 to n - 1 do
+          b' := !b' -. (a.(i) *. shift.(i))
+        done;
+        (Array.copy a, op, !b'))
+      p.constraints
+  in
+  let bound_rows =
+    List.init n (fun i ->
+        let a = Array.make n 0.0 in
+        a.(i) <- 1.0;
+        (a, Le, width.(i)))
+  in
+  let rows0 = user_rows @ bound_rows in
+  (* Normalize rhs >= 0. *)
+  let rows0 =
+    List.map
+      (fun (a, op, b) ->
+        if b < 0.0 then
+          ( Array.map (fun x -> -.x) a,
+            (match op with Le -> Ge | Ge -> Le | Eq -> Eq),
+            -.b )
+        else (a, op, b))
+      rows0
+  in
+  let m = List.length rows0 in
+  (* Column layout: structural | slack/surplus | artificial. *)
+  let n_slack =
+    List.fold_left
+      (fun acc (_, op, _) -> match op with Le | Ge -> acc + 1 | Eq -> acc)
+      0 rows0
+  in
+  let n_art =
+    List.fold_left
+      (fun acc (_, op, _) -> match op with Ge | Eq -> acc + 1 | Le -> acc)
+      0 rows0
+  in
+  let ncols = n + n_slack + n_art in
+  let stride = ncols + 1 in
+  let tab = Array.make (m * stride) 0.0 in
+  let basis = Array.make m 0 in
+  let is_artificial = Array.make ncols false in
+  let slack_idx = ref n and art_idx = ref (n + n_slack) in
+  List.iteri
+    (fun i (a, op, b) ->
+      let off = i * stride in
+      Array.blit a 0 tab off n;
+      tab.(off + ncols) <- b;
+      match op with
+      | Le ->
+          tab.(off + !slack_idx) <- 1.0;
+          basis.(i) <- !slack_idx;
+          incr slack_idx
+      | Ge ->
+          tab.(off + !slack_idx) <- -1.0;
+          incr slack_idx;
+          tab.(off + !art_idx) <- 1.0;
+          is_artificial.(!art_idx) <- true;
+          basis.(i) <- !art_idx;
+          incr art_idx
+      | Eq ->
+          tab.(off + !art_idx) <- 1.0;
+          is_artificial.(!art_idx) <- true;
+          basis.(i) <- !art_idx;
+          incr art_idx)
+    rows0;
+  let t = { tab; fbasis = basis; fncols = ncols; fm = m; stride } in
+  (* Phase 1: maximize -(sum of artificials). *)
+  let phase1_cost =
+    Array.init ncols (fun j -> if is_artificial.(j) then -1.0 else 0.0)
+  in
+  let all_allowed = Array.make ncols true in
+  (match foptimize t phase1_cost all_allowed with
+  | `Unbounded -> assert false (* phase-1 objective is bounded by 0 *)
+  | `Optimal v -> if v < -1e-7 then raise Exit);
+  (* Drive artificials out of the basis where possible; redundant rows
+     (all-zero over non-artificial columns) are neutralized in place. *)
+  for i = 0 to m - 1 do
+    if is_artificial.(t.fbasis.(i)) then begin
+      let off = i * stride in
+      let found = ref (-1) in
+      (try
+         for j = 0 to ncols - 1 do
+           if (not is_artificial.(j)) && abs_float tab.(off + j) > 1e-7
+           then begin
+             found := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !found >= 0 then begin
+        let dummy = Array.make (ncols + 1) 0.0 in
+        fpivot t dummy i !found
+      end
+    end
+  done;
+  (* Phase 2. *)
+  let phase2_cost = Array.make ncols 0.0 in
+  Array.blit p.objective 0 phase2_cost 0 n;
+  let allowed = Array.map not is_artificial in
+  match foptimize t phase2_cost allowed with
+  | `Unbounded -> Unbounded
+  | `Optimal _ ->
+      let x = Array.make n 0.0 in
+      Array.iteri
+        (fun i b -> if b < n then x.(b) <- tab.((i * stride) + ncols))
+        t.fbasis;
+      let solution = Array.init n (fun i -> x.(i) +. shift.(i)) in
+      let value = ref 0.0 in
+      for i = 0 to n - 1 do
+        value := !value +. (p.objective.(i) *. solution.(i))
+      done;
+      Optimal { value = !value; solution }
+
+let solve_with shifted p =
   validate p;
   Obs.incr c_solves;
   let local = Domain.DLS.get dls_pivots in
@@ -259,7 +505,10 @@ let solve p =
     ~finally:(fun () -> Obs.Hist.observe h_pivots (!local - before))
     (fun () ->
       Obs.with_span "simplex.solve" (fun () ->
-          try solve_shifted p with Exit -> Infeasible))
+          try shifted p with Exit -> Infeasible))
+
+let solve p = solve_with solve_shifted_flat p
+let solve_reference p = solve_with solve_shifted p
 
 let feasible_point p =
   match solve { p with objective = Array.make p.num_vars 0.0 } with

@@ -25,7 +25,17 @@ type outcome =
 
 val solve : problem -> outcome
 (** Solves the problem. Raises [Invalid_argument] on malformed input
-    (wrong lengths, negative lower bounds, [lo > hi]). *)
+    (wrong lengths, negative lower bounds, [lo > hi]).
+
+    The working tableau is one flat row-major [float array] (stride
+    [ncols + 1]); see DESIGN.md section 3e. Outcomes, pivot sequences
+    and all [lp.simplex.*] counters are bit-identical to
+    {!solve_reference}. *)
+
+val solve_reference : problem -> outcome
+(** The original row-of-rows tableau implementation, kept as the
+    differential-testing and benchmarking baseline for {!solve}. Shares
+    every counter and histogram with it. *)
 
 val feasible_point : problem -> float array option
 (** Ignores the objective; [Some x] for any feasible [x], or [None]. *)

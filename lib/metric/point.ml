@@ -14,7 +14,23 @@ let equal (p : t) (q : t) =
   && (let rec go i = i >= Array.length p || (p.(i) = q.(i) && go (i + 1)) in
       go 0)
 
-let compare (p : t) (q : t) = Stdlib.compare p q
+(* Monomorphic replacement for [Stdlib.compare]: the polymorphic
+   comparator dispatches on runtime tags per element, which is an order
+   of magnitude slower on float arrays. Order is identical — polymorphic
+   compare on float arrays also compares lengths first, then elements
+   with [Float.compare]'s total order (NaN smallest, equal to itself). *)
+let compare (p : t) (q : t) =
+  let lp = Array.length p and lq = Array.length q in
+  if lp <> lq then Stdlib.compare lp lq
+  else begin
+    let rec go i =
+      if i >= lp then 0
+      else
+        let c = Float.compare p.(i) q.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  end
 
 let check_dims name p q =
   if Array.length p <> Array.length q then

@@ -20,6 +20,12 @@ let create ~size ~dist =
 let of_points ?(dist = Point.l2) pts =
   { size = Array.length pts; dist = instrument (fun i j -> dist pts.(i) pts.(j)) }
 
+let of_packed ?dist pts =
+  let dist = match dist with Some d -> d | None -> Points.l2_idx in
+  (* The index kernel is partially applied once here; probing the space
+     afterwards allocates nothing. *)
+  { size = Points.length pts; dist = instrument (dist pts) }
+
 let of_matrix m =
   let n = Array.length m in
   Array.iter
@@ -30,7 +36,13 @@ let of_matrix m =
   { size = n; dist = instrument (fun i j -> m.(i).(j)) }
 
 (* Rows are independent; a whole row is the unit of parallel work so
-   that the per-index overhead stays negligible. *)
+   that the per-index overhead stays negligible. Symmetry is a
+   documented precondition of [create], so only the diagonal-and-up part
+   of each row is evaluated and the lower triangle is mirrored — this
+   halves [metric.dist_evals] / [metric.space_probes] per [cached] call.
+   The mirror writes m.(j).(i) with j > i, slots the worker owning row j
+   never touches (it fills columns >= j only), so rows still fill in
+   parallel without overlap. *)
 let cached s =
   let n = s.size in
   let m = Array.make_matrix n n 0.0 in
@@ -38,8 +50,11 @@ let cached s =
   Cso_parallel.Pool.parallel_for pool ~chunk:16 ~start:0 ~finish:(n - 1)
     (fun i ->
       let row = m.(i) in
-      for j = 0 to n - 1 do
+      for j = i to n - 1 do
         row.(j) <- s.dist i j
+      done;
+      for j = i + 1 to n - 1 do
+        m.(j).(i) <- row.(j)
       done);
   { size = n; dist = instrument (fun i j -> m.(i).(j)) }
 
@@ -84,7 +99,9 @@ let pairwise_distances s =
       for j = i + 1 to n - 1 do
         arr.(base + j) <- s.dist i j
       done);
-  Array.sort compare arr;
+  (* Monomorphic float sort: [Array.sort compare] would dispatch the
+     polymorphic comparator per element pair. Same total order. *)
+  Array.sort Float.compare arr;
   (* Deduplicate in place. *)
   let out = ref [] in
   Array.iter

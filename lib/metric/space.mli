@@ -26,13 +26,23 @@ val of_points : ?dist:(Point.t -> Point.t -> float) -> Point.t array -> t
 (** Euclidean space over points (default distance {!Point.l2}).
     Distances are computed on demand, not cached. *)
 
+val of_packed : ?dist:(Points.t -> int -> int -> float) -> Points.t -> t
+(** Euclidean space over a packed point store (default distance
+    {!Points.l2_idx}). Probe-for-probe identical to
+    [of_points (Points.to_array pts)] — same floats, same counters — but
+    each probe runs the cache-resident index kernel and allocates
+    nothing. *)
+
 val of_matrix : float array array -> t
 (** Space given by an explicit (symmetric) distance matrix.
     Raises [Invalid_argument] if the matrix is not square. *)
 
 val cached : t -> t
 (** [cached s] precomputes the full distance matrix of [s]. Use when the
-    algorithm will probe most pairs (O(size^2) memory). *)
+    algorithm will probe most pairs (O(size^2) memory). Only the upper
+    triangle (diagonal included) is evaluated; the lower triangle is
+    mirrored, which relies on the symmetry [create] already requires and
+    halves the distance evaluations of the fill. *)
 
 val cost : t -> centers:int list -> int list -> float
 (** [cost s ~centers pts] is the k-center clustering cost

@@ -39,7 +39,7 @@ let candidate_linf_distances (inst : Instance.t) =
   let acc = ref [ 0.0 ] in
   Array.iter
     (fun vals ->
-      let vs = Array.of_list (List.sort_uniq compare vals) in
+      let vs = Array.of_list (List.sort_uniq Float.compare vals) in
       let n = Array.length vs in
       for i = 0 to n - 1 do
         for j = i + 1 to n - 1 do
@@ -47,7 +47,7 @@ let candidate_linf_distances (inst : Instance.t) =
         done
       done)
     per_attr;
-  Array.of_list (List.sort_uniq compare !acc)
+  Array.of_list (List.sort_uniq Float.compare !acc)
 
 (* A join result strictly outside every L_inf ball of radius [r] around
    the centers, if one exists. [r] must not be a realizable coordinate

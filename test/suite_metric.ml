@@ -71,6 +71,73 @@ let test_cached () =
   Alcotest.(check int) "no extra calls" before !calls;
   Alcotest.(check bool) "same value" true (feq (c.Space.dist 0 2) 2.0)
 
+let test_points_store () =
+  let pts = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |] in
+  let c = Points.of_array pts in
+  Alcotest.(check int) "length" 3 (Points.length c);
+  Alcotest.(check int) "dim" 2 (Points.dim c);
+  Alcotest.(check bool) "coord" true (Points.coord c 1 0 = 3.0);
+  Alcotest.(check bool) "get copies" true (Point.equal (Points.get c 2) pts.(2));
+  Alcotest.(check bool) "to_array round-trips" true
+    (Array.for_all2 Point.equal (Points.to_array c) pts);
+  let dst = Array.make 2 0.0 in
+  Points.blit_point c 1 dst;
+  Alcotest.(check bool) "blit_point" true (Point.equal dst pts.(1));
+  (* Mutating a [get] copy must not touch the store. *)
+  (Points.get c 0).(0) <- 99.0;
+  Alcotest.(check bool) "get is a copy" true (Points.coord c 0 0 = 1.0);
+  Alcotest.(check int) "empty store" 0 (Points.length (Points.of_array [||]));
+  Alcotest.check_raises "ragged input rejected"
+    (Invalid_argument
+       "Points.of_array: point 1 has dimension 3, expected 2") (fun () ->
+      ignore (Points.of_array [| [| 0.0; 0.0 |]; [| 1.0; 2.0; 3.0 |] |]));
+  Alcotest.check_raises "kernel bounds checked"
+    (Invalid_argument "Points.l2_sq_idx: index out of bounds (0, 3; n = 3)")
+    (fun () -> ignore (Points.l2_sq_idx c 0 3))
+
+(* [Point.compare] replaced the polymorphic comparator with a
+   monomorphic loop; the order must be pinned to the old one, including
+   the float corner cases (nan smallest and self-equal, -0. = 0.,
+   shorter arrays first). *)
+let test_point_compare_regression () =
+  let sign x = Stdlib.compare x 0 in
+  let cases =
+    [
+      ([| 1.0; 2.0 |], [| 1.0; 3.0 |]);
+      ([| 1.0; 3.0 |], [| 1.0; 2.0 |]);
+      ([| 1.0; 2.0 |], [| 1.0; 2.0 |]);
+      ([| 1.0 |], [| 1.0; 2.0 |]);
+      ([| nan |], [| -1e308 |]);
+      ([| nan |], [| nan |]);
+      ([| -0.0 |], [| 0.0 |]);
+      ([| neg_infinity |], [| infinity |]);
+      ([||], [| 0.0 |]);
+    ]
+  in
+  List.iter
+    (fun (p, q) ->
+      Alcotest.(check int)
+        (Printf.sprintf "compare %s %s" (Point.to_string p) (Point.to_string q))
+        (sign (Stdlib.compare p q))
+        (sign (Point.compare p q)))
+    cases
+
+(* [Array.sort Float.compare] replaced [Array.sort compare] on the
+   distance lists; the resulting order (and hence dedup and binary
+   search behaviour) must be identical, including non-finite values. *)
+let test_float_sort_order_regression () =
+  let mk () =
+    [| 3.5; -0.0; nan; 0.0; infinity; 1.0; neg_infinity; 3.5; -2.0; nan |]
+  in
+  let a = mk () and b = mk () in
+  Array.sort Float.compare a;
+  Array.sort compare b;
+  Alcotest.(check bool) "Float.compare sort = polymorphic sort" true
+    (Array.for_all2
+       (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y
+                   || (Float.is_nan x && Float.is_nan y))
+       a b)
+
 let prop_euclidean_is_metric =
   QCheck.Test.make ~name:"random euclidean space satisfies metric axioms"
     ~count:30
@@ -101,6 +168,11 @@ let suite =
     Alcotest.test_case "pairwise distances sorted" `Quick test_pairwise_sorted;
     Alcotest.test_case "matrix space" `Quick test_matrix_space;
     Alcotest.test_case "cached space" `Quick test_cached;
+    Alcotest.test_case "packed point store" `Quick test_points_store;
+    Alcotest.test_case "Point.compare order regression" `Quick
+      test_point_compare_regression;
+    Alcotest.test_case "float sort order regression" `Quick
+      test_float_sort_order_regression;
     QCheck_alcotest.to_alcotest prop_euclidean_is_metric;
     QCheck_alcotest.to_alcotest prop_nearest_center;
   ]

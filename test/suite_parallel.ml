@@ -191,6 +191,59 @@ let prop_mwu_identical =
       in
       all_equal runs)
 
+let prop_balls_all_identical =
+  QCheck.Test.make
+    ~name:"Bbd.balls_all = per-point ball_query, identical across pool sizes"
+    ~count:10
+    QCheck.(pair (int_range 1 200) (float_range 5.0 40.0))
+    (fun (n, radius) ->
+      let pts = random_pts n in
+      let eps = 0.25 in
+      let module Obs = Cso_obs.Obs in
+      let tree = Cso_geom.Bbd_tree.build pts in
+      (* Reference: one boxed-center query per point, sequentially. *)
+      let reference =
+        Cso_obs.Obs.Hist.with_delta (fun () ->
+            Obs.with_delta (fun () ->
+                Array.init n (fun i ->
+                    Cso_geom.Bbd_tree.ball_query tree ~center:pts.(i) ~radius
+                      ~eps)))
+      in
+      let runs =
+        on_all_domain_counts (fun _ ->
+            Cso_obs.Obs.Hist.with_delta (fun () ->
+                Obs.with_delta (fun () ->
+                    Cso_geom.Bbd_tree.balls_all tree ~radius ~eps)))
+      in
+      (* Same result lists in the same order, same geom.bbd.* counter and
+         histogram deltas — for every pool size, and vs the sequential
+         per-point loop. *)
+      all_equal (reference :: runs))
+
+let test_balls_all_obs_disabled () =
+  let pts = random_pts 150 in
+  let tree = Cso_geom.Bbd_tree.build pts in
+  let module Obs = Cso_obs.Obs in
+  let reference =
+    with_domains 2 (fun () ->
+        Cso_geom.Bbd_tree.balls_all tree ~radius:20.0 ~eps:0.25)
+  in
+  let was = Obs.enabled () in
+  Obs.set_enabled false;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was) (fun () ->
+      let (result, deltas), hist_deltas =
+        with_domains 2 (fun () ->
+            Obs.Hist.with_delta (fun () ->
+                Obs.with_delta (fun () ->
+                    Cso_geom.Bbd_tree.balls_all tree ~radius:20.0 ~eps:0.25)))
+      in
+      Alcotest.(check bool) "no counter moves with CSO_OBS off" true
+        (deltas = []);
+      Alcotest.(check bool) "no histogram moves with CSO_OBS off" true
+        (hist_deltas = []);
+      Alcotest.(check bool) "balls_all results unchanged with CSO_OBS off"
+        true (result = reference))
+
 (* --- observability counters under parallelism --- *)
 
 module Obs = Cso_obs.Obs
@@ -392,6 +445,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_gonzalez_identical;
     QCheck_alcotest.to_alcotest prop_charikar_identical;
     QCheck_alcotest.to_alcotest prop_mwu_identical;
+    QCheck_alcotest.to_alcotest prop_balls_all_identical;
+    Alcotest.test_case "balls_all with obs disabled" `Quick
+      test_balls_all_obs_disabled;
     Alcotest.test_case "obs counters identical across pool sizes" `Quick
       test_obs_identical_across_domains;
     Alcotest.test_case "obs disabled is a no-op" `Quick

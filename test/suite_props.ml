@@ -144,6 +144,124 @@ let prop_wspd_separation_and_coverage =
       let all_covered = Hashtbl.length seen = n * (n - 1) / 2 in
       separated && (not !dups) && all_covered)
 
+(* --- Packed kernels vs Point kernels: bit-identity contract --- *)
+
+module Points = Cso_metric.Points
+
+let bits = Int64.bits_of_float
+
+(* The d range deliberately covers d = 1, the unrolled d = 2/3/4 fast
+   paths, and the generic loop at d > 4. Bit-equality on the results AND
+   equality of the full counter-delta lists: the packed kernels must be
+   indistinguishable from the boxed ones, event for event. *)
+let prop_packed_kernels_bit_identical =
+  QCheck.Test.make
+    ~name:"packed kernels bit-identical to Point kernels (values + counters)"
+    ~count:80 ~long_factor:3
+    QCheck.(pair (int_range 1 40) (int_range 1 7))
+    (fun (n, d) ->
+      let pts = random_points n d in
+      let coords = Points.of_array pts in
+      let pairs = ref [] in
+      for _ = 1 to 50 do
+        pairs := (Random.State.int rng n, Random.State.int rng n) :: !pairs
+      done;
+      let boxed, boxed_deltas =
+        Obs.with_delta (fun () ->
+            List.map
+              (fun (i, j) ->
+                ( bits (Point.l2_sq pts.(i) pts.(j)),
+                  bits (Point.l2 pts.(i) pts.(j)),
+                  bits (Point.linf pts.(i) pts.(j)),
+                  bits (Point.l1 pts.(i) pts.(j)) ))
+              !pairs)
+      in
+      let packed, packed_deltas =
+        Obs.with_delta (fun () ->
+            List.map
+              (fun (i, j) ->
+                ( bits (Points.l2_sq_idx coords i j),
+                  bits (Points.l2_idx coords i j),
+                  bits (Points.linf_idx coords i j),
+                  bits (Points.l1_idx coords i j) ))
+              !pairs)
+      in
+      boxed = packed
+      && boxed_deltas = packed_deltas
+      && delta_of boxed_deltas "metric.dist_evals" = 4 * List.length !pairs)
+
+(* The batch row kernel must be indistinguishable from a per-index
+   sweep: same floats bit for bit, same counter delta (n evals). *)
+let prop_row_kernel_bit_identical =
+  QCheck.Test.make
+    ~name:"l2_sq_to bit-identical to an l2_sq_idx sweep (values + counters)"
+    ~count:80 ~long_factor:3
+    QCheck.(pair (int_range 1 40) (int_range 1 7))
+    (fun (n, d) ->
+      let pts = random_points n d in
+      let coords = Points.of_array pts in
+      let i = Random.State.int rng n in
+      let per_index, per_index_deltas =
+        Obs.with_delta (fun () ->
+            Array.init n (fun j -> bits (Points.l2_sq_idx coords i j)))
+      in
+      let dst = Array.make n 0.0 in
+      let (), row_deltas =
+        Obs.with_delta (fun () -> Points.l2_sq_to coords i dst)
+      in
+      Array.for_all2 (fun b x -> b = bits x) per_index dst
+      && per_index_deltas = row_deltas
+      && delta_of row_deltas "metric.dist_evals" = n)
+
+(* --- Flat simplex tableau vs the reference implementation --- *)
+
+(* Random small LPs over shifted boxes with all three constraint ops.
+   The flat solver must agree with the kept row-of-rows reference not
+   just on outcomes but on the exact pivot count and per-solve pivot
+   histogram: the two are the same algorithm in different memory
+   layouts. *)
+let outcome_bits = function
+  | Simplex.Optimal { value; solution } ->
+      `Optimal (bits value, Array.map bits solution)
+  | Simplex.Infeasible -> `Infeasible
+  | Simplex.Unbounded -> `Unbounded
+
+let prop_simplex_flat_equals_reference =
+  QCheck.Test.make
+    ~name:"flat simplex = reference simplex (outcome bits, pivots, hists)"
+    ~count:120 ~long_factor:3
+    QCheck.(pair (int_range 1 8) (int_range 1 6))
+    (fun (m, nv) ->
+      let op_of k = match k mod 3 with 0 -> Simplex.Le | 1 -> Simplex.Ge | _ -> Simplex.Eq in
+      let constraints =
+        List.init m (fun _ ->
+            let a =
+              Array.init nv (fun _ ->
+                  float_of_int (Random.State.int rng 7 - 3))
+            in
+            let b = float_of_int (Random.State.int rng 5 - 2) in
+            (a, op_of (Random.State.int rng 3), b))
+      in
+      let bounds =
+        Array.init nv (fun _ ->
+            let lo = Random.State.float rng 0.5 in
+            (lo, lo +. Random.State.float rng 1.0))
+      in
+      let objective =
+        Array.init nv (fun _ -> float_of_int (Random.State.int rng 9 - 4))
+      in
+      let lp = { Simplex.num_vars = nv; objective; constraints; bounds } in
+      let run solver =
+        Obs.Hist.with_delta (fun () ->
+            Obs.with_delta (fun () -> outcome_bits (solver lp)))
+      in
+      let flat = run Simplex.solve in
+      let reference = run Simplex.solve_reference in
+      flat = reference
+      &&
+      let (_, deltas), _ = flat in
+      delta_of deltas "lp.simplex.solves" = 1)
+
 (* --- Simplex vs MWU cross-oracle agreement --- *)
 
 (* Random small feasibility system A x >= b over the box [0,1]^nv, rows
@@ -579,6 +697,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_bbd_sandwich_general;
     QCheck_alcotest.to_alcotest prop_rtree_canonical;
     QCheck_alcotest.to_alcotest prop_wspd_separation_and_coverage;
+    QCheck_alcotest.to_alcotest prop_packed_kernels_bit_identical;
+    QCheck_alcotest.to_alcotest prop_row_kernel_bit_identical;
+    QCheck_alcotest.to_alcotest prop_simplex_flat_equals_reference;
     QCheck_alcotest.to_alcotest prop_simplex_mwu_agree;
     Alcotest.test_case "obs counter interning" `Quick test_obs_interning;
     Alcotest.test_case "obs add" `Quick test_obs_add;
