@@ -1,7 +1,7 @@
 # Convenience wrapper around dune. See README.md.
 
-.PHONY: all build test test-props bench bench-smoke trace-smoke examples \
-	clean reproduce
+.PHONY: all build test test-props bench bench-smoke trace-smoke fuzz-smoke \
+	examples clean reproduce
 
 all: build
 
@@ -41,6 +41,15 @@ trace-smoke:
 	dune exec bin/csokit.exe -- budgets --series BENCH_budgets_baseline.json
 	rm -f trace_smoke.jsonl trace_smoke_chrome.json
 
+# Differential fuzzing gate: every optimized substrate against its
+# naive reference oracle / metamorphic invariants (lib/refcheck), 1000
+# seeded random instances per check under two fixed master seeds.
+# Deterministic, runs in a few seconds, exits non-zero and prints a
+# minimized counterexample plus a replay command on any divergence.
+fuzz-smoke:
+	dune exec bin/csokit.exe -- fuzz --seed 20250807 --cases 1000
+	dune exec bin/csokit.exe -- fuzz --seed 1 --cases 1000
+
 examples:
 	dune exec examples/quickstart.exe
 	dune exec examples/fraud_detection.exe
@@ -48,10 +57,12 @@ examples:
 	dune exec examples/crowdsourcing.exe
 	dune exec examples/robust_summaries.exe
 
-# Full reproduction run: tests, the trace/budget round-trip gate, and
-# the Table-1 harness, outputs captured.
+# Full reproduction run: tests, the differential fuzz gate, the
+# trace/budget round-trip gate, and the Table-1 harness, outputs
+# captured.
 reproduce:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	$(MAKE) fuzz-smoke 2>&1 | tee fuzz_output.txt
 	$(MAKE) trace-smoke 2>&1 | tee trace_output.txt
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 

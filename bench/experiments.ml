@@ -1146,7 +1146,7 @@ let cyclic_rcro () =
   let s = List.init nkeys (fun i -> [| key i; c_of.(i) |]) in
   let t = List.init nkeys (fun i -> [| key i; c_of.(i) |]) in
   let inst = Rel.Instance.make schema [ r; s; t ] in
-  let d, t_dec = Util.time (fun () -> Rel.Hypertree.decompose inst) in
+  let d, t_dec = Util.time (fun () -> Rel.Hypertree.decompose_exn inst) in
   let report, t_solve =
     Util.time (fun () ->
         Rcro.solve ~rng:(rng 41) d.Rel.Hypertree.instance d.Rel.Hypertree.tree

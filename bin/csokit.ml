@@ -564,6 +564,76 @@ let trace_cmd =
         $ verbose_arg $ in_arg $ run_arg $ n_arg $ k_arg $ z_arg $ seed_arg
         $ jsonl_arg $ chrome_arg))
 
+(* --- fuzz command --- *)
+
+module Fuzz = Cso_refcheck.Fuzz
+
+let run_fuzz list_only seed cases filter =
+ guard @@ fun () ->
+  if list_only then begin
+    List.iter (fun n -> Fmt.pr "%s@." n) Cso_refcheck.Checks.names;
+    `Ok ()
+  end
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let reports = Fuzz.run ?filter ~seed ~cases Cso_refcheck.Checks.all in
+    if reports = [] then
+      `Error
+        ( false,
+          Printf.sprintf "no check matches filter %S (try: csokit fuzz --list)"
+            (Option.value filter ~default:"") )
+    else begin
+      List.iter (fun r -> Fmt.pr "@[<v>%a@]@." Fuzz.pp_report r) reports;
+      let failures =
+        List.fold_left
+          (fun acc r -> acc + List.length r.Fuzz.r_failures)
+          0 reports
+      in
+      Fmt.pr "fuzz: %d checks x %d cases, %d failure(s), seed %d, %.1f s@."
+        (List.length reports) cases failures seed
+        (Unix.gettimeofday () -. t0);
+      if Fuzz.failed reports then exit 1;
+      `Ok ()
+    end
+  end
+
+let fuzz_cmd =
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the registered check names and exit.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 20250807
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Master RNG seed. Case $(i,i) of a check always runs on the state \
+             derived from (seed, i, check name), so a reported failure \
+             replays with the same seed regardless of which other checks \
+             run.")
+  in
+  let cases_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "cases" ] ~docv:"N" ~doc:"Random instances per check.")
+  in
+  let check_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check" ] ~docv:"SUBSTR"
+          ~doc:"Only run checks whose name contains $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the optimized substrates against naive \
+          reference oracles and metamorphic invariants (lib/refcheck); \
+          exits 1 and prints minimized counterexamples on divergence")
+    Term.(
+      ret (const run_fuzz $ list_arg $ seed_arg $ cases_arg $ check_arg))
+
 let budgets_cmd =
   let series_arg =
     Arg.(
@@ -584,7 +654,7 @@ let main =
   Cmd.group
     (Cmd.info "csokit" ~version:"1.0.0"
        ~doc:"Clustering with set outliers (PODS 2025) toolkit")
-    [ gcso_cmd; cso_cmd; relational_cmd; gen_cmd; trace_cmd; budgets_cmd ]
+    [ gcso_cmd; cso_cmd; relational_cmd; gen_cmd; trace_cmd; budgets_cmd; fuzz_cmd ]
 
 let () =
   (* Spans default to [Sys.time] (CPU time); the CLI has [unix] linked,

@@ -9,7 +9,17 @@
     distances.
 
     Guarantee (Theorem 3.2): at most [(2+eps)k] centers, [2fz] outlier
-    rectangles, cost at most [(2+eps) rho*_{k,z}]. *)
+    rectangles, cost at most [(2+eps) rho*_{k,z}].
+
+    Calibration note (found by [csokit fuzz]): the theorem's [(2+eps)]
+    cost factor assumes the input accuracy is split across the WSPD
+    candidate lattice, the BBD ball queries and the MWU rounds. This
+    implementation passes the caller's [eps] to all three un-split, so
+    its end-to-end guarantee against the discrete optimum is
+    [cost <= 2 (1+eps)^2 rho*] — the rounding invariant
+    [cost <= 2 (1+eps) radius] always holds, and [radius] (the smallest
+    feasible candidate) is within [(1+eps)] of [rho*]. Callers wanting
+    the literal [(2+eps)] bound should pass [eps/5]. *)
 
 type prepared
 (** Instance with its BBD tree, range tree and cached canonical node

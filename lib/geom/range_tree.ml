@@ -216,10 +216,13 @@ let seg_cover seg a b acc =
   go 0 acc
 
 let query_nodes t (rect : Rect.t) =
-  if Rect.dim rect <> t.d then invalid_arg "Range_tree.query_nodes: dim";
+  (* An empty tree has no meaningful dimension (build accepted [[||]]
+     without one), so any query rectangle is answerable: nothing is
+     inside it. Only non-empty trees can reject a mismatched rect. *)
   match t.root with
   | None -> []
   | Some root ->
+      if Rect.dim rect <> t.d then invalid_arg "Range_tree.query_nodes: dim";
       Obs.incr c_queries;
       let rec go tree j acc =
         match tree with

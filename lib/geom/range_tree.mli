@@ -30,7 +30,10 @@ val size : t -> int
 
 val query_nodes : t -> Rect.t -> int list
 (** Canonical node ids whose point sets partition [rect cap P] exactly
-    (closed-interval containment). *)
+    (closed-interval containment). Raises [Invalid_argument] when the
+    rectangle's dimension differs from the tree's — except on an empty
+    tree, which has no dimension of its own and answers every query
+    with the empty list. *)
 
 val report : t -> Rect.t -> int list
 (** Point indices inside the rectangle. *)

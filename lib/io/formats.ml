@@ -17,33 +17,36 @@ let float_to_string x =
 
 let with_lines path f =
   let ic = open_in path in
-  let rec go acc lineno =
-    match input_line ic with
-    | line ->
-        let trimmed = String.trim line in
-        let acc =
-          if trimmed = "" then acc
-          else
-            try f trimmed :: acc
-            with Failure msg ->
-              close_in ic;
-              failwith (Printf.sprintf "%s:%d: %s" path lineno msg)
-        in
-        go acc (lineno + 1)
-    | exception End_of_file ->
-        close_in ic;
-        List.rev acc
-  in
-  go [] 1
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc lineno =
+        match input_line ic with
+        | line ->
+            let trimmed = String.trim line in
+            let acc =
+              if trimmed = "" then acc
+              else
+                match f trimmed with
+                | v -> v :: acc
+                | exception Failure msg ->
+                    failwith (Printf.sprintf "%s:%d: %s" path lineno msg)
+            in
+            go acc (lineno + 1)
+        | exception End_of_file -> List.rev acc
+      in
+      go [] 1)
 
 let write_lines path lines =
   let oc = open_out path in
-  List.iter
-    (fun l ->
-      output_string oc l;
-      output_char oc '\n')
-    lines;
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines)
 
 let read_points path =
   Array.of_list

@@ -27,6 +27,16 @@ val load_cso_instance : points:string -> sets:string -> k:int -> z:int ->
   Cso_core.Instance.t
 (** Euclidean metric over the points file. *)
 
+val with_lines : string -> (string -> 'a) -> 'a list
+(** [with_lines path f] applies [f] to every non-empty trimmed line.
+    [Failure] raised by [f] is re-raised with a [file:line] prefix; any
+    other exception propagates unchanged. The channel is closed on every
+    exit path (normal or exceptional). *)
+
+val write_lines : string -> string list -> unit
+(** Writes the lines with trailing newlines. The channel is closed on
+    every exit path. *)
+
 val parse_float : string -> float
 (** Accepts ["inf"], ["+inf"], ["-inf"], ["infinity"] variants
     (case-insensitive) besides ordinary float literals; raises

@@ -44,9 +44,31 @@ let default_rounds ~m ~width ~eps =
 let min_weight_factor = 1e-12
 
 let run ~m ~width ~eps ?rounds ?on_round ?on_weights ~oracle ~violation () =
-  if m <= 0 then invalid_arg "Mwu.run: m <= 0";
+  if m < 0 then invalid_arg "Mwu.run: m < 0";
   if not (eps > 0.0 && eps <= 1.0) then
     invalid_arg "Mwu.run: eps must be in (0, 1]";
+  if m = 0 then
+    (* A system with no constraints: whatever the oracle produces for the
+       (empty) aggregated constraint satisfies all zero of them, so one
+       oracle call decides the outcome. Without this early return the
+       empty violation vector would turn [fold_left min infinity] into
+       [infinity] and feed a corrupt [-infinity] max-violation to
+       [on_round] (and [Array.make 0] weights into the update loop). *)
+    Obs.with_span "mwu.run" (fun () ->
+        Obs.incr c_rounds;
+        Obs.incr c_oracle;
+        match oracle [||] with
+        | None -> Infeasible
+        | Some sol ->
+            let v = violation sol in
+            if Array.length v <> 0 then invalid_arg "Mwu.run: violation length";
+            if Obs.enabled () then Obs.Hist.observe h_violated 0;
+            (match on_round with
+            | None -> ()
+            | Some f -> f ~round:1 ~max_violation:0.0);
+            (match on_weights with None -> () | Some f -> f [||]);
+            Feasible [ sol ])
+  else begin
   let rounds =
     match rounds with Some r -> r | None -> default_rounds ~m ~width ~eps
   in
@@ -117,4 +139,5 @@ let run ~m ~width ~eps ?rounds ?on_round ?on_weights ~oracle ~violation () =
           go (t + 1)
     end
   in
-  Obs.with_span "mwu.run" (fun () -> go 1)
+    Obs.with_span "mwu.run" (fun () -> go 1)
+  end

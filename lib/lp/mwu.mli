@@ -44,7 +44,12 @@ val run :
     [on_weights] receives a copy of the renormalized weight vector after
     every round (a test/debug observer).
 
-    Robustness guarantees: raises [Invalid_argument] unless
+    [m = 0] (a system with no constraints) is trivially feasible: the
+    oracle is called once on an empty weight vector and its solution is
+    returned as [Feasible [sol]] ([None] still certifies infeasibility).
+    [on_round], if any, observes [max_violation = 0.].
+
+    Robustness guarantees: raises [Invalid_argument] unless [m >= 0] and
     [eps] lies in [(0, 1]]; [delta_i] is clamped to [[-1, 1]] so a
     caller-underestimated [width] degrades convergence speed instead of
     voiding the guarantee; weights are floored at a tiny positive value

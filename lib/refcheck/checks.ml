@@ -1,0 +1,1112 @@
+(* The check registry: every entry pairs an optimized substrate with a
+   {!Reference} oracle or a metamorphic invariant, over tiny seeded
+   random instances. Generators mix grid coordinates (small integers)
+   with uniform ones so ties, duplicate points and degenerate boxes are
+   common; shrinkers only propose structurally valid candidates so the
+   greedy minimizer never has to re-validate.
+
+   Exactness policy: properties compare bit-exactly whenever both sides
+   compute the same float expressions (possibly in different orders of
+   min/max, which are order-independent), and fall back to a 1e-9
+   additive slack only for genuinely different computations (LP feasibility
+   residuals, approximation-factor bounds). *)
+
+module Point = Cso_metric.Point
+module Space = Cso_metric.Space
+module Rect = Cso_geom.Rect
+module Bbd = Cso_geom.Bbd_tree
+module Rtree = Cso_geom.Range_tree
+module Gonzalez = Cso_kcenter.Gonzalez
+module Charikar = Cso_kcenter.Charikar_outliers
+module Simplex = Cso_lp.Simplex
+module Mwu = Cso_lp.Mwu
+module Set_cover = Cso_setcover.Set_cover
+module Instance = Cso_core.Instance
+module Exact = Cso_core.Exact
+module Cso_general = Cso_core.Cso_general
+module Gcso_general = Cso_core.Gcso_general
+module Geo_instance = Cso_core.Geo_instance
+module Rel = Cso_relational
+
+let ( let* ) = Result.bind
+let require cond msg = if cond then Ok () else Error msg
+let requiref cond fmt = Printf.ksprintf (require cond) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Generator helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let int_in rng lo hi = lo + Random.State.int rng (hi - lo + 1)
+
+(* Half the coordinates land on a 5-point integer grid so duplicate
+   points, zero distances and on-boundary queries are frequent. *)
+let coord rng =
+  if Random.State.bool rng then float_of_int (Random.State.int rng 5)
+  else Random.State.float rng 4.0
+
+let gen_points rng ~n_min ~n_max ~d_max =
+  let n = int_in rng n_min n_max in
+  let d = int_in rng 1 d_max in
+  Array.init n (fun _ -> Array.init d (fun _ -> coord rng))
+
+let scale2 pts = Array.map (Array.map (fun x -> 2.0 *. x)) pts
+
+(* ------------------------------------------------------------------ *)
+(* Show / shrink helpers                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pt_str p =
+  "("
+  ^ String.concat " " (List.map (Printf.sprintf "%.17g") (Array.to_list p))
+  ^ ")"
+
+let pts_str pts =
+  Printf.sprintf "%d pts: %s" (Array.length pts)
+    (String.concat "; " (Array.to_list (Array.map pt_str pts)))
+
+let ints_str l = "[" ^ String.concat ";" (List.map string_of_int l) ^ "]"
+
+(* One candidate per dropped index [>= keep], preserving order. *)
+let drop_each ?(keep = 0) arr =
+  List.filter_map
+    (fun i ->
+      if i < keep then None
+      else
+        Some
+          (Array.init
+             (Array.length arr - 1)
+             (fun j -> arr.(if j < i then j else j + 1))))
+    (List.init (Array.length arr) Fun.id)
+
+(* Snapping every coordinate to the integer grid, when it changes
+   anything, usually turns a long-decimal counterexample readable. *)
+let round_pts pts =
+  let r = Array.map (Array.map Float.round) pts in
+  if r = pts then [] else [ r ]
+
+let sorted_ints l = List.sort_uniq compare l
+
+(* ------------------------------------------------------------------ *)
+(* metric.*                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let metric_ball =
+  Fuzz.make ~name:"metric.ball_vs_scan"
+    ~gen:(fun rng ->
+      let pts = gen_points rng ~n_min:1 ~n_max:16 ~d_max:3 in
+      (pts, float_of_int (int_in rng 0 5) +. (if Random.State.bool rng then 0.0 else Random.State.float rng 1.0)))
+    ~shrink:(fun (pts, r) ->
+      List.map (fun p -> (p, r)) (drop_each ~keep:1 pts @ round_pts pts)
+      @ (if Float.round r = r then [] else [ (pts, Float.round r) ]))
+    ~show:(fun (pts, r) -> Printf.sprintf "radius=%.17g %s" r (pts_str pts))
+    ~prop:(fun (pts, r) ->
+      let s = Space.of_points pts in
+      let fast = Space.ball s ~center:0 ~radius:r in
+      let naive = Reference.ball pts ~center:pts.(0) ~radius:r in
+      requiref (fast = naive) "Space.ball %s <> reference %s" (ints_str fast)
+        (ints_str naive))
+
+let metric_pairwise =
+  Fuzz.make ~name:"metric.pairwise_vs_scan"
+    ~gen:(fun rng -> gen_points rng ~n_min:1 ~n_max:12 ~d_max:3)
+    ~shrink:(fun pts -> drop_each ~keep:1 pts @ round_pts pts)
+    ~show:pts_str
+    ~prop:(fun pts ->
+      let s = Space.of_points pts in
+      let fast = Array.to_list (Space.pairwise_distances s) in
+      let naive = ref [ 0.0 ] in
+      let n = Array.length pts in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          naive := Point.l2 pts.(i) pts.(j) :: !naive
+        done
+      done;
+      let naive = List.sort_uniq Float.compare !naive in
+      requiref (fast = naive) "pairwise_distances: %d values vs naive %d"
+        (List.length fast) (List.length naive))
+
+let metric_cached =
+  Fuzz.make ~name:"metric.cached_identical"
+    ~gen:(fun rng -> gen_points rng ~n_min:1 ~n_max:10 ~d_max:3)
+    ~shrink:(fun pts -> drop_each ~keep:1 pts @ round_pts pts)
+    ~show:pts_str
+    ~prop:(fun pts ->
+      let s = Space.of_points pts in
+      let c = Space.cached s in
+      let n = Array.length pts in
+      let bad = ref None in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if
+            not
+              (Int64.equal
+                 (Int64.bits_of_float (s.Space.dist i j))
+                 (Int64.bits_of_float (c.Space.dist i j)))
+          then bad := Some (i, j)
+        done
+      done;
+      match !bad with
+      | None -> Ok ()
+      | Some (i, j) ->
+          Error
+            (Printf.sprintf "cached dist(%d,%d)=%.17g <> direct %.17g" i j
+               (c.Space.dist i j) (s.Space.dist i j)))
+
+(* ------------------------------------------------------------------ *)
+(* geom.*                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type ball_inst = {
+  b_pts : Point.t array;
+  b_center : Point.t;
+  b_radius : float;
+  b_eps : float;
+}
+
+let gen_ball_inst ?(n_min = 0) rng =
+  let pts = gen_points rng ~n_min:(max 1 n_min) ~n_max:20 ~d_max:3 in
+  let pts = if n_min = 0 && Random.State.int rng 20 = 0 then [||] else pts in
+  let d = if Array.length pts = 0 then 2 else Array.length pts.(0) in
+  {
+    b_pts = pts;
+    b_center = Array.init d (fun _ -> coord rng);
+    b_radius = float_of_int (int_in rng 0 4) +. (if Random.State.bool rng then 0.0 else Random.State.float rng 1.0);
+    b_eps = [| 0.1; 0.3; 1.0 |].(Random.State.int rng 3);
+  }
+
+let shrink_ball_inst b =
+  List.map (fun p -> { b with b_pts = p }) (drop_each b.b_pts @ round_pts b.b_pts)
+  @ (if Float.round b.b_radius = b.b_radius then []
+     else [ { b with b_radius = Float.round b.b_radius } ])
+
+let show_ball_inst b =
+  Printf.sprintf "center=%s radius=%.17g eps=%g %s" (pt_str b.b_center)
+    b.b_radius b.b_eps (pts_str b.b_pts)
+
+let geom_bbd_sandwich =
+  Fuzz.make ~name:"geom.bbd_sandwich" ~gen:gen_ball_inst
+    ~shrink:shrink_ball_inst ~show:show_ball_inst
+    ~prop:(fun b ->
+      let t = Bbd.build b.b_pts in
+      let nodes =
+        Bbd.ball_query t ~center:b.b_center ~radius:b.b_radius ~eps:b.b_eps
+      in
+      let union = List.concat_map (Bbd.points_of_node t) nodes in
+      let sorted = List.sort compare union in
+      let* () =
+        require
+          (List.length sorted = List.length (sorted_ints sorted))
+          "canonical nodes are not disjoint"
+      in
+      let inner =
+        Reference.ball b.b_pts ~center:b.b_center ~radius:b.b_radius
+      in
+      let outer =
+        Reference.ball b.b_pts ~center:b.b_center
+          ~radius:((1.0 +. b.b_eps) *. b.b_radius)
+      in
+      let* () =
+        requiref
+          (List.for_all (fun i -> List.mem i sorted) inner)
+          "inner ball %s not covered by union %s" (ints_str inner)
+          (ints_str sorted)
+      in
+      requiref
+        (List.for_all (fun i -> List.mem i outer) sorted)
+        "union %s escapes (1+eps) ball %s" (ints_str sorted) (ints_str outer))
+
+let geom_bbd_balls_all =
+  Fuzz.make ~name:"geom.bbd_balls_all_vs_queries"
+    ~gen:(fun rng -> gen_ball_inst ~n_min:1 rng)
+    ~shrink:shrink_ball_inst ~show:show_ball_inst
+    ~prop:(fun b ->
+      let t = Bbd.build b.b_pts in
+      let batched = Bbd.balls_all t ~radius:b.b_radius ~eps:b.b_eps in
+      let looped =
+        Array.init (Array.length b.b_pts) (fun i ->
+            Bbd.ball_query t ~center:b.b_pts.(i) ~radius:b.b_radius
+              ~eps:b.b_eps)
+      in
+      require (batched = looped) "balls_all differs from per-point ball_query")
+
+let geom_bbd_scale =
+  Fuzz.make ~name:"geom.bbd_scale_invariance"
+    ~gen:(fun rng -> gen_ball_inst ~n_min:1 rng)
+    ~shrink:shrink_ball_inst ~show:show_ball_inst
+    ~prop:(fun b ->
+      (* Doubling every coordinate, the center and the radius is exact in
+         floating point, so the tree makes identical comparisons and must
+         return identical canonical node ids. *)
+      let q pts center radius =
+        Bbd.ball_query (Bbd.build pts) ~center ~radius ~eps:b.b_eps
+      in
+      let base = q b.b_pts b.b_center b.b_radius in
+      let scaled =
+        q (scale2 b.b_pts)
+          (Array.map (fun x -> 2.0 *. x) b.b_center)
+          (2.0 *. b.b_radius)
+      in
+      requiref (base = scaled) "nodes %s (base) <> %s (x2 scaled)"
+        (ints_str base) (ints_str scaled))
+
+let gen_rect rng d =
+  Rect.of_intervals
+    (List.init d (fun _ ->
+         if Random.State.int rng 4 = 0 then (neg_infinity, infinity)
+         else
+           let a = coord rng and b = coord rng in
+           (Float.min a b, Float.max a b)))
+
+let geom_rtree_report =
+  Fuzz.make ~name:"geom.rtree_report_vs_scan"
+    ~gen:(fun rng ->
+      let pts = gen_points rng ~n_min:1 ~n_max:16 ~d_max:3 in
+      let pts = if Random.State.int rng 20 = 0 then [||] else pts in
+      let d = if Array.length pts = 0 then 2 else Array.length pts.(0) in
+      (pts, gen_rect rng d))
+    ~shrink:(fun (pts, rect) ->
+      List.map (fun p -> (p, rect)) (drop_each pts @ round_pts pts))
+    ~show:(fun (pts, rect) ->
+      Format.asprintf "rect=%a %s" Rect.pp rect (pts_str pts))
+    ~prop:(fun (pts, rect) ->
+      let t = Rtree.build pts in
+      let report = List.sort compare (Rtree.report t rect) in
+      let naive = Reference.range_report pts rect in
+      let* () =
+        requiref (report = naive) "report %s <> reference %s"
+          (ints_str report) (ints_str naive)
+      in
+      let* () =
+        requiref
+          (Rtree.count t rect = List.length naive)
+          "count %d <> %d" (Rtree.count t rect) (List.length naive)
+      in
+      let nodes = Rtree.query_nodes t rect in
+      let union = List.concat_map (Rtree.node_points t) nodes in
+      let* () =
+        require
+          (List.length union = List.length (sorted_ints union))
+          "canonical nodes are not disjoint"
+      in
+      require (List.sort compare union = naive) "canonical union <> report")
+
+(* ------------------------------------------------------------------ *)
+(* kcenter.*                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_kcenter rng =
+  let pts = gen_points rng ~n_min:1 ~n_max:12 ~d_max:3 in
+  (pts, int_in rng 1 3)
+
+let shrink_kcenter (pts, k) =
+  List.map (fun p -> (p, k)) (drop_each ~keep:1 pts @ round_pts pts)
+  @ if k > 1 then [ (pts, k - 1) ] else []
+
+let show_kcenter (pts, k) = Printf.sprintf "k=%d %s" k (pts_str pts)
+
+let kcenter_gonzalez =
+  Fuzz.make ~name:"kcenter.gonzalez_2approx" ~gen:gen_kcenter
+    ~shrink:shrink_kcenter ~show:show_kcenter
+    ~prop:(fun (pts, k) ->
+      let centers, r = Gonzalez.run_points pts ~k in
+      let* () =
+        requiref (List.length centers <= k) "%d centers > k=%d"
+          (List.length centers) k
+      in
+      let s = Space.of_points pts in
+      let all = List.init (Array.length pts) Fun.id in
+      let cost = Reference.kcenter_cost s ~centers all in
+      let* () =
+        requiref (cost = r) "returned radius %.17g <> recomputed cost %.17g" r
+          cost
+      in
+      let fast_centers, fast_r = Gonzalez.run_points_fast pts ~k in
+      let* () =
+        require (fast_centers = centers && fast_r = r)
+          "run_points_fast differs from run_points"
+      in
+      let opt = Reference.kcenter_opt s ~subset:all ~k in
+      requiref
+        (r <= (2.0 *. opt) +. 1e-9)
+        "radius %.17g > 2*opt = %.17g" r (2.0 *. opt))
+
+let kcenter_gonzalez_scale =
+  Fuzz.make ~name:"kcenter.gonzalez_scale_invariance" ~gen:gen_kcenter
+    ~shrink:shrink_kcenter ~show:show_kcenter
+    ~prop:(fun (pts, k) ->
+      let c1, r1 = Gonzalez.run_points pts ~k in
+      let c2, r2 = Gonzalez.run_points (scale2 pts) ~k in
+      let* () =
+        requiref (c1 = c2) "centers %s <> scaled centers %s" (ints_str c1)
+          (ints_str c2)
+      in
+      requiref
+        (Int64.equal (Int64.bits_of_float r2) (Int64.bits_of_float (2.0 *. r1)))
+        "scaled radius %.17g <> 2 * %.17g" r2 r1)
+
+let kcenter_charikar =
+  Fuzz.make ~name:"kcenter.charikar_3approx"
+    ~gen:(fun rng ->
+      let pts = gen_points rng ~n_min:3 ~n_max:8 ~d_max:2 in
+      (pts, int_in rng 1 2, int_in rng 0 2))
+    ~shrink:(fun (pts, k, z) ->
+      (if Array.length pts > 3 then
+         List.map (fun p -> (p, k, z)) (drop_each pts)
+       else [])
+      @ List.map (fun p -> (p, k, z)) (round_pts pts)
+      @ (if z > 0 then [ (pts, k, z - 1) ] else [])
+      @ if k > 1 then [ (pts, k - 1, z) ] else [])
+    ~show:(fun (pts, k, z) -> Printf.sprintf "k=%d z=%d %s" k z (pts_str pts))
+    ~prop:(fun (pts, k, z) ->
+      let s = Space.cached (Space.of_points pts) in
+      let res = Charikar.run s ~k ~z in
+      let* () =
+        requiref
+          (List.length res.Charikar.centers <= k)
+          "%d centers > k=%d"
+          (List.length res.Charikar.centers)
+          k
+      in
+      let* () =
+        requiref
+          (List.length res.Charikar.outliers <= z)
+          "%d outliers > z=%d"
+          (List.length res.Charikar.outliers)
+          z
+      in
+      let keep =
+        List.filter
+          (fun i -> not (List.mem i res.Charikar.outliers))
+          (List.init (Array.length pts) Fun.id)
+      in
+      let cost = Reference.kcenter_cost s ~centers:res.Charikar.centers keep in
+      let* () =
+        requiref
+          (cost <= res.Charikar.radius +. 1e-9)
+          "survivors cost %.17g > reported radius %.17g" cost
+          res.Charikar.radius
+      in
+      let opt = Reference.kcenter_outliers_opt s ~k ~z in
+      requiref
+        (res.Charikar.radius <= (3.0 *. opt) +. 1e-9)
+        "radius %.17g > 3*opt = %.17g" res.Charikar.radius (3.0 *. opt))
+
+(* ------------------------------------------------------------------ *)
+(* lp.*                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let gen_problem rng =
+  let nv = int_in rng 1 4 and nc = int_in rng 0 5 in
+  let row () = Array.init nv (fun _ -> float_of_int (int_in rng (-3) 3)) in
+  {
+    Simplex.num_vars = nv;
+    objective = row ();
+    constraints =
+      List.init nc (fun _ ->
+          let op =
+            match Random.State.int rng 3 with
+            | 0 -> Simplex.Le
+            | 1 -> Simplex.Ge
+            | _ -> Simplex.Eq
+          in
+          (row (), op, float_of_int (int_in rng (-6) 6)));
+    bounds = Array.init nv (fun _ -> (0.0, float_of_int (int_in rng 1 5)));
+  }
+
+let shrink_problem (p : Simplex.problem) =
+  let drop_constraint i =
+    { p with Simplex.constraints = List.filteri (fun j _ -> j <> i) p.Simplex.constraints }
+  in
+  List.init (List.length p.Simplex.constraints) drop_constraint
+  @
+  if Array.exists (fun c -> c <> 0.0) p.Simplex.objective then
+    [ { p with Simplex.objective = Array.map (fun _ -> 0.0) p.Simplex.objective } ]
+  else []
+
+let show_problem (p : Simplex.problem) =
+  let row a = String.concat " " (Array.to_list (Array.map (Printf.sprintf "%g") a)) in
+  Printf.sprintf "max [%s] s.t. %s bounds [%s]" (row p.Simplex.objective)
+    (String.concat "; "
+       (List.map
+          (fun (a, op, b) ->
+            Printf.sprintf "[%s] %s %g" (row a)
+              (match op with Simplex.Le -> "<=" | Ge -> ">=" | Eq -> "=")
+              b)
+          p.Simplex.constraints))
+    (String.concat " "
+       (Array.to_list
+          (Array.map (fun (lo, hi) -> Printf.sprintf "%g..%g" lo hi) p.Simplex.bounds)))
+
+let lp_flat_vs_reference =
+  Fuzz.make ~name:"lp.simplex_flat_vs_reference" ~gen:gen_problem
+    ~shrink:shrink_problem ~show:show_problem
+    ~prop:(fun p ->
+      match (Simplex.solve p, Simplex.solve_reference p) with
+      | Simplex.Infeasible, Simplex.Infeasible
+      | Simplex.Unbounded, Simplex.Unbounded ->
+          Ok ()
+      | Simplex.Optimal o1, Simplex.Optimal o2 ->
+          let* () =
+            requiref
+              (Int64.equal
+                 (Int64.bits_of_float o1.value)
+                 (Int64.bits_of_float o2.value))
+              "flat value %.17g <> reference value %.17g" o1.value o2.value
+          in
+          require (o1.solution = o2.solution)
+            "flat solution differs from reference solution"
+      | a, b ->
+          let str = function
+            | Simplex.Optimal { value; _ } -> Printf.sprintf "Optimal %g" value
+            | Simplex.Infeasible -> "Infeasible"
+            | Simplex.Unbounded -> "Unbounded"
+          in
+          Error (Printf.sprintf "flat %s <> reference %s" (str a) (str b)))
+
+let lp_optimal_feasible =
+  Fuzz.make ~name:"lp.simplex_optimal_is_feasible" ~gen:gen_problem
+    ~shrink:shrink_problem ~show:show_problem
+    ~prop:(fun p ->
+      let feasible = Simplex.feasible_point p <> None in
+      match Simplex.solve p with
+      | Simplex.Infeasible ->
+          require (not feasible) "solve Infeasible but feasible_point = Some"
+      | Simplex.Unbounded -> require feasible "Unbounded but no feasible point"
+      | Simplex.Optimal { value; solution = x } ->
+          let* () = require feasible "Optimal but feasible_point = None" in
+          let* () =
+            require
+              (Array.for_all2
+                 (fun (lo, hi) v -> lo -. 1e-9 <= v && v <= hi +. 1e-9)
+                 p.Simplex.bounds x)
+              "optimal solution violates variable bounds"
+          in
+          let dot a = Array.fold_left ( +. ) 0.0 (Array.map2 ( *. ) a x) in
+          let* () =
+            require
+              (List.for_all
+                 (fun (a, op, b) ->
+                   match op with
+                   | Simplex.Le -> dot a <= b +. 1e-6
+                   | Simplex.Ge -> dot a >= b -. 1e-6
+                   | Simplex.Eq -> abs_float (dot a -. b) <= 1e-6)
+                 p.Simplex.constraints)
+              "optimal solution violates a constraint"
+          in
+          requiref
+            (abs_float (dot p.Simplex.objective -. value) <= 1e-6)
+            "objective %.17g <> reported value %.17g" (dot p.Simplex.objective)
+            value)
+
+type mwu_inst = { m_a : float array array; m_b : float array }
+
+let lp_mwu_vs_simplex =
+  Fuzz.make ~name:"lp.mwu_vs_simplex"
+    ~gen:(fun rng ->
+      let m = int_in rng 1 4 and nv = int_in rng 1 3 in
+      {
+        m_a =
+          Array.init m (fun _ ->
+              Array.init nv (fun _ -> float_of_int (int_in rng (-3) 3)));
+        m_b = Array.init m (fun _ -> float_of_int (int_in rng (-2) 2));
+      })
+    ~shrink:(fun inst ->
+      List.filter_map
+        (fun i ->
+          if Array.length inst.m_a <= 1 then None
+          else
+            Some
+              {
+                m_a = Array.of_list (List.filteri (fun j _ -> j <> i) (Array.to_list inst.m_a));
+                m_b = Array.of_list (List.filteri (fun j _ -> j <> i) (Array.to_list inst.m_b));
+              })
+        (List.init (Array.length inst.m_a) Fun.id))
+    ~show:(fun inst ->
+      String.concat "; "
+        (Array.to_list
+           (Array.mapi
+              (fun i row ->
+                Printf.sprintf "[%s] >= %g"
+                  (String.concat " "
+                     (Array.to_list (Array.map (Printf.sprintf "%g") row)))
+                  inst.m_b.(i))
+              inst.m_a)))
+    ~prop:(fun inst ->
+      let m = Array.length inst.m_a in
+      let nv = Array.length inst.m_a.(0) in
+      (* Row-normalize so width = 1 on the [0,1]^nv box, exactly as the
+         MWU contract requires. *)
+      let w =
+        Array.init m (fun i ->
+            Array.fold_left (fun acc v -> acc +. abs_float v) 0.0 inst.m_a.(i)
+            +. abs_float inst.m_b.(i) +. 1.0)
+      in
+      let a' = Array.mapi (fun i row -> Array.map (fun v -> v /. w.(i)) row) inst.m_a in
+      let b' = Array.mapi (fun i v -> v /. w.(i)) inst.m_b in
+      let eps = 0.3 in
+      let row_dot i x =
+        let acc = ref 0.0 in
+        for j = 0 to nv - 1 do
+          acc := !acc +. (a'.(i).(j) *. x.(j))
+        done;
+        !acc
+      in
+      let oracle sigma =
+        (* Best response over the box: x_j = 1 iff its aggregated
+           coefficient is positive. *)
+        let x =
+          Array.init nv (fun j ->
+              let c = ref 0.0 in
+              for i = 0 to m - 1 do
+                c := !c +. (sigma.(i) *. a'.(i).(j))
+              done;
+              if !c > 0.0 then 1.0 else 0.0)
+        in
+        let lhs = ref 0.0 and rhs = ref 0.0 in
+        for i = 0 to m - 1 do
+          lhs := !lhs +. (sigma.(i) *. row_dot i x);
+          rhs := !rhs +. (sigma.(i) *. b'.(i))
+        done;
+        if !lhs >= !rhs -. 1e-12 then Some x else None
+      in
+      let violation x = Array.init m (fun i -> row_dot i x -. b'.(i)) in
+      let mwu = Mwu.run ~m ~width:1.0 ~eps ~oracle ~violation () in
+      let lp =
+        {
+          Simplex.num_vars = nv;
+          objective = Array.make nv 0.0;
+          constraints =
+            List.init m (fun i ->
+                (Array.copy inst.m_a.(i), Simplex.Ge, inst.m_b.(i)));
+          bounds = Simplex.box nv;
+        }
+      in
+      let feasible = Simplex.feasible_point lp <> None in
+      match mwu with
+      | Mwu.Infeasible ->
+          require (not feasible) "MWU certified infeasible but simplex found a point"
+      | Mwu.Feasible sols ->
+          if not feasible then Ok () (* MWU Feasible is not a certificate *)
+          else
+            let* () = require (sols <> []) "Feasible with no iterates" in
+            let t = float_of_int (List.length sols) in
+            let x_hat = Array.make nv 0.0 in
+            List.iter
+              (fun x -> Array.iteri (fun j v -> x_hat.(j) <- x_hat.(j) +. (v /. t)) x)
+              sols;
+            let worst = ref infinity in
+            for i = 0 to m - 1 do
+              worst := Float.min !worst (row_dot i x_hat -. b'.(i))
+            done;
+            requiref
+              (!worst >= -.eps -. 1e-9)
+              "averaged MWU solution violates a constraint by %.17g > eps=%g"
+              (-. !worst) eps)
+
+(* ------------------------------------------------------------------ *)
+(* setcover.*                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cover rng =
+  let n = int_in rng 1 8 and m = int_in rng 1 6 in
+  let sets =
+    Array.init m (fun _ ->
+        List.filter (fun _ -> Random.State.int rng 3 = 0) (List.init n Fun.id))
+  in
+  (* Patch coverage: every element must belong to at least one set. *)
+  for e = 0 to n - 1 do
+    if not (Array.exists (List.mem e) sets) then begin
+      let j = Random.State.int rng m in
+      sets.(j) <- List.sort compare (e :: sets.(j))
+    end
+  done;
+  Set_cover.make ~n_elements:n (Array.to_list sets)
+
+let shrink_cover (sc : Set_cover.t) =
+  (* Drop a set when coverage survives without it. *)
+  List.filter_map
+    (fun j ->
+      let kept =
+        List.filteri (fun i _ -> i <> j) (Array.to_list sc.Set_cover.sets)
+      in
+      if
+        List.length kept > 0
+        && List.for_all
+             (fun e -> List.exists (List.mem e) kept)
+             (List.init sc.Set_cover.n_elements Fun.id)
+      then Some (Set_cover.make ~n_elements:sc.Set_cover.n_elements kept)
+      else None)
+    (List.init (Array.length sc.Set_cover.sets) Fun.id)
+
+let show_cover (sc : Set_cover.t) =
+  Printf.sprintf "n=%d sets=%s" sc.Set_cover.n_elements
+    (String.concat " " (Array.to_list (Array.map ints_str sc.Set_cover.sets)))
+
+let setcover_greedy =
+  Fuzz.make ~name:"setcover.greedy_vs_bruteforce" ~gen:gen_cover
+    ~shrink:shrink_cover ~show:show_cover
+    ~prop:(fun sc ->
+      let g = Set_cover.greedy sc in
+      let* () = require (Set_cover.is_cover sc g) "greedy output is not a cover" in
+      let g_ref = Reference.greedy_cover sc in
+      let* () =
+        require (Set_cover.is_cover sc g_ref) "reference greedy is not a cover"
+      in
+      let opt = Reference.cover_opt_size sc in
+      let* () =
+        requiref (List.length g >= opt) "greedy %d below optimum %d"
+          (List.length g) opt
+      in
+      let harmonic =
+        List.fold_left ( +. ) 0.0
+          (List.init sc.Set_cover.n_elements (fun i -> 1.0 /. float_of_int (i + 1)))
+      in
+      requiref
+        (float_of_int (List.length g) <= (harmonic *. float_of_int opt) +. 1e-9)
+        "greedy %d > H(n)*opt = %.3g" (List.length g)
+        (harmonic *. float_of_int opt))
+
+let setcover_exact =
+  Fuzz.make ~name:"setcover.exact_vs_bruteforce" ~gen:gen_cover
+    ~shrink:shrink_cover ~show:show_cover
+    ~prop:(fun sc ->
+      match Set_cover.exact sc with
+      | None -> Error "exact refused a tiny instance"
+      | Some cover ->
+          let* () =
+            require (Set_cover.is_cover sc cover) "exact output is not a cover"
+          in
+          let opt = Reference.cover_opt_size sc in
+          requiref
+            (List.length cover = opt)
+            "exact cover size %d <> brute-force optimum %d" (List.length cover)
+            opt)
+
+(* ------------------------------------------------------------------ *)
+(* cso.*                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type cso_inst = {
+  c_pts : Point.t array;
+  c_sets : int list list;
+  c_k : int;
+  c_z : int;
+}
+
+let mk_cso ?z c =
+  let z = Option.value z ~default:c.c_z in
+  Instance.make
+    (Space.cached (Space.of_points c.c_pts))
+    ~sets:c.c_sets ~k:c.c_k ~z
+
+let gen_cso ?(n_max = 9) rng =
+  let pts = gen_points rng ~n_min:1 ~n_max ~d_max:2 in
+  let n = Array.length pts in
+  let m = int_in rng 1 4 in
+  let sets =
+    Array.init m (fun _ ->
+        List.filter (fun _ -> Random.State.int rng 3 = 0) (List.init n Fun.id))
+  in
+  for e = 0 to n - 1 do
+    if not (Array.exists (List.mem e) sets) then begin
+      let j = Random.State.int rng m in
+      sets.(j) <- List.sort compare (e :: sets.(j))
+    end
+  done;
+  {
+    c_pts = pts;
+    c_sets = Array.to_list sets;
+    c_k = int_in rng 1 2;
+    c_z = int_in rng 0 2;
+  }
+
+let shrink_cso c =
+  let n = Array.length c.c_pts in
+  let covered sets n' =
+    List.for_all (fun e -> List.exists (List.mem e) sets) (List.init n' Fun.id)
+  in
+  (* Drop point i, remapping set elements past it. *)
+  let drop_point i =
+    let pts =
+      Array.init (n - 1) (fun j -> c.c_pts.(if j < i then j else j + 1))
+    in
+    let sets =
+      List.map
+        (List.filter_map (fun e ->
+             if e < i then Some e else if e = i then None else Some (e - 1)))
+        c.c_sets
+    in
+    if covered sets (n - 1) then Some { c with c_pts = pts; c_sets = sets }
+    else None
+  in
+  let drop_set j =
+    let sets = List.filteri (fun i _ -> i <> j) c.c_sets in
+    if sets <> [] && covered sets n then Some { c with c_sets = sets } else None
+  in
+  (if n > 1 then List.filter_map drop_point (List.init n Fun.id) else [])
+  @ List.filter_map drop_set (List.init (List.length c.c_sets) Fun.id)
+  @ List.map (fun p -> { c with c_pts = p }) (round_pts c.c_pts)
+  @ (if c.c_z > 0 then [ { c with c_z = c.c_z - 1 } ] else [])
+  @ if c.c_k > 1 then [ { c with c_k = c.c_k - 1 } ] else []
+
+let show_cso c =
+  Printf.sprintf "k=%d z=%d sets=%s %s" c.c_k c.c_z
+    (String.concat " " (List.map ints_str c.c_sets))
+    (pts_str c.c_pts)
+
+let cso_exact =
+  Fuzz.make ~name:"cso.exact_vs_bruteforce" ~gen:gen_cso ~shrink:shrink_cso
+    ~show:show_cso
+    ~prop:(fun c ->
+      let t = mk_cso c in
+      match Exact.solve t with
+      | None -> Error "Exact.solve hit its work limit on a tiny instance"
+      | Some (sol, cost) ->
+          let* () = require (Instance.is_valid t sol) "exact solution invalid" in
+          let* () =
+            requiref
+              (cost = Instance.cost t sol)
+              "reported cost %.17g <> recomputed %.17g" cost
+              (Instance.cost t sol)
+          in
+          let opt = Reference.cso_opt t in
+          requiref (cost = opt) "Exact cost %.17g <> brute-force %.17g" cost opt)
+
+let cso_lp_tricriteria =
+  Fuzz.make ~name:"cso.lp_tricriteria_vs_opt"
+    ~gen:(fun rng -> gen_cso ~n_max:8 rng)
+    ~shrink:shrink_cso ~show:show_cso
+    ~prop:(fun c ->
+      let t = mk_cso c in
+      let rep = Cso_general.solve t in
+      let sol = rep.Cso_general.solution in
+      let* () = require (Instance.is_valid t sol) "LP solution invalid" in
+      let* () =
+        requiref
+          (List.length sol.Instance.centers <= 2 * c.c_k)
+          "%d centers > 2k=%d"
+          (List.length sol.Instance.centers)
+          (2 * c.c_k)
+      in
+      let f = Instance.frequency t in
+      let* () =
+        requiref
+          (List.length sol.Instance.outliers <= 2 * f * c.c_z)
+          "%d outlier sets > 2fz=%d"
+          (List.length sol.Instance.outliers)
+          (2 * f * c.c_z)
+      in
+      let cost = Instance.cost t sol in
+      let opt = Reference.cso_opt t in
+      let* () =
+        requiref
+          (rep.Cso_general.radius <= opt +. 1e-9)
+          "certified lower bound %.17g above optimum %.17g"
+          rep.Cso_general.radius opt
+      in
+      requiref
+        (cost <= (2.0 *. opt) +. 1e-9)
+        "cost %.17g > 2*opt = %.17g" cost (2.0 *. opt))
+
+let cso_budget_monotone =
+  Fuzz.make ~name:"cso.outlier_budget_monotone"
+    ~gen:(fun rng -> gen_cso ~n_max:8 rng)
+    ~shrink:shrink_cso ~show:show_cso
+    ~prop:(fun c ->
+      let opt_z = Reference.cso_opt (mk_cso c) in
+      let opt_z1 = Reference.cso_opt (mk_cso ~z:(c.c_z + 1) c) in
+      requiref (opt_z1 <= opt_z)
+        "optimum increased with a larger outlier budget: opt(z=%d)=%.17g < opt(z=%d)=%.17g"
+        c.c_z opt_z (c.c_z + 1) opt_z1)
+
+(* ------------------------------------------------------------------ *)
+(* gcso.*                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type gcso_inst = {
+  g_pts : Point.t array;
+  g_rects : Rect.t array; (* rects.(0) always covers all points *)
+  g_k : int;
+  g_z : int;
+}
+
+let gen_gcso rng =
+  let n = int_in rng 2 7 in
+  let pts =
+    Array.init n (fun _ -> Array.init 2 (fun _ -> coord rng))
+  in
+  let extra = int_in rng 0 2 in
+  let rects =
+    Array.init (extra + 1) (fun i ->
+        if i = 0 then Rect.bounding_box pts else gen_rect rng 2)
+  in
+  { g_pts = pts; g_rects = rects; g_k = int_in rng 1 2; g_z = int_in rng 0 1 }
+
+let shrink_gcso g =
+  let rebuild pts =
+    let rects = Array.copy g.g_rects in
+    rects.(0) <- Rect.bounding_box pts;
+    { g with g_pts = pts; g_rects = rects }
+  in
+  (if Array.length g.g_pts > 2 then
+     List.map rebuild (drop_each g.g_pts)
+   else [])
+  @ List.map rebuild (round_pts g.g_pts)
+  @ List.filter_map
+      (fun i ->
+        if i = 0 then None
+        else
+          Some
+            {
+              g with
+              g_rects =
+                Array.of_list
+                  (List.filteri (fun j _ -> j <> i) (Array.to_list g.g_rects));
+            })
+      (List.init (Array.length g.g_rects) Fun.id)
+  @ (if g.g_z > 0 then [ { g with g_z = g.g_z - 1 } ] else [])
+  @ if g.g_k > 1 then [ { g with g_k = g.g_k - 1 } ] else []
+
+let show_gcso g =
+  Printf.sprintf "k=%d z=%d rects=[%s] %s" g.g_k g.g_z
+    (String.concat "; "
+       (Array.to_list (Array.map (Format.asprintf "%a" Rect.pp) g.g_rects)))
+    (pts_str g.g_pts)
+
+let gcso_mwu_tricriteria =
+  Fuzz.make ~name:"gcso.mwu_tricriteria_vs_opt" ~gen:gen_gcso
+    ~shrink:shrink_gcso ~show:show_gcso
+    ~prop:(fun g ->
+      let eps = 0.5 in
+      let inst =
+        Geo_instance.make ~points:g.g_pts ~rects:g.g_rects ~k:g.g_k ~z:g.g_z
+      in
+      let rep = Gcso_general.solve ~eps inst in
+      let sol = rep.Gcso_general.solution in
+      let* () = require (Geo_instance.is_valid inst sol) "MWU solution invalid" in
+      let* () =
+        requiref
+          (float_of_int (List.length sol.Instance.centers)
+          <= ((2.0 +. eps) *. float_of_int g.g_k) +. 1e-9)
+          "%d centers > (2+eps)k = %.3g"
+          (List.length sol.Instance.centers)
+          ((2.0 +. eps) *. float_of_int g.g_k)
+      in
+      let f = Geo_instance.frequency inst in
+      let* () =
+        requiref
+          (List.length sol.Instance.outliers <= 2 * f * g.g_z)
+          "%d outlier rects > 2fz=%d"
+          (List.length sol.Instance.outliers)
+          (2 * f * g.g_z)
+      in
+      let cost = Geo_instance.cost inst sol in
+      (* Rounding invariant: greedy covering uses balls of radius
+         [2 * radius] with BBD slack [(1+eps)]. *)
+      let* () =
+        requiref
+          (cost <= (2.0 *. (1.0 +. eps) *. rep.Gcso_general.radius) +. 1e-9)
+          "cost %.17g > 2(1+eps)*radius = %.17g" cost
+          (2.0 *. (1.0 +. eps) *. rep.Gcso_general.radius)
+      in
+      (* End-to-end factor with un-split eps (see gcso_general.mli
+         calibration note): 2(1+eps)^2, not the theorem's (2+eps). *)
+      let opt = Reference.cso_opt (Geo_instance.to_cso inst) in
+      let bound = 2.0 *. (1.0 +. eps) *. (1.0 +. eps) *. opt in
+      requiref
+        (cost <= bound +. 1e-9)
+        "cost %.17g > 2(1+eps)^2*opt = %.17g" cost bound)
+
+(* ------------------------------------------------------------------ *)
+(* relational.*                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Schema pool: indices into this array are part of the instance so the
+   shrinker can keep the schema fixed while dropping tuples. The first
+   [n_acyclic] schemas have a join tree; the triangle is cyclic and only
+   exercised through the hypertree decomposition. *)
+let schemas =
+  [|
+    Rel.Schema.make ~attr_names:[ "A"; "B"; "C" ] [ ("R", [ 0; 1 ]); ("S", [ 1; 2 ]) ];
+    Rel.Schema.make
+      ~attr_names:[ "A"; "B"; "C"; "D" ]
+      [ ("R", [ 0; 1 ]); ("S", [ 1; 2 ]); ("T", [ 2; 3 ]) ];
+    Rel.Schema.make
+      ~attr_names:[ "A"; "B"; "C"; "D" ]
+      [ ("R", [ 0; 1 ]); ("S", [ 1; 2 ]); ("T", [ 1; 3 ]) ];
+    Rel.Schema.make
+      ~attr_names:[ "A"; "B"; "C"; "D" ]
+      [ ("R", [ 0; 1 ]); ("S", [ 2; 3 ]) ];
+    Rel.Schema.make ~attr_names:[ "A"; "B"; "C" ]
+      [ ("R", [ 0; 1 ]); ("S", [ 1; 2 ]); ("T", [ 0; 2 ]) ];
+  |]
+
+let n_acyclic = 4
+
+type rel_inst = { r_schema : int; r_tuples : float array list list }
+
+let gen_rel ?(n_schemas = n_acyclic) rng =
+  let si = Random.State.int rng n_schemas in
+  let schema = schemas.(si) in
+  let tuples =
+    List.init (Rel.Schema.n_relations schema) (fun rel ->
+        let arity = Array.length (Rel.Schema.rel_attrs schema rel) in
+        List.init (int_in rng 0 4) (fun _ ->
+            Array.init arity (fun _ -> float_of_int (Random.State.int rng 3))))
+  in
+  { r_schema = si; r_tuples = tuples }
+
+let shrink_rel r =
+  List.concat
+    (List.mapi
+       (fun rel ts ->
+         List.init (List.length ts) (fun j ->
+             {
+               r with
+               r_tuples =
+                 List.mapi
+                   (fun rel' ts' ->
+                     if rel' = rel then List.filteri (fun j' _ -> j' <> j) ts'
+                     else ts')
+                   r.r_tuples;
+             }))
+       r.r_tuples)
+
+let show_rel r =
+  Printf.sprintf "schema#%d %s" r.r_schema
+    (String.concat " | "
+       (List.map
+          (fun ts ->
+            String.concat ";"
+              (List.map
+                 (fun t ->
+                   "("
+                   ^ String.concat ","
+                       (List.map (Printf.sprintf "%g") (Array.to_list t))
+                   ^ ")")
+                 ts))
+          r.r_tuples))
+
+let rel_instance r = Rel.Instance.make schemas.(r.r_schema) r.r_tuples
+
+let pts_sorted a = List.sort compare (Array.to_list a)
+
+let rel_yannakakis =
+  Fuzz.make ~name:"relational.yannakakis_vs_nested_loop"
+    ~gen:(fun rng -> gen_rel rng)
+    ~shrink:shrink_rel ~show:show_rel
+    ~prop:(fun r ->
+      let inst = rel_instance r in
+      let jt = Rel.Join_tree.build_exn schemas.(r.r_schema) in
+      let naive = Reference.join inst in
+      let* () =
+        requiref
+          (Rel.Yannakakis.count inst jt = List.length naive)
+          "count %d <> nested-loop %d"
+          (Rel.Yannakakis.count inst jt)
+          (List.length naive)
+      in
+      let enum = pts_sorted (Rel.Yannakakis.enumerate inst jt) in
+      let* () = require (enum = naive) "enumerate differs from nested-loop join" in
+      match Rel.Yannakakis.any inst jt with
+      | None -> require (naive = []) "any = None on a non-empty join"
+      | Some q ->
+          require (List.mem (Array.copy q) naive) "any returned a non-result")
+
+let rel_semijoin =
+  Fuzz.make ~name:"relational.semijoin_preserves_join"
+    ~gen:(fun rng -> gen_rel rng)
+    ~shrink:shrink_rel ~show:show_rel
+    ~prop:(fun r ->
+      let inst = rel_instance r in
+      let jt = Rel.Join_tree.build_exn schemas.(r.r_schema) in
+      let naive = Reference.join inst in
+      let reduced = Rel.Yannakakis.semijoin_reduce inst jt in
+      let* () =
+        require
+          (Reference.join reduced = naive)
+          "semijoin reduction changed the join"
+      in
+      let* () =
+        requiref
+          (Rel.Instance.size reduced <= Rel.Instance.size inst)
+          "reduction grew the instance: %d > %d"
+          (Rel.Instance.size reduced) (Rel.Instance.size inst)
+      in
+      (* Full reduction: every surviving tuple participates in a result. *)
+      require
+        (List.for_all
+           (fun (rel, tup) ->
+             List.exists
+               (fun res -> Rel.Instance.project_result reduced ~rel res = tup)
+               naive)
+           (Rel.Instance.all_tuples reduced))
+        "a reduced tuple participates in no join result")
+
+let rel_sample =
+  Fuzz.make ~name:"relational.sample_membership"
+    ~gen:(fun rng -> gen_rel rng)
+    ~shrink:shrink_rel ~show:show_rel
+    ~prop:(fun r ->
+      let inst = rel_instance r in
+      let jt = Rel.Join_tree.build_exn schemas.(r.r_schema) in
+      let naive = Reference.join inst in
+      let rng = Random.State.make [| 42 |] in
+      let samples = Rel.Yannakakis.sample ~rng inst jt 8 in
+      if naive = [] then
+        requiref
+          (Array.length samples = 0)
+          "%d samples from an empty join" (Array.length samples)
+      else
+        require
+          (Array.for_all (fun q -> List.mem q naive) samples)
+          "sample returned a non-result")
+
+let rel_hypertree =
+  Fuzz.make ~name:"relational.hypertree_vs_nested_loop"
+    ~gen:(fun rng -> gen_rel ~n_schemas:(Array.length schemas) rng)
+    ~shrink:shrink_rel ~show:show_rel
+    ~prop:(fun r ->
+      let inst = rel_instance r in
+      let naive = Reference.join inst in
+      match Rel.Hypertree.decompose inst with
+      | Error e -> Error ("decompose failed: " ^ Rel.Hypertree.error_to_string e)
+      | Ok d ->
+          let enum =
+            pts_sorted
+              (Rel.Yannakakis.enumerate d.Rel.Hypertree.instance
+                 d.Rel.Hypertree.tree)
+          in
+          require (enum = naive)
+            "decomposed join differs from nested-loop join of the original")
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    metric_ball;
+    metric_pairwise;
+    metric_cached;
+    geom_bbd_sandwich;
+    geom_bbd_balls_all;
+    geom_bbd_scale;
+    geom_rtree_report;
+    kcenter_gonzalez;
+    kcenter_gonzalez_scale;
+    kcenter_charikar;
+    lp_flat_vs_reference;
+    lp_optimal_feasible;
+    lp_mwu_vs_simplex;
+    setcover_greedy;
+    setcover_exact;
+    cso_exact;
+    cso_lp_tricriteria;
+    cso_budget_monotone;
+    gcso_mwu_tricriteria;
+    rel_yannakakis;
+    rel_semijoin;
+    rel_sample;
+    rel_hypertree;
+  ]
+
+let names = List.map Fuzz.name all

@@ -1,0 +1,136 @@
+(* Differential fuzzing driver: seeded random instances, fast-vs-reference
+   property execution, greedy counterexample shrinking.
+
+   Determinism contract: case [i] of check [name] under master seed [s]
+   always runs on [Random.State.make [| s; i; hash name |]], so a failure
+   replays exactly with `csokit fuzz --seed s --check name` regardless of
+   which other checks run, in which order, or how many cases passed
+   before it. *)
+
+type failure = {
+  f_check : string;
+  f_seed : int;
+  f_case : int;
+  f_counterexample : string;
+  f_reason : string;
+  f_shrink_steps : int;
+}
+
+type report = {
+  r_check : string;
+  r_cases : int;
+  r_failures : failure list;
+}
+
+type t = {
+  name : string;
+  exec : seed:int -> cases:int -> report;
+}
+
+let name t = t.name
+
+(* Shrinking is greedy first-descent: among the candidates the check's
+   [shrink] proposes, keep the first that still fails and restart from
+   it. Bounded so a shrinker that oscillates cannot hang the run. *)
+let max_shrink_steps = 500
+
+let make ~name ~gen ~shrink ~show ~prop =
+  let guarded_prop inst =
+    match prop inst with
+    | r -> r
+    | exception e ->
+        (* Crashes are findings, not harness errors. *)
+        Error (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e))
+  in
+  let minimize inst reason =
+    let cur = ref inst and cur_reason = ref reason and steps = ref 0 in
+    let progress = ref true in
+    while !progress && !steps < max_shrink_steps do
+      match
+        List.find_map
+          (fun cand ->
+            match guarded_prop cand with
+            | Ok () -> None
+            | Error r -> Some (cand, r))
+          (shrink !cur)
+      with
+      | Some (cand, r) ->
+          cur := cand;
+          cur_reason := r;
+          incr steps
+      | None -> progress := false
+      | exception e ->
+          (* A buggy shrinker must not mask the original finding. *)
+          ignore e;
+          progress := false
+    done;
+    (!cur, !cur_reason, !steps)
+  in
+  let exec ~seed ~cases =
+    let failures = ref [] in
+    for case = 0 to cases - 1 do
+      let rng = Random.State.make [| seed; case; Hashtbl.hash name |] in
+      match gen rng with
+      | exception e ->
+          failures :=
+            {
+              f_check = name;
+              f_seed = seed;
+              f_case = case;
+              f_counterexample = "<generator crashed>";
+              f_reason =
+                Printf.sprintf "generator exception: %s" (Printexc.to_string e);
+              f_shrink_steps = 0;
+            }
+            :: !failures
+      | inst -> (
+          match guarded_prop inst with
+          | Ok () -> ()
+          | Error reason ->
+              let min_inst, min_reason, steps = minimize inst reason in
+              failures :=
+                {
+                  f_check = name;
+                  f_seed = seed;
+                  f_case = case;
+                  f_counterexample =
+                    (try show min_inst with e -> Printexc.to_string e);
+                  f_reason = min_reason;
+                  f_shrink_steps = steps;
+                }
+                :: !failures)
+    done;
+    { r_check = name; r_cases = cases; r_failures = List.rev !failures }
+  in
+  { name; exec }
+
+let run ?(filter = "") ~seed ~cases checks =
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i =
+      i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+    in
+    nl = 0 || go 0
+  in
+  List.filter_map
+    (fun c ->
+      if contains c.name filter then Some (c.exec ~seed ~cases) else None)
+    checks
+
+let failed reports = List.exists (fun r -> r.r_failures <> []) reports
+
+let pp_failure ppf f =
+  Format.fprintf ppf
+    "@[<v 2>FAIL %s (seed %d, case %d, %d shrink steps)@,reason: %s@,\
+     minimized counterexample:@,%s@,replay: csokit fuzz --seed %d --check %s@]"
+    f.f_check f.f_seed f.f_case f.f_shrink_steps f.f_reason f.f_counterexample
+    f.f_seed f.f_check
+
+let pp_report ppf r =
+  if r.r_failures = [] then
+    Format.fprintf ppf "%-44s %5d cases  ok" r.r_check r.r_cases
+  else begin
+    Format.fprintf ppf "%-44s %5d cases  %d FAILURES" r.r_check r.r_cases
+      (List.length r.r_failures);
+    List.iter (fun f -> Format.fprintf ppf "@,%a" pp_failure f) r.r_failures
+  end

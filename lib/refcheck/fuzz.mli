@@ -1,0 +1,52 @@
+(** Differential fuzzing driver.
+
+    A {e check} owns a seeded instance generator, a property that
+    compares a fast implementation against a {!Reference} oracle (or
+    states a metamorphic invariant), and a shrinker. The driver runs
+    [cases] instances per check, derives each case's RNG from
+    [(seed, case index, check name)] so any failure replays in
+    isolation, and greedily minimizes failing instances before
+    reporting them. *)
+
+type failure = {
+  f_check : string;
+  f_seed : int; (* master seed to replay with *)
+  f_case : int; (* failing case index under that seed *)
+  f_counterexample : string; (* rendering of the minimized instance *)
+  f_reason : string; (* property message of the minimized instance *)
+  f_shrink_steps : int;
+}
+
+type report = {
+  r_check : string;
+  r_cases : int;
+  r_failures : failure list;
+}
+
+type t
+(** A registered check. *)
+
+val name : t -> string
+
+val make :
+  name:string ->
+  gen:(Random.State.t -> 'a) ->
+  shrink:('a -> 'a list) ->
+  show:('a -> string) ->
+  prop:('a -> (unit, string) result) ->
+  t
+(** [prop] returning [Error reason] — or raising any exception, which is
+    recorded as a finding — marks the instance as failing; the driver
+    then greedily walks [shrink] candidates (first still-failing
+    candidate wins, at most 500 steps) and reports the minimized
+    instance via [show]. *)
+
+val run : ?filter:string -> seed:int -> cases:int -> t list -> report list
+(** Runs every check whose name contains [filter] (default: all) for
+    [cases] instances each. Never raises: failures are collected in the
+    reports. *)
+
+val failed : report list -> bool
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_report : Format.formatter -> report -> unit

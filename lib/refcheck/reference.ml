@@ -1,0 +1,137 @@
+(* Deliberately naive reference implementations: every function here is
+   a direct transcription of a definition, with no data structure, no
+   pruning and no incremental state. They are quadratic-to-exponential
+   and only meant for the tiny instances the fuzzer generates, where
+   "obviously correct" beats "fast" — the optimized substrates are
+   checked against these, never the other way around. *)
+
+module Point = Cso_metric.Point
+module Space = Cso_metric.Space
+module Rect = Cso_geom.Rect
+module Set_cover = Cso_setcover.Set_cover
+module Instance = Cso_core.Instance
+module Rel = Cso_relational
+
+(* All subsets of [items] with at most [r] elements, preserving order. *)
+let rec subsets_up_to items r =
+  match (items, r) with
+  | _, 0 | [], _ -> [ [] ]
+  | x :: rest, r ->
+      subsets_up_to rest r
+      @ List.map (fun s -> x :: s) (subsets_up_to rest (r - 1))
+
+let indices n = List.init n Fun.id
+
+(* --- exhaustive geometric queries --- *)
+
+let ball pts ~center ~radius =
+  List.filter (fun i -> Point.l2 pts.(i) center <= radius)
+    (indices (Array.length pts))
+
+let range_report pts rect =
+  List.filter (fun i -> Rect.contains rect pts.(i))
+    (indices (Array.length pts))
+
+(* --- k-center: cost and exhaustive optimum --- *)
+
+let kcenter_cost (s : Space.t) ~centers pts =
+  List.fold_left
+    (fun acc p ->
+      max acc
+        (List.fold_left (fun d c -> min d (s.Space.dist p c)) infinity centers))
+    0.0 pts
+
+let kcenter_opt (s : Space.t) ~subset ~k =
+  if subset = [] then 0.0
+  else
+    List.fold_left
+      (fun best centers ->
+        if centers = [] then best
+        else min best (kcenter_cost s ~centers subset))
+      infinity (subsets_up_to subset k)
+
+let kcenter_outliers_opt (s : Space.t) ~k ~z =
+  let pts = indices s.Space.size in
+  List.fold_left
+    (fun best out ->
+      let keep = List.filter (fun i -> not (List.mem i out)) pts in
+      min best (kcenter_opt s ~subset:keep ~k))
+    infinity (subsets_up_to pts z)
+
+(* --- CSO: exhaustive optimum over (H, C) pairs --- *)
+
+let cso_opt (t : Instance.t) =
+  let m = Instance.n_sets t in
+  List.fold_left
+    (fun best outliers ->
+      let survivors = Instance.surviving t outliers in
+      if survivors = [] then min best 0.0
+      else
+        List.fold_left
+          (fun b centers ->
+            if centers = [] then b
+            else min b (Instance.cost t { Instance.centers; outliers }))
+          best
+          (subsets_up_to survivors t.Instance.k))
+    infinity
+    (subsets_up_to (indices m) t.Instance.z)
+
+(* --- set cover: naive greedy and brute-force optimum --- *)
+
+let greedy_cover (sc : Set_cover.t) =
+  let covered = Array.make sc.Set_cover.n_elements false in
+  let gain j =
+    List.length
+      (List.filter (fun e -> not covered.(e)) sc.Set_cover.sets.(j))
+  in
+  let rec go acc =
+    if Array.for_all Fun.id covered then List.rev acc
+    else begin
+      let best = ref 0 in
+      Array.iteri (fun j _ -> if gain j > gain !best then best := j)
+        sc.Set_cover.sets;
+      List.iter (fun e -> covered.(e) <- true) sc.Set_cover.sets.(!best);
+      go (!best :: acc)
+    end
+  in
+  go []
+
+let cover_opt_size (sc : Set_cover.t) =
+  let ids = indices (Array.length sc.Set_cover.sets) in
+  List.fold_left
+    (fun best cand ->
+      if List.length cand < best && Set_cover.is_cover sc cand then
+        List.length cand
+      else best)
+    max_int
+    (subsets_up_to ids (List.length ids))
+
+(* --- relational: nested-loop natural join --- *)
+
+let join (inst : Rel.Instance.t) =
+  let schema = inst.Rel.Instance.schema in
+  let d = Rel.Schema.dims schema and g = Rel.Schema.n_relations schema in
+  let results = ref [] in
+  let rec go rel (acc : float option array) =
+    if rel = g then
+      results := Array.map Option.get acc :: !results
+    else
+      Array.iter
+        (fun tup ->
+          let attrs = Rel.Schema.rel_attrs schema rel in
+          let consistent = ref true in
+          Array.iteri
+            (fun pos a ->
+              match acc.(a) with
+              | Some v when v <> tup.(pos) -> consistent := false
+              | _ -> ())
+            attrs;
+          if !consistent then begin
+            let acc' = Array.copy acc in
+            Array.iteri (fun pos a -> acc'.(a) <- Some tup.(pos)) attrs;
+            go (rel + 1) acc'
+          end)
+        inst.Rel.Instance.tuples.(rel)
+  in
+  go 0 (Array.make d None);
+  List.sort_uniq compare !results

@@ -1,0 +1,48 @@
+(** Deliberately naive reference implementations ("oracles").
+
+    Every function is an exhaustive, pruning-free transcription of a
+    definition from the paper — quadratic to exponential, usable only on
+    the tiny instances the fuzzer generates, and obviously correct by
+    inspection. The optimized substrates ([Bbd_tree], [Range_tree],
+    [Gonzalez], [Charikar_outliers], [Simplex], [Yannakakis],
+    [Cso_general], ...) are differentially checked against these. *)
+
+val subsets_up_to : 'a list -> int -> 'a list list
+(** All subsets of size at most [r] (the enumeration backbone of the
+    exhaustive solvers below). *)
+
+val ball :
+  Cso_metric.Point.t array ->
+  center:Cso_metric.Point.t -> radius:float -> int list
+(** Indices within (closed) Euclidean distance [radius] of [center], by
+    linear scan. *)
+
+val range_report : Cso_metric.Point.t array -> Cso_geom.Rect.t -> int list
+(** Indices inside the rectangle, by linear scan. *)
+
+val kcenter_cost :
+  Cso_metric.Space.t -> centers:int list -> int list -> float
+(** [max over pts of min over centers of dist] by double loop. *)
+
+val kcenter_opt : Cso_metric.Space.t -> subset:int list -> k:int -> float
+(** Optimal k-center cost over [subset] (centers drawn from [subset]),
+    by exhaustive enumeration of all center sets of size [<= k]. *)
+
+val kcenter_outliers_opt : Cso_metric.Space.t -> k:int -> z:int -> float
+(** Optimal k-center cost after discarding at most [z] points, by
+    enumerating every outlier set and every center set. *)
+
+val cso_opt : Cso_core.Instance.t -> float
+(** The exact CSO optimum [rho*_{k,z}] by enumerating every outlier-set
+    family of size [<= z] and every center set of size [<= k] among the
+    survivors. Independent of {!Cso_core.Exact} (which it cross-checks). *)
+
+val greedy_cover : Cso_setcover.Set_cover.t -> int list
+(** Classic greedy set cover with per-step gain recomputation. *)
+
+val cover_opt_size : Cso_setcover.Set_cover.t -> int
+(** Minimum cover cardinality by enumerating all [2^m] subfamilies. *)
+
+val join : Cso_relational.Instance.t -> Cso_metric.Point.t list
+(** The full natural join by nested loops over the cartesian product of
+    all relations, sorted and deduplicated. *)

@@ -96,6 +96,16 @@ let schema_of_bags attr_names bags =
            Array.to_list b.attrs ))
        bags)
 
+type error =
+  | Empty_schema
+  | Bag_limit_exceeded of { size : int; limit : int }
+
+let error_to_string = function
+  | Empty_schema -> "Hypertree.decompose: empty schema (no relations)"
+  | Bag_limit_exceeded { size; limit } ->
+      Printf.sprintf
+        "Hypertree.decompose: bag of %d tuples exceeds the limit %d" size limit
+
 let decompose ?(max_bag_tuples = 1_000_000) (inst : Instance.t) =
   let schema = inst.Instance.schema in
   let g = Schema.n_relations schema in
@@ -124,50 +134,66 @@ let decompose ?(max_bag_tuples = 1_000_000) (inst : Instance.t) =
         let instance =
           Instance.of_arrays s (Array.map (fun b -> b.tuples) bag_arr)
         in
-        {
-          schema = s;
-          instance;
-          tree;
-          cover = Array.map (fun b -> b.members) bag_arr;
-          width =
-            Array.fold_left (fun acc b -> max acc (List.length b.members)) 0
-              bag_arr;
-        }
+        Ok
+          {
+            schema = s;
+            instance;
+            tree;
+            cover = Array.map (fun b -> b.members) bag_arr;
+            width =
+              Array.fold_left (fun acc b -> max acc (List.length b.members)) 0
+                bag_arr;
+          }
     | None ->
-        (* Merge the sharing pair with the smallest materialized join. *)
+        (* Merge the sharing pair with the smallest materialized join;
+           when no two bags share an attribute (a disconnected cyclic
+           obstruction), fall back to the cheapest cross product —
+           [join_bags] with an empty shared-attribute list is exactly the
+           cross product, so the merged join still equals [Q(I)]. *)
         let arr = Array.of_list !bags in
         let nb = Array.length arr in
         let best = ref None in
-        for i = 0 to nb - 1 do
-          for j = i + 1 to nb - 1 do
-            if shared arr.(i).attrs arr.(j).attrs <> [] then begin
-              let size = join_size arr.(i) arr.(j) in
-              match !best with
-              | Some (_, _, s) when s <= size -> ()
-              | _ -> best := Some (i, j, size)
-            end
+        let scan ~require_sharing =
+          for i = 0 to nb - 1 do
+            for j = i + 1 to nb - 1 do
+              if
+                (not require_sharing)
+                || shared arr.(i).attrs arr.(j).attrs <> []
+              then begin
+                let size = join_size arr.(i) arr.(j) in
+                match !best with
+                | Some (_, _, s) when s <= size -> ()
+                | _ -> best := Some (i, j, size)
+              end
+            done
           done
-        done;
+        in
+        scan ~require_sharing:true;
+        if !best = None then scan ~require_sharing:false;
         (match !best with
         | None ->
-            (* Disconnected cyclic components cannot happen: a cyclic
-               obstruction always involves sharing pairs. *)
-            failwith "Hypertree.decompose: no sharing pair found"
+            (* Fewer than two bags and no join tree: [Join_tree.build]
+               only rejects a single bag when there are zero relations. *)
+            Error Empty_schema
         | Some (i, j, size) ->
             if size > max_bag_tuples then
-              failwith
-                (Printf.sprintf
-                   "Hypertree.decompose: bag of %d tuples exceeds the limit %d"
-                   size max_bag_tuples);
-            let merged = join_bags arr.(i) arr.(j) in
-            bags :=
-              merged
-              :: List.filteri
-                   (fun idx _ -> idx <> i && idx <> j)
-                   (Array.to_list arr));
-        loop ()
+              Error (Bag_limit_exceeded { size; limit = max_bag_tuples })
+            else begin
+              let merged = join_bags arr.(i) arr.(j) in
+              bags :=
+                merged
+                :: List.filteri
+                     (fun idx _ -> idx <> i && idx <> j)
+                     (Array.to_list arr);
+              loop ()
+            end)
   in
   loop ()
+
+let decompose_exn ?max_bag_tuples inst =
+  match decompose ?max_bag_tuples inst with
+  | Ok t -> t
+  | Error e -> failwith (error_to_string e)
 
 let provenance t ~original ~bag tup =
   let bag_attrs = Schema.rel_attrs t.schema bag in

@@ -23,10 +23,25 @@ type t = private {
   width : int;
 }
 
-val decompose : ?max_bag_tuples:int -> Instance.t -> t
-(** Raises [Failure] if some intermediate bag would exceed
-    [max_bag_tuples] (default [1_000_000]) — the analogue of an
-    excessive [N^fhw]. *)
+type error =
+  | Empty_schema
+      (** The instance has zero relations: there is no join tree to
+          build. *)
+  | Bag_limit_exceeded of { size : int; limit : int }
+      (** Some intermediate bag would materialize [size] tuples, more
+          than [max_bag_tuples] — the analogue of an excessive
+          [N^fhw]. *)
+
+val error_to_string : error -> string
+
+val decompose : ?max_bag_tuples:int -> Instance.t -> (t, error) result
+(** Total over non-empty schemas within the bag budget (default
+    [max_bag_tuples = 1_000_000]). Disconnected schemas — acyclic or
+    cyclic components without shared attributes — are handled by
+    cross-product bags, never by raising. *)
+
+val decompose_exn : ?max_bag_tuples:int -> Instance.t -> t
+(** Like {!decompose} but raises [Failure (error_to_string e)]. *)
 
 val provenance : t -> original:Instance.t -> bag:int -> float array ->
   (int * float array) list

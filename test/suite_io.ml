@@ -69,6 +69,35 @@ let test_error_location () =
         in
         contains 0)
 
+let open_fd_count () =
+  (* Linux: one entry per open descriptor (plus the readdir fd itself,
+     identical on both sides of the comparison). *)
+  Array.length (Sys.readdir "/proc/self/fd")
+
+let test_raising_parser_leaks_no_channel () =
+  let path = tmp "leak.csv" in
+  Formats.write_points path [| [| 1.0 |]; [| 2.0 |] |];
+  let before = open_fd_count () in
+  (* A parser that raises a non-Failure exception: pre-fix, with_lines
+     only closed the channel on Failure, so each iteration leaked one
+     descriptor. 2000 rounds make the leak unmistakable in the fd
+     table. *)
+  for _ = 1 to 2000 do
+    match Formats.with_lines path (fun _ -> raise Exit) with
+    | _ -> Alcotest.fail "expected the parser exception to propagate"
+    | exception Exit -> ()
+  done;
+  let after = open_fd_count () in
+  Alcotest.(check int) "no leaked descriptors" before after;
+  (* Failure keeps its located re-raise behavior. *)
+  (match Formats.with_lines path (fun _ -> failwith "boom") with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure msg ->
+      Alcotest.(check bool) "located" true
+        (String.length msg >= 2 && msg.[0] <> 'b'));
+  let after' = open_fd_count () in
+  Alcotest.(check int) "no leak on Failure either" before after'
+
 let test_load_geo_instance () =
   let ppath = tmp "gi_points.csv" and rpath = tmp "gi_rects.csv" in
   Formats.write_points ppath [| [| 0.5 |]; [| 2.0 |] |];
@@ -77,13 +106,53 @@ let test_load_geo_instance () =
   let g = Formats.load_geo_instance ~points:ppath ~rects:rpath ~k:1 ~z:1 in
   Alcotest.(check int) "f" 1 (Cso_core.Geo_instance.frequency g)
 
+(* The refcheck harness serializes fuzz instances through
+   [float_to_string] / [parse_float]; the round trip must be exact at the
+   bit level for every representable double — including the specials and
+   the subnormal range — or replayed counterexamples would diverge. *)
+let prop_float_round_trip =
+  let specials =
+    [
+      nan; infinity; neg_infinity; 0.0; -0.0; 1.0; -1.0; epsilon_float;
+      min_float; max_float; 4.94065645841246544e-324 (* smallest subnormal *);
+      1.1e-310 (* subnormal *); 0.1; -0.30000000000000004;
+    ]
+  in
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          oneofl specials;
+          float;
+          (* Arbitrary bit patterns cover the whole representable range,
+             weird nan payloads included. *)
+          map
+            (fun (hi, lo) ->
+              Int64.float_of_bits
+                (Int64.logor
+                   (Int64.shift_left (Int64.of_int hi) 32)
+                   (Int64.of_int (lo land 0xFFFFFFFF))))
+            (pair (int_bound 0xFFFFFFFF) (int_bound 0xFFFFFFFF));
+        ])
+  in
+  QCheck.Test.make ~name:"parse_float/float_to_string round trip is bit-exact"
+    ~count:2000 ~long_factor:3
+    (QCheck.make ~print:Formats.float_to_string gen)
+    (fun x ->
+      let y = Formats.parse_float (Formats.float_to_string x) in
+      if Float.is_nan x then Float.is_nan y
+      else Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+
 let suite =
   [
     Alcotest.test_case "points round trip" `Quick test_points_round_trip;
     Alcotest.test_case "rects round trip" `Quick test_rects_round_trip;
     Alcotest.test_case "sets round trip" `Quick test_sets_round_trip;
     Alcotest.test_case "parse_float specials" `Quick test_parse_float_specials;
+    QCheck_alcotest.to_alcotest prop_float_round_trip;
     Alcotest.test_case "errors carry file:line" `Quick test_error_location;
+    Alcotest.test_case "raising parser leaks no channel" `Quick
+      test_raising_parser_leaks_no_channel;
     Alcotest.test_case "load geo instance" `Quick test_load_geo_instance;
   ]
 

@@ -284,6 +284,41 @@ let test_mwu_weight_floor () =
   Alcotest.(check bool) "suppressed weight pinned at the floor, not 0" true
     ((!final).(0) >= 1e-14)
 
+let test_mwu_zero_constraints () =
+  (* m = 0: a system with no constraints is trivially feasible — the
+     oracle's first solution satisfies all zero of them. Pre-fix this
+     raised [Invalid_argument "Mwu.run: m <= 0"]; the empty violation
+     vector also sent [fold_left min infinity] -> infinity into the
+     on_round width computation. *)
+  let rounds_seen = ref [] in
+  (match
+     Mwu.run ~m:0 ~width:1.0 ~eps:0.5
+       ~on_round:(fun ~round ~max_violation ->
+         rounds_seen := (round, max_violation) :: !rounds_seen)
+       ~oracle:(fun sigma ->
+         Alcotest.(check int) "empty sigma" 0 (Array.length sigma);
+         Some "sol")
+       ~violation:(fun _ -> [||])
+       ()
+   with
+  | Mwu.Feasible [ "sol" ] -> ()
+  | Mwu.Feasible _ -> Alcotest.fail "expected exactly one oracle solution"
+  | Mwu.Infeasible -> Alcotest.fail "m = 0 must be trivially feasible");
+  (* The reported violation must be finite (no corrupt -infinity). *)
+  List.iter
+    (fun (_, mv) ->
+      Alcotest.(check bool) "finite max_violation" true (Float.is_finite mv))
+    !rounds_seen;
+  (* An infeasibility certificate from the oracle still wins. *)
+  match
+    Mwu.run ~m:0 ~width:1.0 ~eps:0.5
+      ~oracle:(fun _ -> None)
+      ~violation:(fun () -> [||])
+      ()
+  with
+  | Mwu.Infeasible -> ()
+  | Mwu.Feasible _ -> Alcotest.fail "oracle None must certify infeasible"
+
 let test_mwu_default_rounds () =
   Alcotest.(check bool) "rounds grow with width" true
     (Mwu.default_rounds ~m:100 ~width:10.0 ~eps:0.3
@@ -304,6 +339,7 @@ let suite =
     Alcotest.test_case "mwu averaging converges" `Quick
       test_mwu_averaging_converges;
     Alcotest.test_case "mwu default rounds" `Quick test_mwu_default_rounds;
+    Alcotest.test_case "mwu zero constraints" `Quick test_mwu_zero_constraints;
     Alcotest.test_case "mwu eps validation" `Quick test_mwu_eps_validation;
     Alcotest.test_case "mwu over-width recovery (delta clamp)" `Quick
       test_mwu_overwidth_recovery;

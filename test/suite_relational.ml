@@ -285,7 +285,7 @@ let triangle_instance () =
 
 let test_hypertree_identity_on_acyclic () =
   let inst = tiny_instance () in
-  let d = Hypertree.decompose inst in
+  let d = Hypertree.decompose_exn inst in
   Alcotest.(check int) "width 1" 1 d.Hypertree.width;
   Alcotest.(check int) "two bags" 2 (Array.length d.Hypertree.cover);
   Alcotest.(check int) "same join" 3
@@ -295,7 +295,7 @@ let test_hypertree_triangle () =
   let inst = triangle_instance () in
   Alcotest.(check bool) "triangle is cyclic" false
     (Join_tree.is_acyclic inst.Instance.schema);
-  let d = Hypertree.decompose inst in
+  let d = Hypertree.decompose_exn inst in
   Alcotest.(check bool) "decomposition acyclic" true
     (Join_tree.is_acyclic d.Hypertree.schema);
   Alcotest.(check bool) "width 2" true (d.Hypertree.width >= 2);
@@ -310,7 +310,7 @@ let test_hypertree_triangle () =
 
 let test_hypertree_provenance () =
   let inst = triangle_instance () in
-  let d = Hypertree.decompose inst in
+  let d = Hypertree.decompose_exn inst in
   match Yannakakis.any d.Hypertree.instance d.Hypertree.tree with
   | None -> () (* empty joins carry no provenance to test *)
   | Some q ->
@@ -336,7 +336,7 @@ let test_hypertree_four_cycle () =
   let vals = [ 0.0; 1.0 ] in
   let pairs = List.concat_map (fun a -> List.map (fun b -> [| a; b |]) vals) vals in
   let inst = Instance.make schema [ pairs; pairs; pairs; pairs ] in
-  let d = Hypertree.decompose inst in
+  let d = Hypertree.decompose_exn inst in
   Alcotest.(check bool) "acyclic bags" true (Join_tree.is_acyclic d.Hypertree.schema);
   let got =
     List.sort_uniq compare
@@ -362,7 +362,7 @@ let prop_hypertree_random_triangle =
       let inst =
         Instance.make schema [ random_rel (); random_rel (); random_rel () ]
       in
-      let d = Hypertree.decompose inst in
+      let d = Hypertree.decompose_exn inst in
       let got =
         List.sort_uniq compare
           (Array.to_list
@@ -372,11 +372,69 @@ let prop_hypertree_random_triangle =
 
 let test_hypertree_size_limit () =
   let inst = triangle_instance () in
-  Alcotest.(check bool) "limit enforced" true
+  (match Hypertree.decompose ~max_bag_tuples:1 inst with
+  | Ok _ -> Alcotest.fail "limit not enforced"
+  | Error (Hypertree.Bag_limit_exceeded { size; limit }) ->
+      Alcotest.(check int) "limit echoed" 1 limit;
+      Alcotest.(check bool) "size over limit" true (size > limit)
+  | Error e -> Alcotest.fail (Hypertree.error_to_string e));
+  (* The exception variant keeps the old contract. *)
+  Alcotest.(check bool) "decompose_exn raises Failure" true
     (try
-       ignore (Hypertree.decompose ~max_bag_tuples:1 inst);
+       ignore (Hypertree.decompose_exn ~max_bag_tuples:1 inst);
        false
      with Failure _ -> true)
+
+let test_hypertree_empty_schema () =
+  (* Zero relations: pre-fix this crashed with the bare
+     [Failure "no sharing pair found"]; now it is a typed error. *)
+  let schema = Schema.make ~attr_names:[] [] in
+  let inst = Instance.make schema [] in
+  match Hypertree.decompose inst with
+  | Error Hypertree.Empty_schema -> ()
+  | Error e -> Alcotest.fail (Hypertree.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Empty_schema"
+
+let test_hypertree_disconnected () =
+  (* Disconnected acyclic schema R1(A,B) x R2(C,D): the decomposition
+     must succeed and its join must be the cross product. *)
+  let schema =
+    Schema.make ~attr_names:[ "A"; "B"; "C"; "D" ]
+      [ ("R1", [ 0; 1 ]); ("R2", [ 2; 3 ]) ]
+  in
+  let inst =
+    Instance.make schema
+      [ [ [| 1.; 2. |]; [| 3.; 4. |] ]; [ [| 5.; 6. |]; [| 7.; 8. |] ] ]
+  in
+  (match Hypertree.decompose inst with
+  | Error e -> Alcotest.fail (Hypertree.error_to_string e)
+  | Ok d ->
+      Alcotest.(check int) "cross-product join" 4
+        (Yannakakis.count d.Hypertree.instance d.Hypertree.tree));
+  (* Disconnected with a cyclic component on each side: two disjoint
+     triangles. Only cross-product merges can connect them once each
+     triangle collapses into a bag. *)
+  let schema2 =
+    Schema.make
+      ~attr_names:[ "A"; "B"; "C"; "D"; "E"; "F" ]
+      [
+        ("R", [ 0; 1 ]); ("S", [ 1; 2 ]); ("T", [ 0; 2 ]);
+        ("U", [ 3; 4 ]); ("V", [ 4; 5 ]); ("W", [ 3; 5 ]);
+      ]
+  in
+  let tri =
+    [ [| 0.; 0. |]; [| 0.; 1. |]; [| 1.; 0. |]; [| 1.; 1. |] ]
+  in
+  let inst2 = Instance.make schema2 [ tri; tri; tri; tri; tri; tri ] in
+  match Hypertree.decompose inst2 with
+  | Error e -> Alcotest.fail (Hypertree.error_to_string e)
+  | Ok d ->
+      let got =
+        List.sort_uniq compare
+          (Array.to_list
+             (Yannakakis.enumerate d.Hypertree.instance d.Hypertree.tree))
+      in
+      Alcotest.(check bool) "join preserved" true (got = brute_join inst2)
 
 let suite =
   [
@@ -388,6 +446,10 @@ let suite =
     Alcotest.test_case "hypertree 4-cycle" `Quick test_hypertree_four_cycle;
     QCheck_alcotest.to_alcotest prop_hypertree_random_triangle;
     Alcotest.test_case "hypertree size limit" `Quick test_hypertree_size_limit;
+    Alcotest.test_case "hypertree empty schema" `Quick
+      test_hypertree_empty_schema;
+    Alcotest.test_case "hypertree disconnected" `Quick
+      test_hypertree_disconnected;
     Alcotest.test_case "join tree cyclic" `Quick test_join_tree_cyclic;
     Alcotest.test_case "count and enumerate" `Quick test_count_and_enumerate;
     Alcotest.test_case "contains_result" `Quick test_contains_result;

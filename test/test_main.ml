@@ -15,4 +15,5 @@ let () =
       ("io", Suite_io.suite);
       ("kmedian", Suite_kmedian.suite);
       ("edge", Suite_edge.suite);
+      ("refcheck", Suite_refcheck.suite);
     ]
