@@ -23,12 +23,15 @@ bench:
 # Tiny CI gates: exits non-zero if (a) any domain-parallel kernel produces
 # a result that is not bit-identical to the sequential path, (b) the
 # lib/obs work counters for the pinned workload drift >5% from the
-# recorded BENCH_counters_baseline.json, or (c) any fitted log-log
+# recorded BENCH_counters_baseline.json, (c) any fitted log-log
 # complexity exponent leaves its declared budget or drifts >0.1 from the
-# recorded BENCH_budgets_baseline.json. Cheap enough to run alongside
-# `dune runtest`.
+# recorded BENCH_budgets_baseline.json, or (d) the dynamic trees answer
+# differently from a static rebuild, amortized insert loses to
+# rebuild-per-insert at n=4096, or their deterministic rebuild-work
+# counts drift from BENCH_dynamic_baseline.json. Cheap enough to run
+# alongside `dune runtest`.
 bench-smoke:
-	dune exec bench/main.exe -- smoke_parallel smoke_counters smoke_budgets smoke_kernels
+	dune exec bench/main.exe -- smoke_parallel smoke_counters smoke_budgets smoke_kernels smoke_dynamic
 
 # Trace round-trip gate: record a traced GCSO run, re-read the JSONL
 # through the csokit parser (proving writer and parser agree), check the

@@ -2206,6 +2206,229 @@ let smoke_kernels () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Dynamic trees: amortized update cost vs rebuild-per-insert          *)
+(* ------------------------------------------------------------------ *)
+
+module Dyn = Cso_geom.Dynamic
+module Drift = Cso_workload.Drift
+
+(* Fixed-seed drift workload per size, so both the replayed work and
+   the logarithmic-method rebuild counters are deterministic. *)
+let dynamic_workload n =
+  let rng = Random.State.make [| n; 9090 |] in
+  Drift.drifting rng ~n_ops:n ~k:4 ~z:0 ~churn:0.25
+
+let replay_ball w =
+  let t = Dyn.Ball.create ~dim:w.Drift.dim in
+  Array.iter
+    (function
+      | Drift.Insert p -> ignore (Dyn.Ball.insert t p)
+      | Drift.Delete id -> Dyn.Ball.delete t id)
+    w.Drift.ops;
+  t
+
+let replay_range w =
+  let t = Dyn.Range.create ~dim:w.Drift.dim in
+  Array.iter
+    (function
+      | Drift.Insert p -> ignore (Dyn.Range.insert t p)
+      | Drift.Delete id -> Dyn.Range.delete t id)
+    w.Drift.ops;
+  t
+
+(* Shared by [fig_dynamic] and [smoke_dynamic]: replays a drifting
+   insert/delete workload through both dynamic trees, hard-fails if a
+   final query differs from a static rebuild over the survivors, gates
+   amortized insert cost against rebuild-per-insert at n >= 4096, writes
+   [json_path] and returns the deterministic rebuild-work counts. *)
+let run_dynamic_checks ~label ~sizes ~reps ~json_path () =
+  let rows = ref [] and json_rows = ref [] and counts = ref [] in
+  let record structure n variant secs per_op =
+    rows :=
+      [ structure; string_of_int n; variant; Util.fmt_time secs;
+        Util.fmt_time per_op ]
+      :: !rows;
+    json_rows :=
+      Printf.sprintf
+        "    {\"structure\": \"%s\", \"n_ops\": %d, \"variant\": \"%s\", \
+         \"seconds\": %.6f, \"per_op\": %.9f}"
+        structure n variant secs per_op
+      :: !json_rows
+  in
+  List.iter
+    (fun n ->
+      if n land (n - 1) <> 0 then
+        invalid_arg "run_dynamic_checks: sizes must be powers of two";
+      let w = dynamic_workload n in
+      (* --- correctness: final answers = static rebuild of survivors --- *)
+      let ball = replay_ball w in
+      let range = replay_range w in
+      let live = Dyn.Ball.live_points ball in
+      let ids = Array.of_list (List.map fst live) in
+      let pts = Array.of_list (List.map snd live) in
+      let center = Array.make w.Drift.dim 0.0 in
+      let radius = 1000.0 in
+      let dyn_hits = Dyn.Ball.ball_report ball ~center ~radius in
+      let static_hits =
+        if pts = [||] then []
+        else
+          let st = Bbd.build pts in
+          Bbd.ball_query st ~center ~radius ~eps:0.0
+          |> List.concat_map (Bbd.points_of_node st)
+          |> List.map (fun l -> ids.(l))
+          |> List.sort compare
+      in
+      if dyn_hits <> static_hits then
+        failwith
+          (Printf.sprintf
+             "dynamic check: ball answers diverged from static rebuild at \
+              n=%d"
+             n);
+      let whole = Rect.unbounded w.Drift.dim in
+      if Dyn.Range.report range whole <> Array.to_list ids then
+        failwith
+          (Printf.sprintf
+             "dynamic check: range answers diverged from the live set at \
+              n=%d"
+             n);
+      (* --- deterministic rebuild-work counts --- *)
+      let s = Dyn.Ball.stats ball in
+      counts :=
+        (Printf.sprintf "dynamic.ball.points_rebuilt.n%d" n,
+         s.Dyn.points_rebuilt)
+        :: (Printf.sprintf "dynamic.ball.level_rebuilds.n%d" n,
+            s.Dyn.level_rebuilds)
+        :: (Printf.sprintf "dynamic.ball.full_rebuilds.n%d" n,
+            s.Dyn.full_rebuilds)
+        :: (Printf.sprintf "dynamic.live.n%d" n, Dyn.Ball.live_count ball)
+        :: (Printf.sprintf "dynamic.ball.query_hits.n%d" n,
+            List.length dyn_hits)
+        :: (Printf.sprintf "dynamic.range.points_rebuilt.n%d" n,
+            (Dyn.Range.stats range).Dyn.points_rebuilt)
+        :: !counts;
+      (* --- amortized update cost of the full insert/delete replay --- *)
+      let _, tb =
+        with_obs_disabled (fun () ->
+            timed_best reps (fun () -> ignore (replay_ball w)))
+      in
+      record "ball" n "dynamic replay" tb (tb /. float_of_int n);
+      let _, tr =
+        with_obs_disabled (fun () ->
+            timed_best reps (fun () -> ignore (replay_range w)))
+      in
+      record "range" n "dynamic replay" tr (tr /. float_of_int n);
+      (* --- insert-only amortized cost vs rebuild-per-insert ---
+         The static baseline rebuilds the BBD tree after each insert;
+         its cost is sampled every [stride] inserts and scaled (build
+         time is smooth in the prefix length, so the stride introduces
+         only sampling noise, and it keeps the smoke run fast). *)
+      let ins =
+        Array.of_seq
+          (Seq.filter_map
+             (function Drift.Insert p -> Some p | Drift.Delete _ -> None)
+             (Array.to_seq w.Drift.ops))
+      in
+      let n_ins = Array.length ins in
+      let _, t_dyn =
+        with_obs_disabled (fun () ->
+            timed_best reps (fun () ->
+                let t = Dyn.Ball.create ~dim:w.Drift.dim in
+                Array.iter (fun p -> ignore (Dyn.Ball.insert t p)) ins))
+      in
+      let stride = 64 in
+      let _, t_sampled =
+        with_obs_disabled (fun () ->
+            timed_best reps (fun () ->
+                for i = 1 to n_ins / stride do
+                  ignore (Bbd.build (Array.sub ins 0 (i * stride)))
+                done))
+      in
+      let t_rebuild = t_sampled *. float_of_int stride in
+      record "ball" n "insert-only dynamic" t_dyn
+        (t_dyn /. float_of_int (max 1 n_ins));
+      record "ball" n
+        (Printf.sprintf "rebuild-per-insert (stride %d)" stride)
+        t_rebuild
+        (t_rebuild /. float_of_int (max 1 n_ins));
+      if n >= 4096 && t_dyn > t_rebuild then
+        failwith
+          (Printf.sprintf
+             "dynamic check: amortized insert SLOWER than rebuild-per-insert \
+              at n=%d (%.6fs vs %.6fs); the logarithmic method must never \
+              lose at this size"
+             n t_dyn t_rebuild))
+    sizes;
+  let counts =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) !counts
+  in
+  Util.print_table
+    ~title:
+      (Printf.sprintf
+         "DYNAMIC (%s)  logarithmic-method trees under drift churn \
+          (static-rebuild answers enforced; per-op = wall-clock / ops)"
+         label)
+    [ "structure"; "n_ops"; "variant"; "wall-clock"; "per-op" ]
+    (List.rev !rows);
+  Util.write_file json_path
+    (Printf.sprintf
+       "{\n  \"bench\": \"dynamic\",\n  \"variant\": \"%s\",\n  \"rows\": \
+        [\n%s\n  ],\n  \"counters\": %s\n}\n"
+       label
+       (String.concat ",\n" (List.rev !json_rows))
+       (Obs.counters_json counts));
+  counts
+
+let fig_dynamic () =
+  ignore
+    (run_dynamic_checks ~label:"full" ~sizes:[ 1024; 4096; 16384 ] ~reps:3
+       ~json_path:"BENCH_dynamic.json" ())
+
+let dynamic_baseline_path = "BENCH_dynamic_baseline.json"
+
+(* Dynamic gate for `make bench-smoke`: beyond the static-rebuild
+   identity and the amortized-insert gate inside [run_dynamic_checks],
+   the logarithmic-method rebuild work (points fed through static
+   builds, level merges, half-dead rebuilds) on the pinned drift
+   workload must match the committed baseline exactly. *)
+let smoke_dynamic () =
+  let counts =
+    run_dynamic_checks ~label:"smoke" ~sizes:[ 4096 ] ~reps:3
+      ~json_path:"BENCH_dynamic_smoke.json" ()
+  in
+  if not (Sys.file_exists dynamic_baseline_path) then begin
+    Util.write_file dynamic_baseline_path
+      (Printf.sprintf
+         "{\n  \"bench\": \"dynamic_baseline\",\n  \"workload\": \
+          \"smoke\",\n  \"counters\": %s\n}\n"
+         (Obs.counters_json counts));
+    Printf.printf
+      "dynamic smoke: no baseline found; recorded %s (commit it to arm the \
+       gate).\n"
+      dynamic_baseline_path
+  end
+  else begin
+    let baseline = read_whole_file dynamic_baseline_path in
+    List.iter
+      (fun (name, v) ->
+        match find_counter baseline name with
+        | None ->
+            failwith
+              (Printf.sprintf "dynamic smoke: %s missing from %s" name
+                 dynamic_baseline_path)
+        | Some b ->
+            if v <> b then
+              failwith
+                (Printf.sprintf
+                   "dynamic smoke: %s drifted (baseline %d, now %d; rebuild \
+                    work is deterministic, so the gate is exact)"
+                   name b v))
+      counts;
+    Printf.printf
+      "dynamic smoke: answers match static rebuilds; amortized insert beats \
+       rebuild-per-insert; all rebuild-work counts match baseline exactly.\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -2240,8 +2463,10 @@ let all =
     ("fig_counters", fig_counters);
     ("fig_budgets", fig_budgets);
     ("fig_kernels", fig_kernels);
+    ("fig_dynamic", fig_dynamic);
     ("smoke_parallel", smoke_parallel);
     ("smoke_counters", smoke_counters);
     ("smoke_budgets", smoke_budgets);
     ("smoke_kernels", smoke_kernels);
+    ("smoke_dynamic", smoke_dynamic);
   ]

@@ -232,7 +232,9 @@ let trace_workload kind n k z seed =
   match kind with
   | `Gcso ->
       let w = Cso_workload.Planted.gcso_overlapping rng ~n ~k ~z in
-      ignore (Cso_core.Gcso_general.solve w.Cso_workload.Planted.geo)
+      (* Capped rounds: the trace is about phase structure, not LP
+         accuracy, and the honest default (post eps-split) is ~25x. *)
+      ignore (Cso_core.Gcso_general.solve ~rounds:60 w.Cso_workload.Planted.geo)
   | `Cso ->
       let w = Cso_workload.Planted.cso rng ~n ~m:(4 * max 1 z) ~k ~z in
       ignore (Cso_core.Cso_general.solve w.Cso_workload.Planted.instance)

@@ -146,7 +146,16 @@ let solve ?(eps = 0.3) ?rounds (g : Geo_instance.t) =
   if Geo_instance.frequency g > 1 then
     invalid_arg "Gcso_disjoint.solve: rectangles must be disjoint (f = 1)";
   let rtree = Range_tree.build g.Geo_instance.points in
-  let gamma = Wspd.candidate_distances ~eps g.Geo_instance.points in
+  (* Same lattice hazard as [Gcso_general.solve]: raw WSPD candidates can
+     all fall below the optimum in its (1+eps) band, leaving the smallest
+     feasible guess unboundedly far above it. Generate finer and inflate
+     so some guess lands in [opt, (1+eps) opt]. *)
+  let gamma =
+    let eps_w = eps /. (2.0 +. eps) in
+    Array.map
+      (fun d -> d /. (1.0 -. eps_w))
+      (Wspd.candidate_distances ~eps:eps_w g.Geo_instance.points)
+  in
   let gamma =
     let len = Array.length gamma in
     if len = 0 then [| 0.0 |]

@@ -50,7 +50,7 @@ type oracle_sol = {
 }
 
 let solve_at ?(eps = 0.3) ?rounds ?(cover_mult = 1.0) ?(removal_mult = 2.0)
-    ?on_round p ~r =
+    ?warm_weights ?on_round ?on_weights p ~r =
   let g = p.g in
   let n = Array.length g.Geo_instance.points in
   let m = Array.length g.Geo_instance.rects in
@@ -136,7 +136,8 @@ let solve_at ?(eps = 0.3) ?rounds ?(cover_mult = 1.0) ?(removal_mult = 2.0)
           r1 +. r2 -. 1.0)
     in
     match
-      Mwu.run ~m:n ~width ~eps ?rounds ?on_round ~oracle ~violation ()
+      Mwu.run ~m:n ~width ~eps ?rounds ?warm_weights ?on_round ?on_weights
+        ~oracle ~violation ()
     with
     | Mwu.Infeasible -> None
     | Mwu.Feasible sols ->
@@ -196,14 +197,47 @@ type report = {
   guesses : int;
 }
 
-let solve ?(eps = 0.3) ?rounds ?candidates g =
+(* Accuracy budget split (the eps-overspend fix). Three consumers spend
+   accuracy: the inflated WSPD candidate lattice (a feasible guess
+   within (1+eps_w) above the discrete optimum; see [solve]), the BBD
+   ball queries (rounding invariant cost <= 2 (1+eps_b) radius), and the
+   MWU rounds (additive eps_m feasibility slack, absorbed by the 1/(2f)
+   rounding threshold). Passing
+   the caller's eps to all three un-split multiplies out to
+   2 (1+eps)^2 — the calibration bug pinned by the PR-5 canary. Giving
+   each consumer eps/5 yields
+
+     2 (1 + eps/5)^2 = 2 + 4 eps/5 + 2 eps^2 / 25 <= 2 + eps
+
+   for eps <= 5/2 (the quadratic term needs 2 eps^2/25 <= eps/5), with
+   eps/5 of headroom left over the linear term to absorb the MWU slack —
+   so [solve ~eps] is an honest end-to-end (2+eps) cost bound. *)
+let split_eps eps = eps /. 5.0
+
+let solve ?(eps = 0.3) ?rounds ?candidates ?warm_weights ?on_weights g =
   Obs.with_span "gcso.solve" @@ fun () ->
+  if not (eps > 0.0 && eps <= 2.5) then
+    invalid_arg "Gcso_general.solve: eps must be in (0, 2.5]";
+  let eps_c = split_eps eps in
   let p = prepare g in
   let n = Array.length g.Geo_instance.points in
   let gamma =
     match candidates with
     | Some c -> c
-    | None -> Wspd.candidate_distances ~eps g.Geo_instance.points
+    | None ->
+        (* The WSPD places a candidate only within
+           [(1-e) delta, (1+e) delta] of each pairwise distance delta
+           (wspd.mli), so the candidate tracking the discrete optimum
+           can land *below* it — where the LP is infeasible — while the
+           next candidate up is unboundedly far (a fuzz-found gap of
+           1.39x opt). Generate at [eps_w] and inflate every candidate
+           by [1/(1-eps_w)]: the optimum's candidate then maps into
+           [opt, ((1+eps_w)/(1-eps_w)) opt], and
+           eps_w = eps_c/(2+eps_c) makes that upper factor exactly
+           [1+eps_c], preserving the (2+eps) budget below. *)
+        let eps_w = eps_c /. (2.0 +. eps_c) in
+        let raw = Wspd.candidate_distances ~eps:eps_w g.Geo_instance.points in
+        Array.map (fun d -> d /. (1.0 -. eps_w)) raw
   in
   (* The WSPD only approximates the diameter; append a guess safely above
      it so the binary search always has a feasible endpoint. *)
@@ -218,27 +252,46 @@ let solve ?(eps = 0.3) ?rounds ?candidates g =
     | None ->
         Mwu.default_rounds ~m:(max 1 n)
           ~width:(float_of_int (g.Geo_instance.k + g.Geo_instance.z))
-          ~eps
+          ~eps:eps_c
   in
   let guesses = ref 0 in
   let lo = ref 0 and hi = ref (Array.length gamma - 1) in
   let best = ref None in
+  (* [on_weights] reports the final MWU weight vector of the accepted
+     (smallest feasible) guess, not every round of every guess: track
+     the last per-round snapshot and stash it whenever a guess is
+     accepted as the current best. *)
+  let latest_weights = ref None in
+  let best_weights = ref None in
+  let inner_on_weights =
+    match on_weights with
+    | None -> None
+    | Some _ -> Some (fun w -> latest_weights := Some w)
+  in
   while !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
     incr guesses;
     Obs.incr c_guesses;
-    match solve_at ~eps ~rounds:rounds_per_guess p ~r:gamma.(mid) with
+    latest_weights := None;
+    match
+      solve_at ~eps:eps_c ~rounds:rounds_per_guess ?warm_weights
+        ?on_weights:inner_on_weights p ~r:gamma.(mid)
+    with
     | Some sol ->
         Log.debug (fun m ->
             m "gcso-mwu: r=%g feasible (|C|=%d |R|=%d)" gamma.(mid)
               (List.length sol.Instance.centers)
               (List.length sol.Instance.outliers));
         best := Some (sol, gamma.(mid));
+        best_weights := !latest_weights;
         hi := mid - 1
     | None ->
         Log.debug (fun m -> m "gcso-mwu: r=%g infeasible" gamma.(mid));
         lo := mid + 1
   done;
+  (match (on_weights, !best_weights) with
+  | Some f, Some w -> f w
+  | _ -> ());
   match !best with
   | Some (solution, radius) ->
       { solution; radius; rounds_per_guess; guesses = !guesses }
@@ -247,3 +300,184 @@ let solve ?(eps = 0.3) ?rounds ?candidates g =
          oracle is always feasible; unreachable for non-empty inputs. *)
       let sol = { Instance.centers = []; outliers = [] } in
       { solution = sol; radius = 0.0; rounds_per_guess; guesses = !guesses }
+
+(* ------------------------------------------------------------------ *)
+(* Incremental mode                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Incremental = struct
+  module Dyn = Cso_geom.Dynamic
+  module Rect = Cso_geom.Rect
+  module Streaming = Cso_kcenter.Streaming
+
+  let c_resolves = Obs.counter "cso.gcso.inc.re_solves"
+  let c_cached = Obs.counter "cso.gcso.inc.cached_queries"
+  let c_updates = Obs.counter "cso.gcso.inc.updates"
+
+  type t = {
+    rects : Rect.t array;
+    k : int;
+    z : int;
+    eps : float;
+    rounds : int option;
+    drift : float;
+    ball : Dyn.Ball.t;
+    range : Dyn.Range.t;
+    (* Insert-only doubling k-center sketch over the points live at the
+       last re-solve plus everything inserted since; rebuilt from the
+       survivors after each re-solve so deletions eventually leave it. *)
+    mutable sketch : Streaming.t;
+    (* Cached report plus the instance-index -> external-id map it was
+       solved under (centers/outlier indices are instance-relative). *)
+    mutable last : (report * int array) option;
+    mutable solved_live : int;
+    (* Sketch radius bound right after the post-re-solve rebuild: the
+       drift baseline. The tri-criteria radius is useless here — its
+       center blow-up puts it far below any (k+z)-center covering
+       radius, so comparing against it would re-solve on every query. *)
+    mutable sketch_base : float;
+    (* External id -> final MWU weight of the accepted guess at the last
+       re-solve; warm-starts the next one. *)
+    weights : (int, float) Hashtbl.t;
+    mutable prior_m : int; (* constraint count those weights summed over *)
+    mutable re_solves : int;
+  }
+
+  let create ?(eps = 0.3) ?rounds ?(drift = 2.0) ~rects ~k ~z () =
+    if Array.length rects = 0 then
+      invalid_arg "Gcso_general.Incremental.create: no rectangles";
+    if not (eps > 0.0 && eps <= 2.5) then
+      invalid_arg "Gcso_general.Incremental.create: eps must be in (0, 2.5]";
+    if not (drift >= 1.0) then
+      invalid_arg "Gcso_general.Incremental.create: drift < 1";
+    if k < 1 then invalid_arg "Gcso_general.Incremental.create: k < 1";
+    if z < 0 then invalid_arg "Gcso_general.Incremental.create: z < 0";
+    let dim = Rect.dim rects.(0) in
+    Array.iter
+      (fun r ->
+        if Rect.dim r <> dim then
+          invalid_arg "Gcso_general.Incremental.create: mixed rect dimensions")
+      rects;
+    {
+      rects = Array.copy rects;
+      k;
+      z;
+      eps;
+      rounds;
+      drift;
+      ball = Dyn.Ball.create ~dim;
+      range = Dyn.Range.create ~dim;
+      (* k + z centers: up to z far-away outlier groups may exist without
+         the solved radius having to cover them, so the drift signal
+         over-provisions by z to avoid spurious re-solves. *)
+      sketch = Streaming.create ~k:(k + z);
+      last = None;
+      solved_live = 0;
+      sketch_base = 0.0;
+      weights = Hashtbl.create 64;
+      prior_m = 0;
+      re_solves = 0;
+    }
+
+  let live_count t = Dyn.Ball.live_count t.ball
+  let live_ids t = Dyn.Ball.live_ids t.ball
+  let re_solves t = t.re_solves
+  let point t id = Dyn.Ball.point t.ball id
+
+  let insert t p =
+    if not (Array.exists (fun r -> Rect.contains r p) t.rects) then
+      invalid_arg "Gcso_general.Incremental.insert: point in no rectangle";
+    let id = Dyn.Ball.insert t.ball p in
+    let id' = Dyn.Range.insert t.range p in
+    assert (id = id');
+    Streaming.insert t.sketch p;
+    Obs.incr c_updates;
+    id
+
+  let delete t id =
+    Dyn.Ball.delete t.ball id;
+    Dyn.Range.delete t.range id;
+    (* The sketch is insert-only; the live-count trigger below covers
+       deletion drift, and the sketch is rebuilt at the next re-solve. *)
+    Obs.incr c_updates
+
+  (* Re-solve policy: solve if never solved, if the live population
+     halved or doubled since the last solve (deletion drift; the sketch
+     cannot shrink), or if the streaming k-center certifies that
+     covering the union of last-solve survivors and every insert since
+     needs radius more than [drift] times its bound at the last solve.
+     Right after a re-solve the bound equals the baseline, so a query
+     with no intervening updates is always served from cache. *)
+  let needs_resolve t =
+    match t.last with
+    | None -> live_count t > 0
+    | Some _ ->
+        let live = live_count t in
+        if t.solved_live = 0 then live > 0
+        else
+          2 * live <= t.solved_live
+          || live >= 2 * t.solved_live
+          || Streaming.radius_bound t.sketch > t.drift *. t.sketch_base
+
+  let empty_report =
+    {
+      solution = { Instance.centers = []; outliers = [] };
+      radius = 0.0;
+      rounds_per_guess = 0;
+      guesses = 0;
+    }
+
+  let re_solve t =
+    let live = Dyn.Ball.live_points t.ball in
+    let ids = Array.of_list (List.map fst live) in
+    let points = Array.of_list (List.map snd live) in
+    let n = Array.length points in
+    let rep =
+      if n = 0 then empty_report
+      else begin
+        let g = Geo_instance.make ~points ~rects:t.rects ~k:t.k ~z:t.z in
+        (* Warm start: prior weight by external id; points unseen at the
+           last solve enter at the prior uniform scale (Mwu renormalizes,
+           so only relative mass matters). *)
+        let warm_weights =
+          if t.prior_m = 0 then None
+          else
+            Some
+              (Array.map
+                 (fun id ->
+                   match Hashtbl.find_opt t.weights id with
+                   | Some w -> w
+                   | None -> 1.0 /. float_of_int t.prior_m)
+                 ids)
+        in
+        let captured = ref None in
+        let rep =
+          solve ~eps:t.eps ?rounds:t.rounds ?warm_weights
+            ~on_weights:(fun w -> captured := Some w)
+            g
+        in
+        (match !captured with
+        | None -> ()
+        | Some w ->
+            Hashtbl.reset t.weights;
+            Array.iteri (fun i id -> Hashtbl.replace t.weights id w.(i)) ids;
+            t.prior_m <- n);
+        rep
+      end
+    in
+    t.last <- Some (rep, ids);
+    t.solved_live <- n;
+    t.sketch <- Streaming.create ~k:(t.k + t.z);
+    Array.iter (fun p -> Streaming.insert t.sketch p) points;
+    t.sketch_base <- Streaming.radius_bound t.sketch;
+    t.re_solves <- t.re_solves + 1;
+    Obs.incr c_resolves;
+    (rep, ids)
+
+  let query t =
+    match t.last with
+    | Some cached when not (needs_resolve t) ->
+        Obs.incr c_cached;
+        cached
+    | _ -> re_solve t
+end

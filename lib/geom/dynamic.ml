@@ -1,0 +1,318 @@
+(* Logarithmic-method (rebuild-by-level) dynamic wrappers over the
+   static packed tree builds.
+
+   The classic Bentley–Saxe decomposition: live points are partitioned
+   into O(log n) static trees ("levels"), level [i] holding at most
+   [2^i] points. An insert works like a binary-counter increment — the
+   new point plus every point of the occupied prefix of levels is merged
+   into the first free level, one static rebuild whose amortized cost is
+   O(log n) build-shares per point. A delete only tombstones: the point
+   stays inside its level tree but is filtered out of every answer; when
+   half of the stored points are tombstones the whole structure is
+   rebuilt from the survivors (so stored size is always <= 2x live size
+   and delete cost is amortized O(rebuild / n)).
+
+   Determinism contract: every operation is sequential and derived only
+   from the operation sequence — level layouts, point ids, query answers
+   and all [geom.dyn*] counters are bit-identical across domain counts
+   and with [CSO_OBS=0] (modulo the counters themselves being off). Query
+   answers are sorted ascending by point id, so they are directly
+   comparable with a static rebuild over the surviving points. *)
+
+module Point = Cso_metric.Point
+module Obs = Cso_obs.Obs
+
+module type STATIC = sig
+  type tree
+
+  val build : Point.t array -> tree
+  val prefix : string (* counter namespace, e.g. "geom.dynbbd" *)
+end
+
+type stats = {
+  inserts : int;
+  deletes : int;
+  level_rebuilds : int; (* insert-side merges (one static build each) *)
+  points_rebuilt : int; (* total points fed through static builds *)
+  full_rebuilds : int; (* half-dead global rebuilds *)
+}
+
+module Core (S : STATIC) = struct
+  let c_inserts = Obs.counter (S.prefix ^ ".inserts")
+  let c_deletes = Obs.counter (S.prefix ^ ".deletes")
+  let c_level_rebuilds = Obs.counter (S.prefix ^ ".level_rebuilds")
+  let c_points_rebuilt = Obs.counter (S.prefix ^ ".points_rebuilt")
+  let c_full_rebuilds = Obs.counter (S.prefix ^ ".full_rebuilds")
+
+  type level = {
+    tree : S.tree;
+    ids : int array; (* external id of local point index, ascending *)
+  }
+
+  type t = {
+    dim : int;
+    mutable levels : level option array; (* index i: at most 2^i points *)
+    mutable coords : Point.t array; (* id -> coordinates *)
+    mutable alive : bool array;
+    mutable next_id : int;
+    mutable n_live : int;
+    mutable n_stored : int; (* sum of level sizes, dead included *)
+    mutable n_dead_stored : int;
+    mutable s_inserts : int;
+    mutable s_deletes : int;
+    mutable s_level_rebuilds : int;
+    mutable s_points_rebuilt : int;
+    mutable s_full_rebuilds : int;
+  }
+
+  let create ~dim =
+    if dim < 1 then invalid_arg (S.prefix ^ ".create: dim < 1");
+    {
+      dim;
+      levels = Array.make 4 None;
+      coords = Array.make 16 [||];
+      alive = Array.make 16 false;
+      next_id = 0;
+      n_live = 0;
+      n_stored = 0;
+      n_dead_stored = 0;
+      s_inserts = 0;
+      s_deletes = 0;
+      s_level_rebuilds = 0;
+      s_points_rebuilt = 0;
+      s_full_rebuilds = 0;
+    }
+
+  let dim t = t.dim
+  let live_count t = t.n_live
+  let stored_count t = t.n_stored
+  let next_id t = t.next_id
+
+  let mem t id = id >= 0 && id < t.next_id && t.alive.(id)
+
+  let point t id =
+    if not (mem t id) then invalid_arg (S.prefix ^ ".point: dead or unknown id");
+    Array.copy t.coords.(id)
+
+  let stats t =
+    {
+      inserts = t.s_inserts;
+      deletes = t.s_deletes;
+      level_rebuilds = t.s_level_rebuilds;
+      points_rebuilt = t.s_points_rebuilt;
+      full_rebuilds = t.s_full_rebuilds;
+    }
+
+  let level_sizes t =
+    Array.to_list t.levels
+    |> List.filter_map (Option.map (fun l -> Array.length l.ids))
+
+  let live_ids t =
+    let acc = ref [] in
+    for id = t.next_id - 1 downto 0 do
+      if t.alive.(id) then acc := id :: !acc
+    done;
+    !acc
+
+  let live_points t = List.map (fun id -> (id, Array.copy t.coords.(id))) (live_ids t)
+
+  let grow_ids t =
+    let cap = Array.length t.coords in
+    if t.next_id = cap then begin
+      let coords = Array.make (2 * cap) [||] in
+      let alive = Array.make (2 * cap) false in
+      Array.blit t.coords 0 coords 0 cap;
+      Array.blit t.alive 0 alive 0 cap;
+      t.coords <- coords;
+      t.alive <- alive
+    end
+
+  let grow_levels t upto =
+    let cap = Array.length t.levels in
+    if upto >= cap then begin
+      let levels = Array.make (max (upto + 1) (2 * cap)) None in
+      Array.blit t.levels 0 levels 0 cap;
+      t.levels <- levels
+    end
+
+  (* Builds one static tree over [ids] (sorted ascending) at [level]. *)
+  let set_level t level ids =
+    grow_levels t level;
+    let pts = Array.map (fun id -> t.coords.(id)) ids in
+    t.levels.(level) <- Some { tree = S.build pts; ids };
+    t.n_stored <- t.n_stored + Array.length ids;
+    t.s_level_rebuilds <- t.s_level_rebuilds + 1;
+    t.s_points_rebuilt <- t.s_points_rebuilt + Array.length ids;
+    Obs.incr c_level_rebuilds;
+    Obs.add c_points_rebuilt (Array.length ids)
+
+  (* Removes a level, returning its live ids (tombstones are dropped
+     here — a merge is the only place dead points leave the store). *)
+  let take_level t i acc =
+    match t.levels.(i) with
+    | None -> acc
+    | Some l ->
+        t.levels.(i) <- None;
+        t.n_stored <- t.n_stored - Array.length l.ids;
+        Array.fold_left
+          (fun acc id ->
+            if t.alive.(id) then id :: acc
+            else begin
+              t.n_dead_stored <- t.n_dead_stored - 1;
+              acc
+            end)
+          acc l.ids
+
+  let insert t p =
+    if Array.length p <> t.dim then
+      invalid_arg (S.prefix ^ ".insert: wrong dimension");
+    grow_ids t;
+    let id = t.next_id in
+    t.coords.(id) <- Array.copy p;
+    t.alive.(id) <- true;
+    t.next_id <- id + 1;
+    t.n_live <- t.n_live + 1;
+    t.s_inserts <- t.s_inserts + 1;
+    Obs.incr c_inserts;
+    (* Binary-counter carry: merge the occupied prefix of levels with the
+       new point into the first free level. At most 1 + sum_{i<j} 2^i =
+       2^j points reach level j, preserving the capacity invariant. *)
+    let acc = ref [ id ] in
+    let j = ref 0 in
+    while !j < Array.length t.levels && t.levels.(!j) <> None do
+      acc := take_level t !j !acc;
+      incr j
+    done;
+    let ids = Array.of_list (List.sort compare !acc) in
+    set_level t !j ids;
+    id
+
+  (* Rebuild everything from the survivors into the single smallest
+     level that fits them; lower levels reopen for future inserts. *)
+  let full_rebuild t =
+    for i = 0 to Array.length t.levels - 1 do
+      match t.levels.(i) with
+      | None -> ()
+      | Some l ->
+          t.levels.(i) <- None;
+          t.n_stored <- t.n_stored - Array.length l.ids
+    done;
+    t.n_dead_stored <- 0;
+    t.s_full_rebuilds <- t.s_full_rebuilds + 1;
+    Obs.incr c_full_rebuilds;
+    let ids = Array.of_list (live_ids t) in
+    let n = Array.length ids in
+    if n > 0 then begin
+      let j = ref 0 in
+      while 1 lsl !j < n do
+        incr j
+      done;
+      set_level t !j ids
+    end
+
+  let delete t id =
+    if not (mem t id) then
+      invalid_arg (S.prefix ^ ".delete: dead or unknown id");
+    t.alive.(id) <- false;
+    t.n_live <- t.n_live - 1;
+    t.n_dead_stored <- t.n_dead_stored + 1;
+    t.s_deletes <- t.s_deletes + 1;
+    Obs.incr c_deletes;
+    if 2 * t.n_dead_stored >= t.n_stored then full_rebuild t
+
+  (* Folds [f] over the non-empty levels in ascending level order. *)
+  let fold_levels t ~init ~f =
+    let acc = ref init in
+    for i = 0 to Array.length t.levels - 1 do
+      match t.levels.(i) with None -> () | Some l -> acc := f !acc l.tree l.ids
+    done;
+    !acc
+
+  let is_alive t id = t.alive.(id)
+end
+
+(* ------------------------------------------------------------------ *)
+(* BBD instantiation: approximate / exact ball queries                 *)
+(* ------------------------------------------------------------------ *)
+
+module Ball = struct
+  include Core (struct
+    type tree = Bbd_tree.t
+
+    let build = Bbd_tree.build
+    let prefix = "geom.dynbbd"
+  end)
+
+  let of_points pts =
+    if Array.length pts = 0 then
+      invalid_arg "geom.dynbbd.of_points: empty (use create ~dim)";
+    let t = create ~dim:(Array.length pts.(0)) in
+    Array.iter (fun p -> ignore (insert t p)) pts;
+    t
+
+  (* Union of the per-level canonical answers, tombstones dropped,
+     sorted ascending by id. Each level satisfies the sandwich guarantee
+     for its own stored points, so the union does for the live set:
+     [B(c,r) cap live subseteq answer subseteq B(c,(1+eps)r) cap live]. *)
+  let ball_points t ~center ~radius ~eps =
+    if Array.length center <> t.dim then
+      invalid_arg "geom.dynbbd.ball_points: wrong dimension";
+    let ids =
+      fold_levels t ~init:[] ~f:(fun acc tree ids ->
+          List.fold_left
+            (fun acc node ->
+              List.fold_left
+                (fun acc local ->
+                  let id = ids.(local) in
+                  if is_alive t id then id :: acc else acc)
+                acc
+                (Bbd_tree.points_of_node tree node))
+            acc
+            (Bbd_tree.ball_query tree ~center ~radius ~eps))
+    in
+    List.sort compare ids
+
+  (* [eps = 0] turns the sandwich band degenerate, so the canonical
+     union is exactly the closed ball: an exact report. *)
+  let ball_report t ~center ~radius = ball_points t ~center ~radius ~eps:0.0
+  let count_in_ball t ~center ~radius =
+    List.length (ball_report t ~center ~radius)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Range-tree instantiation: exact orthogonal range queries            *)
+(* ------------------------------------------------------------------ *)
+
+module Range = struct
+  include Core (struct
+    type tree = Range_tree.t
+
+    let build = Range_tree.build
+    let prefix = "geom.dynrtree"
+  end)
+
+  let of_points pts =
+    if Array.length pts = 0 then
+      invalid_arg "geom.dynrtree.of_points: empty (use create ~dim)";
+    let t = create ~dim:(Array.length pts.(0)) in
+    Array.iter (fun p -> ignore (insert t p)) pts;
+    t
+
+  let report t rect =
+    if Rect.dim rect <> t.dim then
+      invalid_arg "geom.dynrtree.report: wrong dimension";
+    let ids =
+      fold_levels t ~init:[] ~f:(fun acc tree ids ->
+          List.fold_left
+            (fun acc local ->
+              let id = ids.(local) in
+              if is_alive t id then id :: acc else acc)
+            acc (Range_tree.report tree rect))
+    in
+    List.sort compare ids
+
+  (* Tombstones force point-level filtering, so counting costs one
+     report; the canonical-node count shortcut of the static tree would
+     include dead points. *)
+  let count t rect = List.length (report t rect)
+end

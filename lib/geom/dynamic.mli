@@ -1,0 +1,125 @@
+(** Dynamic (insert/delete) wrappers over the static trees, via the
+    logarithmic method (Bentley–Saxe rebuild-by-level).
+
+    Live points are partitioned into O(log n) static trees; level [i]
+    holds at most [2^i] points. {!Ball.insert} merges the occupied
+    prefix of levels (plus the new point) into the first free level —
+    one static rebuild, amortized O(log n) build-shares per point.
+    {!Ball.delete} tombstones: the point stays in its level tree but is
+    filtered from every answer; when half the stored points are dead,
+    the structure is rebuilt from the survivors, so stored size never
+    exceeds twice the live size.
+
+    Queries union the per-level answers of the underlying static trees
+    (same traversal scratch, counters and histograms as the batched
+    [balls_all] path) and drop tombstones, returning live point ids
+    sorted ascending — directly comparable with a static rebuild over
+    the surviving points, and bit-identical across domain counts and
+    with [CSO_OBS=0].
+
+    Ids are dense non-negative integers assigned in insertion order and
+    never reused. All operations are sequential; a [t] must not be
+    mutated from multiple domains concurrently. *)
+
+type stats = {
+  inserts : int;
+  deletes : int;
+  level_rebuilds : int;
+      (** insert-side merges — one static tree build each *)
+  points_rebuilt : int;
+      (** total points fed through static builds (the amortized-cost
+          numerator: O(n log n) after n inserts) *)
+  full_rebuilds : int;  (** half-dead global rebuilds *)
+}
+
+(** BBD-tree levels: approximate (sandwich-guarantee) and exact ball
+    queries under insertions and deletions. *)
+module Ball : sig
+  type t
+
+  val create : dim:int -> t
+  (** Empty structure for points of the given dimension ([>= 1]). *)
+
+  val of_points : Cso_metric.Point.t array -> t
+  (** Point [i] of the (non-empty) array gets id [i]; equivalent to
+      [n] inserts in order. *)
+
+  val insert : t -> Cso_metric.Point.t -> int
+  (** Returns the new point's id. Raises [Invalid_argument] on a
+      dimension mismatch. Amortized O(log n) static-build shares. *)
+
+  val delete : t -> int -> unit
+  (** Tombstones the id. Raises [Invalid_argument] if the id is unknown
+      or already deleted. Amortized O(1) plus rebuild shares. *)
+
+  val mem : t -> int -> bool
+  (** True iff the id is live. *)
+
+  val point : t -> int -> Cso_metric.Point.t
+  (** Coordinates of a live id (fresh copy). *)
+
+  val dim : t -> int
+
+  val live_count : t -> int
+  val stored_count : t -> int
+  (** Points held inside level trees, tombstones included;
+      [live_count t <= stored_count t < 2 * max 1 (live_count t)]. *)
+
+  val next_id : t -> int
+  (** Total inserts so far; ids are [0 .. next_id - 1]. *)
+
+  val live_ids : t -> int list
+  (** Ascending. *)
+
+  val live_points : t -> (int * Cso_metric.Point.t) list
+  (** Ascending by id; coordinates are fresh copies. *)
+
+  val level_sizes : t -> int list
+  (** Stored size of each non-empty level, ascending by level index. *)
+
+  val stats : t -> stats
+
+  val ball_points : t -> center:Cso_metric.Point.t -> radius:float ->
+    eps:float -> int list
+  (** Union of the per-level canonical ball answers, tombstones
+      dropped, sorted ascending. Sandwich guarantee over the live set:
+      [B(c,r) cap live] ⊆ answer ⊆ [B(c,(1+eps)r) cap live]. *)
+
+  val ball_report : t -> center:Cso_metric.Point.t -> radius:float ->
+    int list
+  (** Exact closed ball ([ball_points] with [eps = 0], where the
+      sandwich band degenerates): the live ids within [radius], sorted
+      ascending — bit-identical to a linear scan of the survivors. *)
+
+  val count_in_ball : t -> center:Cso_metric.Point.t -> radius:float -> int
+  (** [List.length (ball_report ...)]. *)
+end
+
+(** Range-tree levels: exact orthogonal range reporting and counting
+    under insertions and deletions. *)
+module Range : sig
+  type t
+
+  val create : dim:int -> t
+  val of_points : Cso_metric.Point.t array -> t
+  val insert : t -> Cso_metric.Point.t -> int
+  val delete : t -> int -> unit
+  val mem : t -> int -> bool
+  val point : t -> int -> Cso_metric.Point.t
+  val dim : t -> int
+  val live_count : t -> int
+  val stored_count : t -> int
+  val next_id : t -> int
+  val live_ids : t -> int list
+  val live_points : t -> (int * Cso_metric.Point.t) list
+  val level_sizes : t -> int list
+  val stats : t -> stats
+
+  val report : t -> Rect.t -> int list
+  (** Live ids inside the rectangle (closed intervals), sorted
+      ascending — bit-identical to a static rebuild of the survivors. *)
+
+  val count : t -> Rect.t -> int
+  (** [List.length (report ...)] — tombstones force point-level
+      filtering, so counting costs one report. *)
+end

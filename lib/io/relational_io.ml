@@ -49,7 +49,7 @@ let parse_schema spec =
   try
     Rel.Schema.make ~attr_names
       (List.map (fun (name, attrs) -> (name, List.map index attrs)) rels)
-  with Invalid_argument msg -> failwith msg
+  with Invalid_argument msg -> failwith (Printf.sprintf "schema %S: %s" spec msg)
 
 let schema_to_spec (schema : Rel.Schema.t) =
   Array.to_list schema.Rel.Schema.relations
@@ -74,26 +74,38 @@ let load ~schema ~files =
       (List.mapi
          (fun i path ->
            let arity = Array.length (Rel.Schema.rel_attrs sch i) in
-           let rows = Formats.read_points path in
-           Array.iter
-             (fun row ->
-               if Array.length row <> arity then
-                 failwith
-                   (Printf.sprintf "%s: expected %d columns, got %d" path
-                      arity (Array.length row)))
-             rows;
-           rows)
+           (* Parse and arity-check inside the per-line callback so every
+              failure — bad float or wrong column count — carries the
+              [path:lineno:] prefix [with_lines] attaches (pre-fix the
+              arity error named the file but not the line). *)
+           Array.of_list
+             (Formats.with_lines path (fun line ->
+                  let row =
+                    String.split_on_char ',' line
+                    |> List.map Formats.parse_float
+                    |> Array.of_list
+                  in
+                  if Array.length row <> arity then
+                    failwith
+                      (Printf.sprintf "expected %d columns, got %d" arity
+                         (Array.length row));
+                  row)))
          files)
   in
   let inst =
     try Rel.Instance.of_arrays sch tuples
-    with Invalid_argument msg -> failwith msg
+    with Invalid_argument msg ->
+      failwith
+        (Printf.sprintf "%s: %s" (String.concat "," files) msg)
   in
   match Rel.Join_tree.build sch with
   | Some tree -> (inst, tree)
   | None ->
       failwith
-        "cyclic schema: decompose it first (see Cso_relational.Hypertree)"
+        (Printf.sprintf
+           "schema %S: cyclic: decompose it first (see \
+            Cso_relational.Hypertree)"
+           schema)
 
 let save (inst : Rel.Instance.t) ~files =
   let g = Rel.Schema.n_relations inst.Rel.Instance.schema in

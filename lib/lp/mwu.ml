@@ -43,10 +43,20 @@ let default_rounds ~m ~width ~eps =
    geometrically once its constraint starts being violated. *)
 let min_weight_factor = 1e-12
 
-let run ~m ~width ~eps ?rounds ?on_round ?on_weights ~oracle ~violation () =
+let run ~m ~width ~eps ?rounds ?warm_weights ?on_round ?on_weights ~oracle
+    ~violation () =
   if m < 0 then invalid_arg "Mwu.run: m < 0";
   if not (eps > 0.0 && eps <= 1.0) then
     invalid_arg "Mwu.run: eps must be in (0, 1]";
+  (match warm_weights with
+  | None -> ()
+  | Some w ->
+      if Array.length w <> m then invalid_arg "Mwu.run: warm_weights length";
+      Array.iter
+        (fun x ->
+          if not (Float.is_finite x) || x < 0.0 then
+            invalid_arg "Mwu.run: warm_weights must be finite and >= 0")
+        w);
   if m = 0 then
     (* A system with no constraints: whatever the oracle produces for the
        (empty) aggregated constraint satisfies all zero of them, so one
@@ -74,7 +84,17 @@ let run ~m ~width ~eps ?rounds ?on_round ?on_weights ~oracle ~violation () =
   in
   let floor_w = min_weight_factor /. float_of_int m in
   let pool = Pool.get_default () in
-  let sigma = Array.make m (1.0 /. float_of_int m) in
+  (* Warm start: prior weights, floored (per the zero-weight trap above)
+     and renormalized into a probability vector. A degenerate prior
+     (all ~0) renormalizes to uniform via the floor. *)
+  let sigma =
+    match warm_weights with
+    | None -> Array.make m (1.0 /. float_of_int m)
+    | Some w ->
+        let s = Array.map (fun x -> if x < floor_w then floor_w else x) w in
+        let total = Array.fold_left ( +. ) 0.0 s in
+        Array.map (fun x -> x /. total) s
+  in
   let sols = ref [] in
   let rec go t =
     if t > rounds then Feasible (List.rev !sols)

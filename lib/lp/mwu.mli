@@ -30,14 +30,20 @@ val run :
   width:float ->
   eps:float ->
   ?rounds:int ->
+  ?warm_weights:float array ->
   ?on_round:(round:int -> max_violation:float -> unit) ->
   ?on_weights:(float array -> unit) ->
   oracle:(float array -> 'a option) ->
   violation:('a -> float array) ->
   unit ->
   'a outcome
-(** [m] is the number of constraints; [sigma] starts uniform [1/m] and is
-    renormalized every round after the update
+(** [m] is the number of constraints; [sigma] starts uniform [1/m] —
+    or, when [warm_weights] (length [m], finite, [>= 0], typically the
+    last [on_weights] snapshot of a previous run) is given, at those
+    weights floored at the positive minimum and renormalized, so a
+    perturbed re-solve resumes near the prior run's hard-constraint
+    concentration instead of from scratch. [sigma] is renormalized
+    every round after the update
     [sigma_i <- sigma_i * (1 - eps/4 * delta_i)], [delta_i = violation_i
     / width]. [on_round] reports the most-violated constraint of the
     round's oracle solution (used by the convergence bench).

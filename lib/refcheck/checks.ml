@@ -881,7 +881,21 @@ let gcso_mwu_tricriteria =
       let inst =
         Geo_instance.make ~points:g.g_pts ~rects:g.g_rects ~k:g.g_k ~z:g.g_z
       in
-      let rep = Gcso_general.solve ~eps inst in
+      (* Explicit rounds: the honest default scales as 1/(eps/5)^2 and
+         is ~25x too slow for a 1000-case fuzz budget. The bounds that
+         are structural in the returned radius (validity, center and
+         outlier counts, cost <= 2(1+eps/5)*radius) hold at any round
+         count; the end-to-end (2+eps)*opt factor does NOT — with too
+         few rounds MWU can fail to certify feasibility at the critical
+         radius guess and the search settles one lattice step too high.
+         So the capped solve screens, and only a cost above the theorem
+         bound escalates to the honest default, separating convergence
+         tails from real violations. (The escalation's first catch,
+         seed 5 case 2013, failed at honest rounds too: the un-inflated
+         WSPD lattice had no feasible guess within (1+eps/5) of the
+         optimum — fixed in [Gcso_general.solve] and pinned by the
+         lattice-gap canary in test/suite_refcheck.ml.) *)
+      let rep = Gcso_general.solve ~eps ~rounds:150 inst in
       let sol = rep.Gcso_general.solution in
       let* () = require (Geo_instance.is_valid inst sol) "MWU solution invalid" in
       let* () =
@@ -902,20 +916,397 @@ let gcso_mwu_tricriteria =
       in
       let cost = Geo_instance.cost inst sol in
       (* Rounding invariant: greedy covering uses balls of radius
-         [2 * radius] with BBD slack [(1+eps)]. *)
+         [2 * radius] with BBD slack [(1 + eps/5)] — [solve] hands each
+         internal consumer eps/5 (see gcso_general.mli). *)
       let* () =
         requiref
-          (cost <= (2.0 *. (1.0 +. eps) *. rep.Gcso_general.radius) +. 1e-9)
-          "cost %.17g > 2(1+eps)*radius = %.17g" cost
-          (2.0 *. (1.0 +. eps) *. rep.Gcso_general.radius)
+          (cost
+          <= (2.0 *. (1.0 +. (eps /. 5.0)) *. rep.Gcso_general.radius) +. 1e-9)
+          "cost %.17g > 2(1+eps/5)*radius = %.17g" cost
+          (2.0 *. (1.0 +. (eps /. 5.0)) *. rep.Gcso_general.radius)
       in
-      (* End-to-end factor with un-split eps (see gcso_general.mli
-         calibration note): 2(1+eps)^2, not the theorem's (2+eps). *)
+      (* End-to-end factor at the theorem's (2+eps): certified since the
+         eps-overspend fix split the accuracy budget internally. Only
+         this bound needs converged MWU, so a capped-rounds miss
+         escalates to the honest round count before failing. *)
       let opt = Reference.cso_opt (Geo_instance.to_cso inst) in
-      let bound = 2.0 *. (1.0 +. eps) *. (1.0 +. eps) *. opt in
-      requiref
-        (cost <= bound +. 1e-9)
-        "cost %.17g > 2(1+eps)^2*opt = %.17g" cost bound)
+      let bound = (2.0 +. eps) *. opt in
+      if cost <= bound +. 1e-9 then Ok ()
+      else begin
+        let rep = Gcso_general.solve ~eps inst in
+        let sol = rep.Gcso_general.solution in
+        let* () =
+          require (Geo_instance.is_valid inst sol)
+            "MWU solution invalid (honest rounds)"
+        in
+        let cost = Geo_instance.cost inst sol in
+        requiref
+          (cost <= bound +. 1e-9)
+          "cost %.17g > (2+eps)*opt = %.17g at honest rounds" cost bound
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* dynamic.*                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Dyn = Cso_geom.Dynamic
+
+(* Insert/delete scripts. A delete stores an arbitrary non-negative
+   int interpreted at execution time as an index into the current
+   live-id list modulo its length (no-op when empty), so every op
+   subsequence is itself a valid script — the shrinker's drop-one
+   candidates never need re-validation. *)
+type dyn_op = D_ins of Point.t | D_del of int
+
+type dyn_script = { dy_dim : int; dy_ops : dyn_op array }
+
+let gen_dyn rng =
+  let dim = int_in rng 1 3 in
+  let n_ops = int_in rng 1 30 in
+  let ops =
+    Array.init n_ops (fun _ ->
+        if Random.State.int rng 10 < 6 then
+          D_ins (Array.init dim (fun _ -> coord rng))
+        else D_del (Random.State.int rng 16))
+  in
+  { dy_dim = dim; dy_ops = ops }
+
+let shrink_dyn s =
+  let round_ops =
+    Array.map
+      (function D_ins p -> D_ins (Array.map Float.round p) | d -> d)
+      s.dy_ops
+  in
+  List.map (fun ops -> { s with dy_ops = ops }) (drop_each s.dy_ops)
+  @
+  if round_ops = s.dy_ops then []
+  else [ { s with dy_ops = round_ops } ]
+
+let show_dyn s =
+  Printf.sprintf "dim=%d ops=[%s]" s.dy_dim
+    (String.concat "; "
+       (Array.to_list
+          (Array.map
+             (function
+               | D_ins p -> "+" ^ pt_str p
+               | D_del t -> Printf.sprintf "-%d" t)
+             s.dy_ops)))
+
+(* Replays the script against [insert]/[delete], maintaining the
+   reference model (ascending (id, point) assoc of survivors) that
+   delete targets are resolved against. *)
+let apply_dyn ~insert ~delete s =
+  let model = ref [] in
+  Array.iter
+    (function
+      | D_ins p ->
+          let id = insert p in
+          model := !model @ [ (id, Array.copy p) ]
+      | D_del t -> (
+          match !model with
+          | [] -> ()
+          | live ->
+              let id, _ = List.nth live (t mod List.length live) in
+              delete id;
+              model := List.filter (fun (i, _) -> i <> id) !model))
+    s.dy_ops;
+  !model
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+(* Query centers: a few survivors plus the origin; radii: 0, survivor
+   distances (on-boundary on purpose) and scaled variants. *)
+let dyn_query_points dim model =
+  let surv = List.map snd model in
+  let origin = Array.make dim 0.0 in
+  let picks =
+    match surv with
+    | [] -> []
+    | [ p ] -> [ p ]
+    | p :: _ ->
+        let arr = Array.of_list surv in
+        [ p; arr.(Array.length arr / 2); arr.(Array.length arr - 1) ]
+  in
+  origin :: picks
+
+let dyn_radii center model =
+  let ds = List.map (fun (_, p) -> Point.l2 center p) model in
+  let dmax = List.fold_left Float.max 0.0 ds in
+  0.0 :: (dmax /. 2.0) :: dmax
+  :: (match ds with d :: _ -> [ d ] | [] -> [])
+
+let dynamic_bbd =
+  Fuzz.make ~name:"dynamic.bbd_vs_static_rebuild" ~gen:gen_dyn
+    ~shrink:shrink_dyn ~show:show_dyn
+    ~prop:(fun s ->
+      let t = Dyn.Ball.create ~dim:s.dy_dim in
+      let model =
+        apply_dyn ~insert:(Dyn.Ball.insert t) ~delete:(Dyn.Ball.delete t) s
+      in
+      let ids = List.map fst model in
+      let* () =
+        requiref
+          (Dyn.Ball.live_ids t = ids)
+          "live_ids %s <> model %s"
+          (ints_str (Dyn.Ball.live_ids t))
+          (ints_str ids)
+      in
+      (* Tombstone policy: at most half the stored points are dead. *)
+      let* () =
+        requiref
+          (Dyn.Ball.stored_count t < 2 * max 1 (Dyn.Ball.live_count t))
+          "stored %d >= 2 * max 1 (live %d)" (Dyn.Ball.stored_count t)
+          (Dyn.Ball.live_count t)
+      in
+      let idarr = Array.of_list ids in
+      let static =
+        if model = [] then None
+        else Some (Bbd.build (Array.of_list (List.map snd model)))
+      in
+      let static_report center radius =
+        match static with
+        | None -> []
+        | Some st ->
+            Bbd.ball_query st ~center ~radius ~eps:0.0
+            |> List.concat_map (Bbd.points_of_node st)
+            |> List.map (fun l -> idarr.(l))
+            |> List.sort compare
+      in
+      let check_query center radius =
+        let reference =
+          List.filter_map
+            (fun (id, p) -> if Point.l2 center p <= radius then Some id else None)
+            model
+        in
+        let got = Dyn.Ball.ball_report t ~center ~radius in
+        let* () =
+          requiref (got = reference)
+            "ball_report r=%.17g: %s <> scan %s" radius (ints_str got)
+            (ints_str reference)
+        in
+        let* () =
+          requiref
+            (got = static_report center radius)
+            "ball_report r=%.17g differs from static rebuild" radius
+        in
+        let* () =
+          requiref
+            (Dyn.Ball.count_in_ball t ~center ~radius = List.length reference)
+            "count_in_ball r=%.17g" radius
+        in
+        (* eps > 0: the union of per-level canonical answers keeps the
+           sandwich guarantee over the live set. *)
+        let eps = 0.4 in
+        let approx = Dyn.Ball.ball_points t ~center ~radius ~eps in
+        let outer =
+          List.filter_map
+            (fun (id, p) ->
+              if Point.l2 center p <= (1.0 +. eps) *. radius then Some id
+              else None)
+            model
+        in
+        let* () =
+          requiref (subset reference approx)
+            "eps=0.4 r=%.17g answer misses an in-ball survivor" radius
+        in
+        requiref (subset approx outer)
+          "eps=0.4 r=%.17g answer exceeds the outer ball" radius
+      in
+      List.fold_left
+        (fun acc center ->
+          let* () = acc in
+          List.fold_left
+            (fun acc radius ->
+              let* () = acc in
+              check_query center radius)
+            (Ok ()) (dyn_radii center model))
+        (Ok ())
+        (dyn_query_points s.dy_dim model))
+
+let dynamic_rtree =
+  Fuzz.make ~name:"dynamic.rtree_vs_static_rebuild" ~gen:gen_dyn
+    ~shrink:shrink_dyn ~show:show_dyn
+    ~prop:(fun s ->
+      let t = Dyn.Range.create ~dim:s.dy_dim in
+      let model =
+        apply_dyn ~insert:(Dyn.Range.insert t) ~delete:(Dyn.Range.delete t) s
+      in
+      let ids = List.map fst model in
+      let* () =
+        requiref
+          (Dyn.Range.live_ids t = ids)
+          "live_ids %s <> model %s"
+          (ints_str (Dyn.Range.live_ids t))
+          (ints_str ids)
+      in
+      let idarr = Array.of_list ids in
+      let static =
+        if model = [] then None
+        else Some (Rtree.build (Array.of_list (List.map snd model)))
+      in
+      (* Rects: survivor-pair bounding boxes (closed, often degenerate),
+         the unbounded rect, and a guaranteed-empty sliver. *)
+      let rects =
+        let surv = Array.of_list (List.map snd model) in
+        let of_pair a b =
+          Rect.make
+            ~lo:(Array.init s.dy_dim (fun j -> Float.min a.(j) b.(j)))
+            ~hi:(Array.init s.dy_dim (fun j -> Float.max a.(j) b.(j)))
+        in
+        let pairs =
+          match Array.length surv with
+          | 0 -> []
+          | 1 -> [ of_pair surv.(0) surv.(0) ]
+          | n -> [ of_pair surv.(0) surv.(n - 1); of_pair surv.(n / 2) surv.(n - 1) ]
+        in
+        Rect.unbounded s.dy_dim
+        :: Rect.make
+             ~lo:(Array.make s.dy_dim 100.0)
+             ~hi:(Array.make s.dy_dim 101.0)
+        :: pairs
+      in
+      List.fold_left
+        (fun acc rect ->
+          let* () = acc in
+          let reference =
+            List.filter_map
+              (fun (id, p) -> if Rect.contains rect p then Some id else None)
+              model
+          in
+          let got = Dyn.Range.report t rect in
+          let* () =
+            requiref (got = reference) "report: %s <> scan %s" (ints_str got)
+              (ints_str reference)
+          in
+          let static_ids =
+            match static with
+            | None -> []
+            | Some st ->
+                Rtree.report st rect
+                |> List.map (fun l -> idarr.(l))
+                |> List.sort compare
+          in
+          let* () =
+            require (got = static_ids)
+              "report differs from static rebuild"
+          in
+          requiref
+            (Dyn.Range.count t rect = List.length reference)
+            "count %d <> %d" (Dyn.Range.count t rect)
+            (List.length reference))
+        (Ok ()) rects)
+
+(* Incremental GCSO: (a) the first query is bit-identical to a fresh
+   [Gcso_general.solve] over the surviving points (the re-solve path
+   reconstructs the same instance; no warm weights exist yet); (b) an
+   immediate repeat is served from cache; (c) after more updates, a
+   query either re-solves onto exactly the current live population
+   (warm-started from the prior weights) with a structurally valid
+   solution, or keeps serving the cached report. *)
+let dynamic_gcso_incremental =
+  Fuzz.make ~name:"dynamic.gcso_incremental_vs_scratch"
+    ~gen:(fun rng ->
+      let dim = 2 in
+      let n_ops = int_in rng 2 14 in
+      let ops =
+        Array.init n_ops (fun _ ->
+            if Random.State.int rng 10 < 7 then
+              D_ins (Array.init dim (fun _ -> coord rng))
+            else D_del (Random.State.int rng 16))
+      in
+      ({ dy_dim = dim; dy_ops = ops }, int_in rng 1 2, int_in rng 0 1))
+    ~shrink:(fun (s, k, z) ->
+      List.map (fun s' -> (s', k, z)) (shrink_dyn s)
+      @ (if z > 0 then [ (s, k, z - 1) ] else [])
+      @ if k > 1 then [ (s, k - 1, z) ] else [])
+    ~show:(fun (s, k, z) -> Printf.sprintf "k=%d z=%d %s" k z (show_dyn s))
+    ~prop:(fun (s, k, z) ->
+      let eps = 0.5 and rounds = 40 in
+      (* One rect covering the whole coordinate range of [coord]. *)
+      let rects =
+        [| Rect.of_intervals [ (-1.0, 6.0); (-1.0, 6.0) ] |]
+      in
+      let inc =
+        Gcso_general.Incremental.create ~eps ~rounds ~rects ~k ~z ()
+      in
+      let model =
+        apply_dyn
+          ~insert:(Gcso_general.Incremental.insert inc)
+          ~delete:(Gcso_general.Incremental.delete inc)
+          s
+      in
+      if model = [] then
+        let rep, _ = Gcso_general.Incremental.query inc in
+        require
+          (rep.Gcso_general.solution.Instance.centers = [])
+          "empty population produced centers"
+      else begin
+        let rep1, ids1 = Gcso_general.Incremental.query inc in
+        let* () =
+          requiref
+            (Array.to_list ids1 = List.map fst model)
+            "first query ids %s <> live %s"
+            (ints_str (Array.to_list ids1))
+            (ints_str (List.map fst model))
+        in
+        let points = Array.of_list (List.map snd model) in
+        let fresh =
+          Gcso_general.solve ~eps ~rounds
+            (Geo_instance.make ~points ~rects ~k ~z)
+        in
+        let* () =
+          require
+            (rep1.Gcso_general.solution = fresh.Gcso_general.solution
+            && rep1.Gcso_general.radius = fresh.Gcso_general.radius)
+            "first query differs from a from-scratch solve"
+        in
+        (* Cache: an immediate repeat re-solves nothing. *)
+        let before = Gcso_general.Incremental.re_solves inc in
+        let rep2, _ = Gcso_general.Incremental.query inc in
+        let* () =
+          require
+            (Gcso_general.Incremental.re_solves inc = before
+            && rep2.Gcso_general.solution = rep1.Gcso_general.solution)
+            "repeat query was not served from cache"
+        in
+        (* More churn, then a query: re-solve lands exactly on the
+           current population and is structurally valid; a cached answer
+           is unchanged. *)
+        let model' =
+          apply_dyn
+            ~insert:(Gcso_general.Incremental.insert inc)
+            ~delete:(Gcso_general.Incremental.delete inc)
+            s
+        in
+        ignore model';
+        let expected_resolve = Gcso_general.Incremental.needs_resolve inc in
+        let live_now = Gcso_general.Incremental.live_ids inc in
+        let rep3, ids3 = Gcso_general.Incremental.query inc in
+        if expected_resolve then begin
+          let* () =
+            if live_now = [] then Ok ()
+            else
+              requiref
+                (Array.to_list ids3 = live_now)
+                "re-solve ids %s <> live %s"
+                (ints_str (Array.to_list ids3))
+                (ints_str live_now)
+          in
+          if live_now = [] then Ok ()
+          else
+            let pts =
+              Array.map (Gcso_general.Incremental.point inc) ids3
+            in
+            let g = Geo_instance.make ~points:pts ~rects ~k ~z in
+            require
+              (Geo_instance.is_valid g rep3.Gcso_general.solution)
+              "warm-started re-solve produced an invalid solution"
+        end
+        else
+          require
+            (rep3.Gcso_general.solution = rep1.Gcso_general.solution)
+            "cached query changed without a re-solve"
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* relational.*                                                       *)
@@ -1103,6 +1494,9 @@ let all =
     cso_lp_tricriteria;
     cso_budget_monotone;
     gcso_mwu_tricriteria;
+    dynamic_bbd;
+    dynamic_rtree;
+    dynamic_gcso_incremental;
     rel_yannakakis;
     rel_semijoin;
     rel_sample;

@@ -190,10 +190,20 @@ let decompose ?(max_bag_tuples = 1_000_000) (inst : Instance.t) =
   in
   loop ()
 
+exception Decompose_error of error
+
+(* Uncaught escapes still print the human-readable message rather than
+   the bare constructor. *)
+let () =
+  Printexc.register_printer (function
+    | Decompose_error e ->
+        Some (Printf.sprintf "Hypertree.Decompose_error: %s" (error_to_string e))
+    | _ -> None)
+
 let decompose_exn ?max_bag_tuples inst =
   match decompose ?max_bag_tuples inst with
   | Ok t -> t
-  | Error e -> failwith (error_to_string e)
+  | Error e -> raise (Decompose_error e)
 
 let provenance t ~original ~bag tup =
   let bag_attrs = Schema.rel_attrs t.schema bag in

@@ -40,8 +40,14 @@ val decompose : ?max_bag_tuples:int -> Instance.t -> (t, error) result
     cyclic components without shared attributes — are handled by
     cross-product bags, never by raising. *)
 
+exception Decompose_error of error
+(** Carries the typed {!error}, so exception-style callers can still
+    match on the cause (pre-fix, {!decompose_exn} collapsed it into
+    [Failure (error_to_string e)], losing the payload). A printer is
+    registered, so uncaught escapes render [error_to_string e]. *)
+
 val decompose_exn : ?max_bag_tuples:int -> Instance.t -> t
-(** Like {!decompose} but raises [Failure (error_to_string e)]. *)
+(** Like {!decompose} but raises {!Decompose_error}. *)
 
 val provenance : t -> original:Instance.t -> bag:int -> float array ->
   (int * float array) list

@@ -1,0 +1,96 @@
+module Point = Cso_metric.Point
+module Rect = Cso_geom.Rect
+
+type op = Insert of Point.t | Delete of int
+
+type t = {
+  ops : op array;
+  rects : Rect.t array;
+  k : int;
+  z : int;
+  dim : int;
+  final_live : int;
+}
+
+let live_after ops =
+  Array.fold_left
+    (fun acc -> function Insert _ -> acc + 1 | Delete _ -> acc - 1)
+    0 ops
+
+(* Junk window for outlier group [j]: a fixed box far outside the
+   cluster region (anchors random-walk but are clamped well inside). *)
+let junk_window ~d j =
+  let base = 1000.0 +. (100.0 *. float_of_int j) in
+  Rect.make
+    ~lo:(Array.init d (fun _ -> base))
+    ~hi:(Array.init d (fun _ -> base +. 10.0))
+
+let junk_point rng ~d j =
+  let base = 1000.0 +. (100.0 *. float_of_int j) in
+  Array.init d (fun _ -> base +. Gen.uniform rng ~lo:0.0 ~hi:10.0)
+
+let drifting ?(d = 2) ?(spread = 1.0) ?(churn = 0.3) ?(drift_step = 0.05)
+    ?(junk_rate = 0.05) rng ~n_ops ~k ~z =
+  if n_ops < 1 then invalid_arg "Drift.drifting: n_ops < 1";
+  if k < 1 then invalid_arg "Drift.drifting: k < 1";
+  if z < 0 then invalid_arg "Drift.drifting: z < 0";
+  if not (churn >= 0.0 && churn < 1.0) then
+    invalid_arg "Drift.drifting: churn must be in [0, 1)";
+  let anchors = Gen.separated_anchors rng ~k ~d ~separation:(8.0 *. spread) in
+  let lo = Array.make d infinity and hi = Array.make d neg_infinity in
+  let clamp x = Float.min 500.0 (Float.max (-500.0) x) in
+  let ops = ref [] in
+  (* FIFO churn: deletes always evict the oldest live id, so the op
+     sequence replays verbatim against any structure that assigns dense
+     ids in insertion order ({!Cso_geom.Dynamic},
+     {!Cso_core.Gcso_general.Incremental}). *)
+  let next_id = ref 0 in
+  let oldest = ref 0 in
+  for _ = 1 to n_ops do
+    if !next_id > !oldest && Random.State.float rng 1.0 < churn then begin
+      ops := Delete !oldest :: !ops;
+      incr oldest
+    end
+    else begin
+      let p =
+        if z > 0 && Random.State.float rng 1.0 < junk_rate then
+          junk_point rng ~d (Random.State.int rng z)
+        else begin
+          (* Drift, then sample: centers random-walk one step per insert. *)
+          let a = anchors.(Random.State.int rng k) in
+          Array.iteri
+            (fun i x ->
+              a.(i) <-
+                clamp (x +. Gen.uniform rng ~lo:(-.drift_step) ~hi:drift_step))
+            a;
+          let p = Gen.around rng a ~radius:spread in
+          (* Only cluster points stretch the cluster rectangle; junk is
+             covered by its own window. *)
+          Array.iteri
+            (fun i x ->
+              if x < lo.(i) then lo.(i) <- x;
+              if x > hi.(i) then hi.(i) <- x)
+            p;
+          p
+        end
+      in
+      ops := Insert p :: !ops;
+      incr next_id
+    end
+  done;
+  let ops = Array.of_list (List.rev !ops) in
+  (* Pad so boundary points are strictly interior; the fallback covers
+     the (unlikely) case of a workload whose inserts were all junk. *)
+  let cluster_rect =
+    if lo.(0) > hi.(0) then
+      Rect.make ~lo:(Array.make d 0.0) ~hi:(Array.make d 1.0)
+    else
+      Rect.make
+        ~lo:(Array.map (fun x -> x -. 1.0) lo)
+        ~hi:(Array.map (fun x -> x +. 1.0) hi)
+  in
+  let rects =
+    Array.append [| cluster_rect |]
+      (Array.init z (fun j -> junk_window ~d j))
+  in
+  { ops; rects; k; z; dim = d; final_live = live_after ops }

@@ -6,6 +6,12 @@ let rng () = Random.State.make [| 321 |]
 
 let mwu_rounds = 120 (* capped for test speed; theory needs more *)
 
+(* [Gcso_general.solve] splits eps across its three consumers (eps/5
+   each; see gcso_general.mli). With rounds capped, MWU cannot converge
+   at a 0.06 per-consumer budget, so these tests ask for the end-to-end
+   eps whose per-consumer share is the classic 0.3 the cap can reach. *)
+let mwu_eps = 1.5
+
 let test_geo_instance_membership () =
   let points = [| [| 0.5; 0.5 |]; [| 5.0; 5.0 |] |] in
   let rects =
@@ -44,7 +50,7 @@ let check_geo ~name (g : Geo_instance.t) sol ~mu1 ~mu2 ~cost_bound =
 let test_gcso_mwu_overlapping () =
   let w = Planted.gcso_overlapping (rng ()) ~n:80 ~k:2 ~z:2 in
   let g = w.Planted.geo in
-  let r = Gcso_general.solve ~eps:0.3 ~rounds:mwu_rounds g in
+  let r = Gcso_general.solve ~eps:mwu_eps ~rounds:mwu_rounds g in
   (* (2+eps, 2f, 2+eps) with f = 2; generous slack on the cost since the
      rounds are capped below the theory bound. *)
   check_geo ~name:"mwu/overlap" g r.Gcso_general.solution ~mu1:3.0 ~mu2:4.0
@@ -57,7 +63,7 @@ let test_gcso_mwu_disjoint_instance () =
   let w = Planted.gcso_disjoint (rng ()) ~n:60 ~m:8 ~k:2 ~z:2 in
   let g = w.Planted.geo in
   Alcotest.(check int) "f=1" 1 (Geo_instance.frequency g);
-  let r = Gcso_general.solve ~eps:0.3 ~rounds:mwu_rounds g in
+  let r = Gcso_general.solve ~eps:mwu_eps ~rounds:mwu_rounds g in
   check_geo ~name:"mwu/disjoint" g r.Gcso_general.solution ~mu1:3.0 ~mu2:2.0
     ~cost_bound:(4.0 *. w.Planted.g_opt_upper)
 
@@ -83,7 +89,7 @@ let test_gcso_vs_cso_lp_costs () =
      same instance; both must decontaminate it. *)
   let w = Planted.gcso_disjoint (rng ()) ~n:40 ~m:6 ~k:2 ~z:1 in
   let g = w.Planted.geo in
-  let mwu = Gcso_general.solve ~eps:0.3 ~rounds:mwu_rounds g in
+  let mwu = Gcso_general.solve ~eps:mwu_eps ~rounds:mwu_rounds g in
   let lp = Cso_general.solve (Geo_instance.to_cso g) in
   let c1 = Geo_instance.cost g mwu.Gcso_general.solution in
   let c2 = Geo_instance.cost g lp.Cso_general.solution in

@@ -210,6 +210,51 @@ let test_relational_load_errors () =
        false
      with Failure _ -> true)
 
+let contains_sub msg needle =
+  let rec go i =
+    i + String.length needle <= String.length msg
+    && (String.sub msg i (String.length needle) = needle || go (i + 1))
+  in
+  go 0
+
+(* Regression: relational load failures must carry the offending file
+   path AND line number, like every Formats reader. Pre-fix the arity
+   check ran after [read_points] returned and reported only the path. *)
+let test_relational_load_error_location () =
+  let f1 = tmp "rel_loc_r1.csv" and f2 = tmp "rel_loc_r2.csv" in
+  Formats.write_points f2 [| [| 10.0; 5.0 |] |];
+  (* Line 2 of f1 has 3 columns where R1(A,B) demands 2. *)
+  let oc = open_out f1 in
+  output_string oc "1.0,10.0\n2.0,20.0,99.0\n";
+  close_out oc;
+  (match Relational_io.load ~schema:"R1(A,B);R2(B,C)" ~files:[ f1; f2 ] with
+  | _ -> Alcotest.fail "expected arity failure"
+  | exception Failure msg ->
+      Alcotest.(check bool) "arity error names the file" true
+        (contains_sub msg f1);
+      Alcotest.(check bool) "arity error names the line" true
+        (contains_sub msg (f1 ^ ":2:"));
+      Alcotest.(check bool) "arity error says what is wrong" true
+        (contains_sub msg "expected 2 columns, got 3"));
+  (* A malformed float keeps its located message through the same path. *)
+  let oc = open_out f1 in
+  output_string oc "1.0,10.0\n1.0,nope\n";
+  close_out oc;
+  (match Relational_io.load ~schema:"R1(A,B);R2(B,C)" ~files:[ f1; f2 ] with
+  | _ -> Alcotest.fail "expected float failure"
+  | exception Failure msg ->
+      Alcotest.(check bool) "float error has path:line" true
+        (contains_sub msg (f1 ^ ":2:")));
+  (* Schema-level failures name the offending spec. *)
+  Formats.write_points f1 [| [| 1.0; 10.0 |] |];
+  match
+    Relational_io.load ~schema:"R(A,B);S(B,C);T(A,C)" ~files:[ f1; f1; f1 ]
+  with
+  | _ -> Alcotest.fail "expected cyclic failure"
+  | exception Failure msg ->
+      Alcotest.(check bool) "cyclic error names the schema" true
+        (contains_sub msg "R(A,B);S(B,C);T(A,C)")
+
 let test_rect_odd_values () =
   let path = tmp "odd_rect.csv" in
   let oc = open_out path in
@@ -239,6 +284,8 @@ let relational_suite =
     Alcotest.test_case "relational load/save" `Quick test_relational_load_save;
     Alcotest.test_case "relational load errors" `Quick
       test_relational_load_errors;
+    Alcotest.test_case "relational load errors carry file:line" `Quick
+      test_relational_load_error_location;
     Alcotest.test_case "rect file odd values" `Quick test_rect_odd_values;
     Alcotest.test_case "rect file lo > hi" `Quick test_rect_lo_gt_hi;
   ]

@@ -319,6 +319,58 @@ let test_mwu_zero_constraints () =
   | Mwu.Infeasible -> ()
   | Mwu.Feasible _ -> Alcotest.fail "oracle None must certify infeasible"
 
+(* Warm start: resuming from a prior run's final weights must (a) start
+   the first round at those weights (renormalized), (b) behave exactly
+   like a single longer run on a deterministic instance, and (c) floor a
+   degenerate all-zero prior back to uniform. *)
+let test_mwu_warm_weights () =
+  let oracle sigma =
+    if sigma.(0) >= sigma.(1) then Some [| 1.0; 0.0 |] else Some [| 0.0; 1.0 |]
+  in
+  let violation x = [| (2.0 *. x.(0)) -. 1.0; (2.0 *. x.(1)) -. 1.0 |] in
+  let run ?warm_weights ~rounds () =
+    let trace = ref [] in
+    (match
+       Mwu.run ~m:2 ~width:1.0 ~eps:0.5 ~rounds ?warm_weights ~oracle
+         ~violation
+         ~on_weights:(fun w -> trace := w :: !trace)
+         ()
+     with
+    | Mwu.Feasible _ -> ()
+    | Mwu.Infeasible -> Alcotest.fail "expected feasible");
+    List.rev !trace
+  in
+  let full = run ~rounds:20 () in
+  let head = run ~rounds:7 () in
+  let mid = List.nth head 6 in
+  let resumed = run ~warm_weights:mid ~rounds:13 () in
+  (* Cold 20 rounds == 7 rounds, then 13 warm-started: bit-identical. *)
+  let tail = List.filteri (fun i _ -> i >= 7) full in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check (array (float 0.0))) "resume = one long run" a b)
+    tail resumed;
+  (* Degenerate prior: the floor rescues it into uniform. *)
+  (match run ~warm_weights:[| 0.0; 0.0 |] ~rounds:1 () with
+  | [ w ] | w :: _ ->
+      Alcotest.(check bool) "zero prior renormalizes" true
+        (Array.for_all (fun x -> x > 0.0) w)
+  | [] -> Alcotest.fail "no rounds ran");
+  (* Validation: wrong length and non-finite entries are rejected. *)
+  let dummy_oracle _ = Some () in
+  let dummy_violation () = [| 0.0; 0.0 |] in
+  Alcotest.check_raises "warm_weights length"
+    (Invalid_argument "Mwu.run: warm_weights length") (fun () ->
+      ignore
+        (Mwu.run ~m:2 ~width:1.0 ~eps:0.5 ~warm_weights:[| 1.0 |]
+           ~oracle:dummy_oracle ~violation:dummy_violation ()));
+  Alcotest.check_raises "warm_weights finite"
+    (Invalid_argument "Mwu.run: warm_weights must be finite and >= 0")
+    (fun () ->
+      ignore
+        (Mwu.run ~m:2 ~width:1.0 ~eps:0.5 ~warm_weights:[| nan; 1.0 |]
+           ~oracle:dummy_oracle ~violation:dummy_violation ()))
+
 let test_mwu_default_rounds () =
   Alcotest.(check bool) "rounds grow with width" true
     (Mwu.default_rounds ~m:100 ~width:10.0 ~eps:0.3
@@ -344,4 +396,5 @@ let suite =
     Alcotest.test_case "mwu over-width recovery (delta clamp)" `Quick
       test_mwu_overwidth_recovery;
     Alcotest.test_case "mwu weight floor" `Quick test_mwu_weight_floor;
+    Alcotest.test_case "mwu warm weights" `Quick test_mwu_warm_weights;
   ]

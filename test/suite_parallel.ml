@@ -293,7 +293,10 @@ let run_obs_workload (pts, m, gcso) =
       [ 3; 17; 55 ]
   in
   let wspd = List.length (Wspd.pairs_info ~eps:0.5 (Array.sub pts 0 40)) in
-  let gr = Cso_core.Gcso_general.solve gcso.Planted.geo in
+  (* Explicit rounds: the honest default (eps split to eps/5 per
+     consumer) is ~25x this and only costs time here — the determinism
+     claim under test is round-count independent. *)
+  let gr = Cso_core.Gcso_general.solve ~rounds:60 gcso.Planted.geo in
   let heaviest sigma =
     let best = ref 0 in
     Array.iteri (fun i w -> if w > sigma.(!best) then best := i) sigma;

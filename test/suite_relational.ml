@@ -378,12 +378,31 @@ let test_hypertree_size_limit () =
       Alcotest.(check int) "limit echoed" 1 limit;
       Alcotest.(check bool) "size over limit" true (size > limit)
   | Error e -> Alcotest.fail (Hypertree.error_to_string e));
-  (* The exception variant keeps the old contract. *)
-  Alcotest.(check bool) "decompose_exn raises Failure" true
-    (try
-       ignore (Hypertree.decompose_exn ~max_bag_tuples:1 inst);
-       false
-     with Failure _ -> true)
+  (* Regression: the exception variant used to collapse the typed error
+     into [Failure (error_to_string e)]; it now carries the payload so
+     callers can match on the cause. *)
+  (match Hypertree.decompose_exn ~max_bag_tuples:1 inst with
+  | _ -> Alcotest.fail "limit not enforced by decompose_exn"
+  | exception Hypertree.Decompose_error (Hypertree.Bag_limit_exceeded { size; limit }) ->
+      Alcotest.(check int) "exn limit echoed" 1 limit;
+      Alcotest.(check bool) "exn size over limit" true (size > limit)
+  | exception Hypertree.Decompose_error e ->
+      Alcotest.fail (Hypertree.error_to_string e));
+  (* The registered printer keeps uncaught escapes readable. *)
+  (try ignore (Hypertree.decompose_exn ~max_bag_tuples:1 inst)
+   with e ->
+     let s = Printexc.to_string e in
+     Alcotest.(check bool) "printer renders the typed error" true
+       (String.length s > 0
+       &&
+       let needle = "bag" in
+       let rec contains i =
+         i + String.length needle <= String.length s
+         && (String.lowercase_ascii (String.sub s i (String.length needle))
+             = needle
+            || contains (i + 1))
+       in
+       contains 0))
 
 let test_hypertree_empty_schema () =
   (* Zero relations: pre-fix this crashed with the bare

@@ -4,6 +4,7 @@ let () =
       ("parallel", Suite_parallel.suite);
       ("metric", Suite_metric.suite);
       ("geom", Suite_geom.suite);
+      ("dynamic", Suite_dynamic.suite);
       ("lp", Suite_lp.suite);
       ("kcenter", Suite_kcenter.suite);
       ("setcover", Suite_setcover.suite);
