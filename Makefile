@@ -1,7 +1,7 @@
 # Convenience wrapper around dune. See README.md.
 
 .PHONY: all build test test-props bench bench-smoke trace-smoke fuzz-smoke \
-	examples clean reproduce
+	serve-smoke examples clean reproduce
 
 all: build
 
@@ -53,6 +53,23 @@ fuzz-smoke:
 	dune exec bin/csokit.exe -- fuzz --seed 20250807 --cases 1000
 	dune exec bin/csokit.exe -- fuzz --seed 1 --cases 1000
 
+# End-to-end daemon gate: boot csokitd on a Unix socket, replay the
+# golden JSONL session through the real client, and require the printed
+# transcript to match test/serve_golden_transcript.jsonl byte-for-byte
+# (the session's final shutdown request also ends the daemon). Then the
+# in-process replay gate (smoke_serve) pins request/response counts and
+# the reply-payload digest against BENCH_serve_baseline.json.
+serve-smoke:
+	dune build bin/csokitd.exe bench/main.exe
+	rm -f serve_smoke.sock serve_transcript.jsonl
+	./_build/default/bin/csokitd.exe serve --socket serve_smoke.sock & \
+	./_build/default/bin/csokitd.exe client --socket serve_smoke.sock \
+		--script test/serve_golden_session.jsonl > serve_transcript.jsonl; \
+	wait
+	diff -u test/serve_golden_transcript.jsonl serve_transcript.jsonl
+	dune exec bench/main.exe -- smoke_serve
+	rm -f serve_smoke.sock serve_transcript.jsonl
+
 examples:
 	dune exec examples/quickstart.exe
 	dune exec examples/fraud_detection.exe
@@ -67,6 +84,7 @@ reproduce:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
 	$(MAKE) fuzz-smoke 2>&1 | tee fuzz_output.txt
 	$(MAKE) trace-smoke 2>&1 | tee trace_output.txt
+	$(MAKE) serve-smoke 2>&1 | tee serve_output.txt
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 clean:

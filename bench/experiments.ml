@@ -2429,6 +2429,305 @@ let smoke_dynamic () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* SERVE -- the csokitd session loop benched end-to-end in process     *)
+(* ------------------------------------------------------------------ *)
+
+module Sproto = Cso_serve.Protocol
+module Sserver = Cso_serve.Server
+module Sregistry = Cso_serve.Registry
+
+(* Closed-loop replay client over a socketpair: one outstanding request
+   at a time, raw reply payloads kept (newest first) so the transcript
+   can be digested for the deterministic smoke gate. *)
+type sclient = {
+  sc_fd : Unix.file_descr;
+  sc_rd : Sproto.reader;
+  mutable sc_script : Sproto.request list;
+  mutable sc_t0 : float;
+  mutable sc_outstanding : bool;
+  mutable sc_frames : string list;
+  mutable sc_lat_us : float list;
+}
+
+let sc_write c s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring c.sc_fd s !off (n - !off)
+  done
+
+let sc_try_read c =
+  match Unix.select [ c.sc_fd ] [] [] 0.0 with
+  | [], _, _ -> ()
+  | _ ->
+      let buf = Bytes.create 65536 in
+      let n = Unix.read c.sc_fd buf 0 (Bytes.length buf) in
+      if n > 0 then
+        List.iter
+          (function
+            | `Frame payload ->
+                c.sc_lat_us <-
+                  ((Unix.gettimeofday () -. c.sc_t0) *. 1e6) :: c.sc_lat_us;
+                c.sc_outstanding <- false;
+                c.sc_frames <- payload :: c.sc_frames
+            | `Oversized _ -> failwith "serve bench: oversized reply")
+          (Sproto.feed c.sc_rd buf n)
+
+let serve_points n =
+  let st = Random.State.make [| n; 271828 |] in
+  Array.init n (fun _ ->
+      [| Random.State.float st 100.0; Random.State.float st 100.0 |])
+
+(* Read-only request mix per client (everything after setup is a query,
+   so the resident instance never mutates and the reply transcript is a
+   pure function of the scripts). *)
+let serve_script ~points ~n_requests ci =
+  let n = Array.length points in
+  List.init n_requests (fun j ->
+      let p = points.(((ci * 37) + (j * 13)) mod n) in
+      match j mod 10 with
+      | 0 -> Sproto.Solve "bench"
+      | 1 | 2 -> Sproto.Balls_all { name = "bench"; radius = 8.0; eps = 0.1 }
+      | 3 -> Sproto.Assign "bench"
+      | _ ->
+          Sproto.Query_ball
+            { name = "bench"; center = p; radius = 10.0; eps = 0.1 })
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(int_of_float (p /. 100.0 *. float_of_int (n - 1)))
+
+(* Shared by [fig_serve] and [smoke_serve]: drives [n_clients]
+   closed-loop clients through an in-process server (socketpair
+   transport, binary codec, pooled batched execution), hard-fails on any
+   error / overload reply, writes [json_path], and returns the
+   deterministic transcript fingerprint (request and response counts
+   plus an MD5 of every reply payload in client order) for the smoke
+   gate. Wall-clock derived numbers (qps, latency percentiles) land in
+   the JSON but are never gated. *)
+let run_serve_bench ~label ~n_points ~n_clients ~n_requests ~json_path () =
+  let points = serve_points n_points in
+  (* The rects are the candidate outlier sets and must cover every
+     point; a 4x4 tiling keeps any single discarded set from emptying
+     the population, so the warm solve always has centers for
+     [Assign]. *)
+  let rects =
+    Array.init 16 (fun i ->
+        let x = float_of_int (i mod 4) *. 25.0
+        and y = float_of_int (i / 4) *. 25.0 in
+        Rect.make ~lo:[| x; y |] ~hi:[| x +. 25.0; y +. 25.0 |])
+  in
+  let registry = Sregistry.create () in
+  let srv =
+    Sserver.create
+      ~config:
+        { Sserver.mode = Sproto.Binary;
+          max_inflight = 4 * (n_clients + 1);
+          batch = 32 }
+      registry
+  in
+  Sserver.set_clock srv Unix.gettimeofday;
+  let mk_client () =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Sserver.add_connection srv a;
+    {
+      sc_fd = b;
+      sc_rd = Sproto.reader Sproto.Binary;
+      sc_script = [];
+      sc_t0 = 0.0;
+      sc_outstanding = false;
+      sc_frames = [];
+      sc_lat_us = [];
+    }
+  in
+  let drive clients =
+    let live () =
+      List.exists (fun c -> c.sc_script <> [] || c.sc_outstanding) clients
+    in
+    while live () do
+      List.iter
+        (fun c ->
+          if (not c.sc_outstanding) && c.sc_script <> [] then begin
+            let r = List.hd c.sc_script in
+            c.sc_script <- List.tl c.sc_script;
+            c.sc_t0 <- Unix.gettimeofday ();
+            c.sc_outstanding <- true;
+            sc_write c (Sproto.encode_request Sproto.Binary r)
+          end)
+        clients;
+      ignore (Sserver.step ~timeout:0.0005 srv);
+      List.iter sc_try_read clients
+    done
+  in
+  let assert_clean who c =
+    (* Oldest first: the first bad reply is the root cause (later ones
+       are usually knock-on "no instance" errors). *)
+    List.iteri
+      (fun i p ->
+        match Sproto.decode_response Sproto.Binary p with
+        | Ok (Sproto.Error (_, m)) ->
+            failwith
+              (Printf.sprintf "serve bench: %s reply %d is an error: %s" who i
+                 m)
+        | Ok Sproto.Overloaded ->
+            failwith
+              (Printf.sprintf
+                 "serve bench: %s reply %d overloaded under closed-loop load"
+                 who i)
+        | Ok _ -> ()
+        | Error m -> failwith ("serve bench: undecodable reply: " ^ m))
+      (List.rev c.sc_frames)
+  in
+  (* Setup session: resident instance, warm solve, static tree. *)
+  let setup = mk_client () in
+  setup.sc_script <-
+    [
+      Sproto.Load
+        { name = "bench"; points; rects; k = 4; z = 1; eps = 0.5;
+          rounds = Some 40; drift = 2.0 };
+      Sproto.Solve "bench";
+      Sproto.Prepare "bench";
+    ];
+  drive [ setup ];
+  assert_clean "setup" setup;
+  (* Measured phase: concurrent closed-loop query replay. *)
+  let clients = List.init n_clients (fun _ -> mk_client ()) in
+  List.iteri
+    (fun i c -> c.sc_script <- serve_script ~points ~n_requests i)
+    clients;
+  let t_start = Unix.gettimeofday () in
+  drive clients;
+  let elapsed = Unix.gettimeofday () -. t_start in
+  List.iter (assert_clean "client") clients;
+  Sserver.close srv;
+  List.iter (fun c -> try Unix.close c.sc_fd with Unix.Unix_error _ -> ())
+    (setup :: clients);
+  let total = n_clients * n_requests in
+  let replies =
+    List.fold_left (fun a c -> a + List.length c.sc_frames) 0 clients
+  in
+  let digest =
+    Digest.to_hex
+      (Digest.string
+         (String.concat ""
+            (List.concat_map (fun c -> List.rev c.sc_frames) clients)))
+  in
+  let lat =
+    Array.of_list (List.concat_map (fun c -> c.sc_lat_us) clients)
+  in
+  Array.sort compare lat;
+  let p50 = percentile lat 50.0 and p99 = percentile lat 99.0 in
+  let qps = if elapsed > 0.0 then float_of_int replies /. elapsed else 0.0 in
+  Util.print_table
+    ~title:
+      (Printf.sprintf
+         "SERVE (%s)  in-process csokitd replay: %d resident points, \
+          closed-loop clients over socketpairs, binary codec"
+         label n_points)
+    [ "clients"; "requests"; "replies"; "qps"; "p50"; "p99" ]
+    [
+      [
+        string_of_int n_clients; string_of_int total; string_of_int replies;
+        Printf.sprintf "%.0f" qps;
+        Printf.sprintf "%.0f us" p50;
+        Printf.sprintf "%.0f us" p99;
+      ];
+    ];
+  let counts =
+    [ ("serve.replayed_requests", total); ("serve.replayed_responses", replies) ]
+  in
+  Util.write_file json_path
+    (Printf.sprintf
+       "{\n  \"bench\": \"serve\",\n  \"variant\": \"%s\",\n  \"mode\": \
+        \"binary\",\n  \"resident_points\": %d,\n  \"clients\": %d,\n  \
+        \"elapsed_s\": %.6f,\n  \"qps\": %.1f,\n  \"p50_us\": %.1f,\n  \
+        \"p99_us\": %.1f,\n  \"counters\": %s,\n  \"digest\": \"%s\"\n}\n"
+       label n_points n_clients elapsed qps p50 p99
+       (Obs.counters_json counts)
+       digest);
+  (counts, digest)
+
+let fig_serve () =
+  ignore
+    (run_serve_bench ~label:"full" ~n_points:2048 ~n_clients:8
+       ~n_requests:150 ~json_path:"BENCH_serve.json" ())
+
+let serve_baseline_path = "BENCH_serve_baseline.json"
+
+(* Minimal scan for ["name": "<string>"], mirroring [find_counter]. *)
+let find_json_string json name =
+  let needle = Printf.sprintf "\"%s\": \"" name in
+  let nl = String.length needle and jl = String.length json in
+  let rec go i =
+    if i + nl > jl then None
+    else if String.sub json i nl = needle then begin
+      let j = ref (i + nl) in
+      while !j < jl && json.[!j] <> '"' do
+        incr j
+      done;
+      Some (String.sub json (i + nl) (!j - (i + nl)))
+    end
+    else go (i + 1)
+  in
+  go 0
+
+(* Serve gate for `make serve-smoke` / `make bench-smoke`-style runs: on
+   the pinned replay the request/response counts and the MD5 of the
+   concatenated reply payloads (client order) must match the committed
+   baseline byte-for-byte — the server path may never change an answer.
+   Timings are reported but never gated. *)
+let smoke_serve () =
+  let counts, digest =
+    run_serve_bench ~label:"smoke" ~n_points:512 ~n_clients:4 ~n_requests:60
+      ~json_path:"BENCH_serve_smoke.json" ()
+  in
+  if not (Sys.file_exists serve_baseline_path) then begin
+    Util.write_file serve_baseline_path
+      (Printf.sprintf
+         "{\n  \"bench\": \"serve_baseline\",\n  \"workload\": \"smoke\",\n  \
+          \"counters\": %s,\n  \"digest\": \"%s\"\n}\n"
+         (Obs.counters_json counts) digest);
+    Printf.printf
+      "serve smoke: no baseline found; recorded %s (commit it to arm the \
+       gate).\n"
+      serve_baseline_path
+  end
+  else begin
+    let baseline = read_whole_file serve_baseline_path in
+    List.iter
+      (fun (name, v) ->
+        match find_counter baseline name with
+        | None ->
+            failwith
+              (Printf.sprintf "serve smoke: %s missing from %s" name
+                 serve_baseline_path)
+        | Some b ->
+            if v <> b then
+              failwith
+                (Printf.sprintf
+                   "serve smoke: %s drifted (baseline %d, now %d)" name b v))
+      counts;
+    (match find_json_string baseline "digest" with
+    | None ->
+        failwith
+          (Printf.sprintf "serve smoke: digest missing from %s"
+             serve_baseline_path)
+    | Some b ->
+        if b <> digest then
+          failwith
+            (Printf.sprintf
+               "serve smoke: reply transcript digest drifted (baseline %s, \
+                now %s; the server path changed an answer)"
+               b digest));
+    Printf.printf
+      "serve smoke: %d replies match the committed transcript digest \
+       exactly (%s).\n"
+      (List.assoc "serve.replayed_responses" counts)
+      digest
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -2464,9 +2763,11 @@ let all =
     ("fig_budgets", fig_budgets);
     ("fig_kernels", fig_kernels);
     ("fig_dynamic", fig_dynamic);
+    ("fig_serve", fig_serve);
     ("smoke_parallel", smoke_parallel);
     ("smoke_counters", smoke_counters);
     ("smoke_budgets", smoke_budgets);
     ("smoke_kernels", smoke_kernels);
     ("smoke_dynamic", smoke_dynamic);
+    ("smoke_serve", smoke_serve);
   ]

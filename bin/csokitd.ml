@@ -1,0 +1,158 @@
+(* csokitd: the resident clustering service.
+
+     csokitd serve  --socket /tmp/cso.sock [--tcp 7070] [--mode binary]
+                    [--max-inflight 256] [--batch 32] [--domains N]
+     csokitd client --socket /tmp/cso.sock --script session.jsonl
+
+   The daemon keeps prepared instances resident (incremental GCSO
+   drivers, dynamic and static trees) behind [lib/serve]'s registry and
+   serves load / prepare / solve / query-ball / balls-all / assign /
+   insert / delete / stats / shutdown requests over Unix and TCP
+   sockets, in either the binary or the JSONL codec.
+
+   The client reads one JSONL request per line from --script ("-" for
+   stdin), sends each over the chosen transport/codec, and prints each
+   reply as one JSONL line — a session transcript is therefore
+   independent of the wire codec, so one golden transcript diff pins
+   both codecs (see `make serve-smoke`). *)
+
+module P = Cso_serve.Protocol
+module Registry = Cso_serve.Registry
+module Server = Cso_serve.Server
+module Client = Cso_serve.Client
+module Pool = Cso_parallel.Pool
+module Obs = Cso_obs.Obs
+
+let guard f =
+  try f () with Invalid_argument msg | Failure msg -> `Error (false, msg)
+
+let parse_mode s =
+  match P.mode_of_string s with Ok m -> m | Error e -> failwith e
+
+let setup_domains = function
+  | None -> ()
+  | Some n -> Pool.set_default (Pool.create ~num_domains:n ())
+
+(* --- serve command --- *)
+
+let run_serve socket tcp mode max_inflight batch domains =
+  guard @@ fun () ->
+  let mode = parse_mode mode in
+  if socket = None && tcp = None then
+    failwith "serve: need --socket PATH and/or --tcp PORT";
+  setup_domains domains;
+  let config = { Server.mode; max_inflight; batch } in
+  let srv = Server.create ~config (Registry.create ()) in
+  Server.set_clock srv Unix.gettimeofday;
+  Option.iter (Server.listen_unix srv) socket;
+  Option.iter (fun port -> Server.listen_tcp srv ~port) tcp;
+  Option.iter (fun p -> Fmt.epr "csokitd: listening on %s@." p) socket;
+  Option.iter (fun p -> Fmt.epr "csokitd: listening on 127.0.0.1:%d@." p) tcp;
+  Server.run srv;
+  Fmt.epr "csokitd: shutdown@.";
+  `Ok ()
+
+(* --- client command --- *)
+
+let run_client socket tcp mode script =
+  guard @@ fun () ->
+  let mode = parse_mode mode in
+  let c =
+    match (socket, tcp) with
+    | Some path, _ -> Client.connect_unix ~mode path
+    | None, Some port -> Client.connect_tcp ~mode port
+    | None, None -> failwith "client: need --socket PATH or --tcp PORT"
+  in
+  let ic = if script = "-" then stdin else open_in script in
+  Fun.protect
+    ~finally:(fun () ->
+      if script <> "-" then close_in_noerr ic;
+      Client.close c)
+    (fun () ->
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" && line.[0] <> '#' then
+             match P.decode_request P.Jsonl line with
+             | Error m -> failwith (Printf.sprintf "bad request line: %s" m)
+             | Ok req ->
+                 let resp = Client.rpc c req in
+                 print_string (P.encode_response P.Jsonl resp)
+         done
+       with End_of_file -> ());
+      `Ok ())
+
+(* --- command line --- *)
+
+open Cmdliner
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT" ~doc:"TCP port on 127.0.0.1.")
+
+let mode_arg =
+  Arg.(
+    value & opt string "binary"
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"Wire codec: $(b,binary) or $(b,jsonl).")
+
+let serve_cmd =
+  let max_inflight =
+    Arg.(
+      value & opt int 256
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Admission bound on queued requests across all connections.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 32
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Max requests executed per multiplexer round.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Domain-pool size for batched execution (default: \
+             CSO_NUM_DOMAINS or the machine's cores).")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the resident clustering daemon")
+    Term.(
+      ret
+        (const run_serve $ socket_arg $ tcp_arg $ mode_arg $ max_inflight
+       $ batch $ domains))
+
+let client_cmd =
+  let script =
+    Arg.(
+      value & opt string "-"
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:
+            "JSONL request script, one request per line ($(b,-) for \
+             stdin; blank lines and $(b,#) comments skipped).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Replay a JSONL request script against a running daemon")
+    Term.(ret (const run_client $ socket_arg $ tcp_arg $ mode_arg $ script))
+
+let main =
+  Cmd.group
+    (Cmd.info "csokitd" ~version:"1.0.0"
+       ~doc:"Resident clustering-with-set-outliers service")
+    [ serve_cmd; client_cmd ]
+
+let () =
+  Obs.set_clock Unix.gettimeofday;
+  exit (Cmd.eval main)

@@ -480,4 +480,14 @@ module Incremental = struct
         Obs.incr c_cached;
         cached
     | _ -> re_solve t
+
+  let live_points t = Dyn.Ball.live_points t.ball
+
+  let ball_points t ~center ~radius ~eps =
+    Dyn.Ball.ball_points t.ball ~center ~radius ~eps
+
+  let ball_report t ~center ~radius =
+    Dyn.Ball.ball_report t.ball ~center ~radius
+
+  let range_report t rect = Dyn.Range.report t.range rect
 end

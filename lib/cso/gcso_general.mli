@@ -125,4 +125,26 @@ module Incremental : sig
   val re_solves : t -> int
   (** Re-solves performed so far (each also counted by the
       [cso.gcso.inc.re_solves] counter). *)
+
+  (** {3 Queries between re-solves}
+
+      Direct views of the dynamic trees, so a server can answer ball /
+      range lookups against the live population without paying (or
+      triggering) a solve. External-id answers, bit-identical to the
+      corresponding {!Cso_geom.Dynamic} calls. *)
+
+  val live_points : t -> (int * Cso_metric.Point.t) list
+  (** Ascending by external id; coordinates are fresh copies. *)
+
+  val ball_points : t -> center:Cso_metric.Point.t -> radius:float ->
+    eps:float -> int list
+  (** Sandwich-guarantee ball over the live set (external ids,
+      ascending). *)
+
+  val ball_report : t -> center:Cso_metric.Point.t -> radius:float ->
+    int list
+  (** Exact closed ball over the live set (external ids, ascending). *)
+
+  val range_report : t -> Cso_geom.Rect.t -> int list
+  (** Live external ids inside the rectangle, ascending. *)
 end

@@ -1472,6 +1472,213 @@ let rel_hypertree =
             "decomposed join differs from nested-loop join of the original")
 
 (* ------------------------------------------------------------------ *)
+(* serve.*                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Sproto = Cso_serve.Protocol
+
+(* Wire values covering every constructor of both message types: floats
+   from the grid/uniform mix plus infinite rectangle bounds, names that
+   exercise JSON escaping, ids up to the 2^53 JSONL-exactness bound. *)
+
+type wire_msg = Wreq of Sproto.request | Wresp of Sproto.response
+
+let gen_wire_name rng =
+  let pool = "abz \"\\\n\t/{}" in
+  String.init (int_in rng 0 6) (fun _ ->
+      pool.[Random.State.int rng (String.length pool)])
+
+let gen_wire_id rng =
+  if Random.State.int rng 10 = 0 then (1 lsl 53) - 1
+  else Random.State.int rng 1000
+
+let gen_wire_req rng =
+  let d = int_in rng 1 3 in
+  let pt () = Array.init d (fun _ -> coord rng) in
+  let name = gen_wire_name rng in
+  match Random.State.int rng 10 with
+  | 0 ->
+      let points = Array.init (int_in rng 0 4) (fun _ -> pt ()) in
+      let rects =
+        Array.init (int_in rng 1 3) (fun _ ->
+            Rect.make
+              ~lo:
+                (Array.init d (fun _ ->
+                     if Random.State.int rng 8 = 0 then neg_infinity
+                     else -.coord rng))
+              ~hi:
+                (Array.init d (fun _ ->
+                     if Random.State.int rng 8 = 0 then infinity
+                     else 4.0 +. coord rng)))
+      in
+      Sproto.Load
+        {
+          name;
+          points;
+          rects;
+          k = int_in rng 1 3;
+          z = int_in rng 0 2;
+          eps = 0.5 +. Random.State.float rng 1.0;
+          rounds = (if Random.State.bool rng then None else Some (int_in rng 1 50));
+          drift = 1.0 +. Random.State.float rng 2.0;
+        }
+  | 1 -> Sproto.Prepare name
+  | 2 -> Sproto.Solve name
+  | 3 ->
+      Sproto.Query_ball
+        { name; center = pt (); radius = coord rng;
+          eps = Random.State.float rng 0.5 }
+  | 4 ->
+      Sproto.Balls_all
+        { name; radius = coord rng; eps = Random.State.float rng 0.5 }
+  | 5 -> Sproto.Assign name
+  | 6 -> Sproto.Insert { name; point = pt () }
+  | 7 -> Sproto.Delete { name; id = gen_wire_id rng }
+  | 8 -> Sproto.Stats
+  | _ -> Sproto.Shutdown
+
+let gen_wire_resp rng =
+  let ids () = List.init (int_in rng 0 4) (fun _ -> gen_wire_id rng) in
+  match Random.State.int rng 10 with
+  | 0 -> Sproto.Ok_reply
+  | 1 -> Sproto.Inserted (gen_wire_id rng)
+  | 2 ->
+      Sproto.Solved
+        {
+          centers = ids ();
+          outliers = ids ();
+          radius = coord rng;
+          rounds_per_guess = int_in rng 1 50;
+          guesses = int_in rng 1 5;
+          re_solves = int_in rng 0 9;
+          cached = Random.State.bool rng;
+        }
+  | 3 -> Sproto.Ball (ids ())
+  | 4 -> Sproto.Balls (Array.init (int_in rng 0 3) (fun _ -> ids ()))
+  | 5 ->
+      Sproto.Assigned
+        (List.init (int_in rng 0 4) (fun _ -> (gen_wire_id rng, gen_wire_id rng)))
+  | 6 -> Sproto.Stats_reply (gen_wire_name rng)
+  | 7 ->
+      let kinds =
+        [| Sproto.Bad_request; Sproto.Unknown_instance; Sproto.Already_loaded;
+           Sproto.Not_prepared; Sproto.No_solution; Sproto.Bad_frame;
+           Sproto.Too_large |]
+      in
+      Sproto.Error
+        (kinds.(Random.State.int rng (Array.length kinds)), gen_wire_name rng)
+  | 8 -> Sproto.Overloaded
+  | _ -> Sproto.Bye
+
+let gen_wire rng =
+  if Random.State.bool rng then Wreq (gen_wire_req rng)
+  else Wresp (gen_wire_resp rng)
+
+let show_wire = function
+  | Wreq r -> "request " ^ String.trim (Sproto.encode_request Sproto.Jsonl r)
+  | Wresp r -> "response " ^ String.trim (Sproto.encode_response Sproto.Jsonl r)
+
+let wire_frame mode = function
+  | Wreq r -> Sproto.encode_request mode r
+  | Wresp r -> Sproto.encode_response mode r
+
+let serve_protocol_roundtrip =
+  Fuzz.make ~name:"serve.protocol_roundtrip" ~gen:gen_wire
+    ~shrink:(fun _ -> [])
+    ~show:show_wire
+    ~prop:(fun msg ->
+      (* The full frame goes through a {!Sproto.reader} (exercising the
+         length/newline framing), then the extracted payload must decode
+         back to the identical value — in both codecs. *)
+      let one mode =
+        let frame = wire_frame mode msg in
+        let rd = Sproto.reader mode in
+        match Sproto.feed rd (Bytes.of_string frame) (String.length frame) with
+        | [ `Frame payload ] when Sproto.reader_pending rd = 0 -> (
+            match msg with
+            | Wreq r -> (
+                match Sproto.decode_request mode payload with
+                | Ok r' when r' = r -> Ok ()
+                | Ok _ ->
+                    Error
+                      (Sproto.mode_to_string mode
+                      ^ ": request roundtrip changed the value")
+                | Error m ->
+                    Error
+                      (Sproto.mode_to_string mode
+                      ^ ": request failed to decode: " ^ m))
+            | Wresp r -> (
+                match Sproto.decode_response mode payload with
+                | Ok r' when r' = r -> Ok ()
+                | Ok _ ->
+                    Error
+                      (Sproto.mode_to_string mode
+                      ^ ": response roundtrip changed the value")
+                | Error m ->
+                    Error
+                      (Sproto.mode_to_string mode
+                      ^ ": response failed to decode: " ^ m)))
+        | evs ->
+            Error
+              (Printf.sprintf "%s: reader yielded %d events for one frame"
+                 (Sproto.mode_to_string mode) (List.length evs))
+      in
+      let* () = one Sproto.Binary in
+      one Sproto.Jsonl)
+
+let serve_protocol_malformed =
+  Fuzz.make ~name:"serve.protocol_malformed"
+    ~gen:(fun rng ->
+      let mode = if Random.State.bool rng then Sproto.Binary else Sproto.Jsonl in
+      let b = Bytes.of_string (wire_frame mode (gen_wire rng)) in
+      let s =
+        match Random.State.int rng 3 with
+        | 0 -> Bytes.sub_string b 0 (Random.State.int rng (Bytes.length b + 1))
+        | 1 ->
+            if Bytes.length b > 0 then
+              Bytes.set b
+                (Random.State.int rng (Bytes.length b))
+                (Char.chr (Random.State.int rng 256));
+            Bytes.to_string b
+        | _ ->
+            String.init (Random.State.int rng 32) (fun _ ->
+                Char.chr (Random.State.int rng 256))
+      in
+      (mode, s))
+    ~shrink:(fun (mode, s) ->
+      if String.length s = 0 then []
+      else
+        [
+          (mode, String.sub s 0 (String.length s - 1));
+          (mode, String.sub s 1 (String.length s - 1));
+        ])
+    ~show:(fun (mode, s) ->
+      Printf.sprintf "%s %d bytes: \"%s\"" (Sproto.mode_to_string mode)
+        (String.length s) (String.escaped s))
+    ~prop:(fun (mode, s) ->
+      (* Decoders are total on hostile bytes, and the frame reader never
+         raises — an oversized length header must poison it. *)
+      let total what f =
+        match f mode s with
+        | Ok _ | Error _ -> Ok ()
+        | exception e ->
+            Error (Printf.sprintf "%s raised %s" what (Printexc.to_string e))
+      in
+      let* () = total "decode_request" Sproto.decode_request in
+      let* () = total "decode_response" Sproto.decode_response in
+      match
+        let rd = Sproto.reader mode in
+        let evs = Sproto.feed rd (Bytes.of_string s) (String.length s) in
+        List.for_all
+          (function
+            | `Oversized _ -> Sproto.reader_poisoned rd | `Frame _ -> true)
+          evs
+      with
+      | true -> Ok ()
+      | false -> Error "oversized frame did not poison the reader"
+      | exception e -> Error ("reader raised " ^ Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -1501,6 +1708,8 @@ let all =
     rel_semijoin;
     rel_sample;
     rel_hypertree;
+    serve_protocol_roundtrip;
+    serve_protocol_malformed;
   ]
 
 let names = List.map Fuzz.name all

@@ -1,0 +1,104 @@
+(* Blocking framed client. The EINTR / partial-read looping here is the
+   load-bearing part: read(2) on a socket or pipe may return any prefix
+   of what was asked for, and returns EINTR when a signal lands, so
+   every transfer is a loop until the full frame is in hand. *)
+
+module P = Protocol
+
+type t = {
+  fd : Unix.file_descr;
+  mode : P.mode;
+  reader : P.reader;
+  buf : bytes;
+  mutable frames : string list; (* decoded ahead of the next recv *)
+  mutable eof : bool;
+}
+
+let of_fd fd ~mode =
+  { fd; mode; reader = P.reader mode; buf = Bytes.create 4096; frames = []; eof = false }
+
+let rec no_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> no_eintr f
+
+let connect_retrying ?(retries = 50) addr =
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  let rec go n =
+    match no_eintr (fun () -> Unix.connect fd addr) with
+    | () -> ()
+    | exception
+        Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when n > 0 ->
+        ignore (no_eintr (fun () -> Unix.select [] [] [] 0.1));
+        go (n - 1)
+    | exception e ->
+        Unix.close fd;
+        raise e
+  in
+  (try go retries
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let connect_unix ?retries ~mode path =
+  of_fd (connect_retrying ?retries (Unix.ADDR_UNIX path)) ~mode
+
+let connect_tcp ?retries ~mode port =
+  of_fd
+    (connect_retrying ?retries
+       (Unix.ADDR_INET (Unix.inet_addr_loopback, port)))
+    ~mode
+
+let send t req =
+  let s = P.encode_request t.mode req in
+  let len = String.length s in
+  let pos = ref 0 in
+  (* write(2) may accept any prefix; loop until the frame is out. *)
+  while !pos < len do
+    let n =
+      no_eintr (fun () -> Unix.write_substring t.fd s !pos (len - !pos))
+    in
+    pos := !pos + n
+  done
+
+let recv_frame t =
+  let rec go () =
+    match t.frames with
+    | f :: rest ->
+        t.frames <- rest;
+        Some f
+    | [] ->
+        if t.eof then
+          if P.reader_pending t.reader > 0 || P.reader_poisoned t.reader then
+            failwith "csokitd client: connection closed mid-frame"
+          else None
+        else begin
+          (match no_eintr (fun () -> Unix.read t.fd t.buf 0 (Bytes.length t.buf)) with
+          | 0 -> t.eof <- true
+          | n ->
+              List.iter
+                (function
+                  | `Frame payload -> t.frames <- t.frames @ [ payload ]
+                  | `Oversized len ->
+                      failwith
+                        (Printf.sprintf
+                           "csokitd client: oversized %d-byte frame" len))
+                (P.feed t.reader t.buf n));
+          go ()
+        end
+  in
+  go ()
+
+let recv t =
+  match recv_frame t with
+  | None -> failwith "csokitd client: connection closed"
+  | Some payload -> (
+      match P.decode_response t.mode payload with
+      | Ok r -> r
+      | Error m -> failwith ("csokitd client: bad response frame: " ^ m))
+
+let rpc t req =
+  send t req;
+  recv t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,38 @@
+(** Blocking [csokitd] client over a connected descriptor.
+
+    All reads and writes loop over partial transfers and [EINTR]: a
+    frame fed to the peer one byte at a time — or a [read(2)]
+    interrupted by a signal mid-frame — is reassembled transparently
+    (regression-pinned in [test/suite_serve.ml] by a byte-at-a-time
+    pipe feed). *)
+
+type t
+
+val of_fd : Unix.file_descr -> mode:Protocol.mode -> t
+(** Adopt a connected blocking descriptor (the caller keeps ownership
+    choices; {!close} closes it). *)
+
+val connect_unix : ?retries:int -> mode:Protocol.mode -> string -> t
+(** Connect to a Unix-domain socket path, retrying [retries] times
+    (default [50]) at 100 ms intervals while the path is missing or
+    refuses — covers the daemon still binding its socket. Raises
+    [Unix.Unix_error] once retries are exhausted. *)
+
+val connect_tcp : ?retries:int -> mode:Protocol.mode -> int -> t
+(** Connect to [127.0.0.1:port], with the same retry policy. *)
+
+val send : t -> Protocol.request -> unit
+(** Write one framed request (loops until fully written). *)
+
+val recv : t -> Protocol.response
+(** Read one complete response frame. Raises [Failure] on EOF mid-frame
+    or an undecodable / oversized frame. *)
+
+val recv_frame : t -> string option
+(** One raw payload; [None] on clean EOF at a frame boundary. Raises
+    [Failure] on EOF mid-frame or an oversized frame. *)
+
+val rpc : t -> Protocol.request -> Protocol.response
+(** {!send} then {!recv}. *)
+
+val close : t -> unit

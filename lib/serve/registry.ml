@@ -1,0 +1,198 @@
+(* Named resident instances. See registry.mli for the locking
+   discipline; the short version is: table mutex for the map, one mutex
+   per entry for everything else, no lock held while encoding. *)
+
+module Point = Cso_metric.Point
+module Bbd = Cso_geom.Bbd_tree
+module Gcso = Cso_core.Gcso_general
+module Obs = Cso_obs.Obs
+module P = Protocol
+
+let c_loads = Obs.counter "serve.registry.loads"
+let c_prepares = Obs.counter "serve.registry.prepares"
+let c_solves = Obs.counter "serve.registry.solves"
+let c_balls = Obs.counter "serve.registry.ball_queries"
+let c_updates = Obs.counter "serve.registry.updates"
+
+type entry = {
+  name : string;
+  lock : Mutex.t;
+  inc : Gcso.Incremental.t;
+  (* Static tree over the live points at [Prepare] time, plus the
+     position -> external-id map its node point indices translate
+     through. Invalidated (set to None) by insert/delete. *)
+  mutable static : (Bbd.t * int array) option;
+  (* External id and coordinates of each center of the last solve, in
+     solution order. Coordinates are captured eagerly: a center's point
+     may be deleted later, yet stale assignments remain well-defined. *)
+  mutable centers : (int * Point.t) list option;
+}
+
+type t = { table : (string, entry) Hashtbl.t; lock : Mutex.t }
+
+let create () = { table = Hashtbl.create 8; lock = Mutex.create () }
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let names t =
+  with_lock t.lock (fun () ->
+      Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare)
+
+let find t name =
+  with_lock t.lock (fun () -> Hashtbl.find_opt t.table name)
+
+(* ------------------------------------------------------------------ *)
+(* Per-entry operations (entry lock held)                              *)
+(* ------------------------------------------------------------------ *)
+
+let do_insert e p =
+  let id = Gcso.Incremental.insert e.inc p in
+  e.static <- None;
+  Obs.incr c_updates;
+  P.Inserted id
+
+let do_delete e id =
+  Gcso.Incremental.delete e.inc id;
+  e.static <- None;
+  Obs.incr c_updates;
+  P.Ok_reply
+
+let do_prepare e =
+  let live = Gcso.Incremental.live_points e.inc in
+  let ids = Array.of_list (List.map fst live) in
+  let pts = Array.of_list (List.map snd live) in
+  e.static <- Some (Bbd.build pts, ids);
+  Obs.incr c_prepares;
+  P.Ok_reply
+
+let do_solve e =
+  let before = Gcso.Incremental.re_solves e.inc in
+  let rep, ids = Gcso.Incremental.query e.inc in
+  let after = Gcso.Incremental.re_solves e.inc in
+  let sol = rep.Gcso.solution in
+  let centers =
+    match e.centers with
+    (* Cached report: its center points may have been deleted since the
+       solve, so reuse the coordinates captured back then instead of
+       dereferencing possibly-dead ids. *)
+    | Some prev when after = before -> prev
+    | _ ->
+        List.map
+          (fun i -> (ids.(i), Gcso.Incremental.point e.inc ids.(i)))
+          sol.Cso_core.Instance.centers
+  in
+  e.centers <- Some centers;
+  Obs.incr c_solves;
+  P.Solved
+    {
+      centers = List.map fst centers;
+      outliers = sol.Cso_core.Instance.outliers;
+      radius = rep.Gcso.radius;
+      rounds_per_guess = rep.Gcso.rounds_per_guess;
+      guesses = rep.Gcso.guesses;
+      re_solves = after;
+      cached = after = before;
+    }
+
+let do_ball e ~center ~radius ~eps =
+  Obs.incr c_balls;
+  P.Ball (Gcso.Incremental.ball_points e.inc ~center ~radius ~eps)
+
+let do_balls_all e ~radius ~eps =
+  match e.static with
+  | None ->
+      P.Error
+        ( P.Not_prepared,
+          Printf.sprintf "instance %S has no prepared static tree (send \
+                          prepare first; updates invalidate it)" e.name )
+  | Some (tree, ids) ->
+      Obs.incr c_balls;
+      (* Pooled batch path: canonical nodes per live point, expanded to
+         external ids in canonical-node order (preserved, not sorted). *)
+      let rows = Bbd.balls_all tree ~radius ~eps in
+      P.Balls
+        (Array.map
+           (fun nodes ->
+             List.concat_map
+               (fun node ->
+                 List.map (fun l -> ids.(l)) (Bbd.points_of_node tree node))
+               nodes)
+           rows)
+
+let do_assign e =
+  match e.centers with
+  | None | Some [] ->
+      P.Error
+        ( P.No_solution,
+          Printf.sprintf
+            "instance %S has no solved centers to assign to (send solve \
+             first)" e.name )
+  | Some centers ->
+      (* Nearest last-solve center per live point; ties break to the
+         earlier center in solution order, so assignments are a pure
+         function of (live set, centers). *)
+      let assign p =
+        let best = ref (-1) and best_d = ref infinity in
+        List.iter
+          (fun (cid, c) ->
+            let d = Point.l2 p c in
+            if d < !best_d then begin
+              best := cid;
+              best_d := d
+            end)
+          centers;
+        !best
+      in
+      P.Assigned
+        (List.map
+           (fun (id, p) -> (id, assign p))
+           (Gcso.Incremental.live_points e.inc))
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let do_load t ~name ~points ~rects ~k ~z ~eps ~rounds ~drift =
+  let inc = Gcso.Incremental.create ~eps ?rounds ~drift ~rects ~k ~z () in
+  Array.iter (fun p -> ignore (Gcso.Incremental.insert inc p)) points;
+  let entry =
+    { name; lock = Mutex.create (); inc; static = None; centers = None }
+  in
+  with_lock t.lock (fun () ->
+      if Hashtbl.mem t.table name then
+        P.Error (P.Already_loaded, Printf.sprintf "instance %S exists" name)
+      else begin
+        Hashtbl.replace t.table name entry;
+        Obs.incr c_loads;
+        P.Ok_reply
+      end)
+
+let with_entry t name f =
+  match find t name with
+  | None ->
+      P.Error (P.Unknown_instance, Printf.sprintf "no instance %S" name)
+  | Some e -> with_lock e.lock (fun () -> f e)
+
+let handle t req =
+  try
+    match req with
+    | P.Load { name; points; rects; k; z; eps; rounds; drift } ->
+        do_load t ~name ~points ~rects ~k ~z ~eps ~rounds ~drift
+    | P.Prepare name -> with_entry t name do_prepare
+    | P.Solve name -> with_entry t name do_solve
+    | P.Query_ball { name; center; radius; eps } ->
+        with_entry t name (do_ball ~center ~radius ~eps)
+    | P.Balls_all { name; radius; eps } ->
+        with_entry t name (do_balls_all ~radius ~eps)
+    | P.Assign name -> with_entry t name do_assign
+    | P.Insert { name; point } -> with_entry t name (fun e -> do_insert e point)
+    | P.Delete { name; id } -> with_entry t name (fun e -> do_delete e id)
+    | P.Stats -> P.Stats_reply (Obs.to_json ~label:"csokitd" ())
+    | P.Shutdown -> P.Bye
+  with
+  | Invalid_argument m | Failure m -> P.Error (P.Bad_request, m)
+  (* A request must never take the event loop down: anything unexpected
+     becomes a typed error on that one connection. *)
+  | e -> P.Error (P.Bad_request, Printexc.to_string e)

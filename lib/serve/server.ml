@@ -1,0 +1,330 @@
+(* The csokitd session loop. See server.mli for the execution model.
+   All descriptors are non-blocking; every syscall loops on EINTR and
+   treats EAGAIN as "not now". *)
+
+module Pool = Cso_parallel.Pool
+module Obs = Cso_obs.Obs
+module P = Protocol
+
+let c_requests = Obs.counter "serve.requests"
+let c_responses = Obs.counter "serve.responses"
+let c_overloads = Obs.counter "serve.overloads"
+let c_frame_errors = Obs.counter "serve.frame_errors"
+let c_connections = Obs.counter "serve.connections"
+let h_latency = Obs.Hist.hist "serve.request_us"
+
+type config = { mode : P.mode; max_inflight : int; batch : int }
+
+let default_config = { mode = P.Binary; max_inflight = 256; batch = 32 }
+
+(* Per-connection output: a FIFO of byte strings with a consumed offset
+   on the head, so a partial write just advances the offset. *)
+type outbuf = { mutable chunks : string list; mutable head_off : int }
+
+let out_empty o = o.chunks = []
+let out_append o s = if String.length s > 0 then o.chunks <- o.chunks @ [ s ]
+
+(* A queued item is either an admitted request awaiting execution or a
+   pre-made reply (overload, frame error) that must still leave in
+   arrival position — responses carry no correlation ids, so the i-th
+   reply on a connection answers its i-th frame, always. *)
+type item = Req of P.request | Now of P.response
+
+type conn = {
+  fd : Unix.file_descr;
+  reader : P.reader;
+  pending : item Queue.t;
+  out : outbuf;
+  mutable close_after_flush : bool;
+  mutable eof : bool;
+}
+
+type t = {
+  config : config;
+  registry : Registry.t;
+  mutable listeners : Unix.file_descr list;
+  mutable conns : conn list;
+  mutable stopping : bool; (* Shutdown seen: flush, then stop *)
+  mutable stopped : bool;
+  mutable unix_paths : string list; (* sockets to unlink on close *)
+  mutable clock : unit -> float;
+  read_buf : bytes;
+}
+
+let create ?(config = default_config) registry =
+  if config.max_inflight < 1 then invalid_arg "Server.create: max_inflight < 1";
+  if config.batch < 1 then invalid_arg "Server.create: batch < 1";
+  {
+    config;
+    registry;
+    listeners = [];
+    conns = [];
+    stopping = false;
+    stopped = false;
+    unix_paths = [];
+    clock = Sys.time;
+    read_buf = Bytes.create 65536;
+  }
+
+let set_clock t f = t.clock <- f
+let connections t = List.length t.conns
+
+let rec no_eintr f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> no_eintr f
+
+let listen_any t addr =
+  let domain = Unix.domain_of_sockaddr addr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try
+     if domain = Unix.PF_INET then Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd addr;
+     Unix.listen fd 64;
+     Unix.set_nonblock fd
+   with e ->
+     Unix.close fd;
+     raise e);
+  t.listeners <- t.listeners @ [ fd ]
+
+let listen_unix t path =
+  if Sys.file_exists path then Sys.remove path;
+  listen_any t (Unix.ADDR_UNIX path);
+  t.unix_paths <- path :: t.unix_paths
+
+let listen_tcp t ~port =
+  listen_any t (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+let add_connection t fd =
+  Unix.set_nonblock fd;
+  Obs.incr c_connections;
+  t.conns <-
+    t.conns
+    @ [
+        {
+          fd;
+          reader = P.reader t.config.mode;
+          pending = Queue.create ();
+          out = { chunks = []; head_off = 0 };
+          close_after_flush = false;
+          eof = false;
+        };
+      ]
+
+let stop t = t.stopping <- true
+
+let close t =
+  if not t.stopped then begin
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+    List.iter
+      (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      t.conns;
+    List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) t.unix_paths;
+    t.listeners <- [];
+    t.conns <- [];
+    t.stopped <- true
+  end
+
+(* --- accepting --- *)
+
+let accept_ready t fd =
+  let rec go () =
+    match no_eintr (fun () -> Unix.accept fd) with
+    | conn_fd, _ ->
+        add_connection t conn_fd;
+        go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  go ()
+
+(* --- reading --- *)
+
+(* Only admitted requests count toward the admission bound; [Now]
+   placeholders are free replies already paid for. *)
+let total_queued t =
+  List.fold_left
+    (fun a c ->
+      Queue.fold (fun a -> function Req _ -> a + 1 | Now _ -> a) a c.pending)
+    0 t.conns
+
+let enqueue_frame t c payload =
+  if total_queued t >= t.config.max_inflight then begin
+    (* Typed overload reply: the request is not decoded and does not
+       occupy an admission slot — but the reply is queued in arrival
+       position so the connection's FIFO correlation stays intact. *)
+    Obs.incr c_overloads;
+    Queue.add (Now P.Overloaded) c.pending
+  end
+  else
+    match P.decode_request t.config.mode payload with
+    | Ok req ->
+        Obs.incr c_requests;
+        Queue.add (Req req) c.pending
+    | Error msg ->
+        Obs.incr c_frame_errors;
+        Queue.add (Now (P.Error (P.Bad_frame, msg))) c.pending
+
+let read_ready t c =
+  let rec go () =
+    match no_eintr (fun () -> Unix.read c.fd t.read_buf 0 (Bytes.length t.read_buf)) with
+    | 0 -> c.eof <- true
+    | n ->
+        List.iter
+          (function
+            | `Frame payload -> enqueue_frame t c payload
+            | `Oversized len ->
+                Obs.incr c_frame_errors;
+                Queue.add
+                  (Now
+                     (P.Error
+                        ( P.Too_large,
+                          Printf.sprintf
+                            "frame of %d bytes exceeds the %d-byte limit; \
+                             closing"
+                            len P.max_frame )))
+                  c.pending;
+                c.close_after_flush <- true)
+          (P.feed c.reader t.read_buf n);
+        if n = Bytes.length t.read_buf then go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        c.eof <- true
+  in
+  go ()
+
+(* --- executing --- *)
+
+let execute t =
+  (* Gather at most ONE request per connection (and at most [batch]
+     total): requests of a single connection are a session and must
+     execute in order, so same-connection parallelism is never allowed —
+     concurrency comes from distinct connections. *)
+  let gathered = ref [] and n = ref 0 in
+  List.iter
+    (fun c ->
+      if !n < t.config.batch && not (Queue.is_empty c.pending) then begin
+        gathered := (c, Queue.pop c.pending) :: !gathered;
+        incr n
+      end)
+    t.conns;
+  let jobs = Array.of_list (List.rev !gathered) in
+  if Array.length jobs > 0 then begin
+    let handle (_, item) =
+      match item with
+      | Now resp -> resp (* pre-made reply: nothing to execute *)
+      | Req req ->
+          let t0 = t.clock () in
+          let resp = Registry.handle t.registry req in
+          Obs.Hist.observe h_latency
+            (int_of_float ((t.clock () -. t0) *. 1e6));
+          resp
+    in
+    let all_now =
+      Array.for_all (function _, Now _ -> true | _ -> false) jobs
+    in
+    let responses =
+      if Array.length jobs = 1 || all_now then Array.map handle jobs
+      else Pool.map_array (Pool.get_default ()) handle jobs
+    in
+    Array.iteri
+      (fun i (c, item) ->
+        Obs.incr c_responses;
+        out_append c.out (P.encode_response t.config.mode responses.(i));
+        if item = Req P.Shutdown then t.stopping <- true)
+      jobs
+  end
+
+(* --- writing --- *)
+
+let flush_conn c =
+  let rec go () =
+    match c.out.chunks with
+    | [] -> ()
+    | s :: rest -> (
+        let off = c.out.head_off in
+        let len = String.length s - off in
+        match
+          no_eintr (fun () ->
+              Unix.write_substring c.fd s off len)
+        with
+        | written ->
+            if written = len then begin
+              c.out.chunks <- rest;
+              c.out.head_off <- 0;
+              go ()
+            end
+            else c.out.head_off <- off + written
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            ()
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            (* Peer gone: drop the rest and let the reaper close us. *)
+            c.out.chunks <- [];
+            c.out.head_off <- 0;
+            c.eof <- true)
+  in
+  go ()
+
+(* --- the multiplexer round --- *)
+
+let step ?(timeout = 0.0) t =
+  if t.stopped then false
+  else begin
+    let work_pending =
+      t.stopping
+      || List.exists
+           (fun c -> not (Queue.is_empty c.pending) || not (out_empty c.out))
+           t.conns
+    in
+    let timeout = if work_pending then 0.0 else timeout in
+    let read_fds =
+      t.listeners
+      @ List.filter_map
+          (fun c -> if c.eof then None else Some c.fd)
+          t.conns
+    in
+    let write_fds =
+      List.filter_map
+        (fun c -> if out_empty c.out then None else Some c.fd)
+        t.conns
+    in
+    let readable, writable, _ =
+      try no_eintr (fun () -> Unix.select read_fds write_fds [] timeout)
+      with Unix.Unix_error (Unix.EBADF, _, _) -> (read_fds, write_fds, [])
+    in
+    List.iter
+      (fun fd -> if List.memq fd t.listeners then accept_ready t fd)
+      readable;
+    List.iter
+      (fun c -> if List.memq c.fd readable && not c.eof then read_ready t c)
+      t.conns;
+    execute t;
+    (* Flush everything with fresh output, not only what select said:
+       responses generated this round postdate the select call. *)
+    List.iter
+      (fun c ->
+        if (not (out_empty c.out)) || List.memq c.fd writable then flush_conn c)
+      t.conns;
+    (* Reap connections that hit EOF or asked to close once drained. *)
+    let reap, keep =
+      List.partition
+        (fun c ->
+          Queue.is_empty c.pending && out_empty c.out
+          && (c.eof || c.close_after_flush))
+        t.conns
+    in
+    List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) reap;
+    t.conns <- keep;
+    if
+      t.stopping
+      && List.for_all
+           (fun c -> Queue.is_empty c.pending && out_empty c.out)
+           t.conns
+    then begin
+      close t;
+      false
+    end
+    else true
+  end
+
+let run t =
+  let continue = ref true in
+  while !continue do
+    continue := step ~timeout:(-1.0) t
+  done

@@ -17,4 +17,5 @@ let () =
       ("kmedian", Suite_kmedian.suite);
       ("edge", Suite_edge.suite);
       ("refcheck", Suite_refcheck.suite);
+      ("serve", Suite_serve.suite);
     ]
