@@ -1,7 +1,7 @@
 # Convenience wrapper around dune. See README.md.
 
 .PHONY: all build test test-props bench bench-smoke trace-smoke fuzz-smoke \
-	serve-smoke examples clean reproduce
+	serve-smoke metrics-smoke examples clean reproduce
 
 all: build
 
@@ -53,22 +53,53 @@ fuzz-smoke:
 	dune exec bin/csokit.exe -- fuzz --seed 20250807 --cases 1000
 	dune exec bin/csokit.exe -- fuzz --seed 1 --cases 1000
 
-# End-to-end daemon gate: boot csokitd on a Unix socket, replay the
-# golden JSONL session through the real client, and require the printed
-# transcript to match test/serve_golden_transcript.jsonl byte-for-byte
-# (the session's final shutdown request also ends the daemon). Then the
-# in-process replay gate (smoke_serve) pins request/response counts and
-# the reply-payload digest against BENCH_serve_baseline.json.
+# End-to-end daemon gate: boot csokitd (--fake-clock: constant zero
+# request-phase timings, so the observability dumps are deterministic),
+# run a fixed preamble against the live daemon (`csokitd metrics`,
+# `csokitd top --once` — their requests are part of what the golden
+# metrics/flight replies pin), then replay the golden JSONL session
+# through the real client and require the printed transcript to match
+# test/serve_golden_transcript.jsonl byte-for-byte (the session's final
+# shutdown request also ends the daemon). Then the in-process replay
+# gate (smoke_serve) pins request/response counts and the reply-payload
+# digest against BENCH_serve_baseline.json.
 serve-smoke:
 	dune build bin/csokitd.exe bench/main.exe
 	rm -f serve_smoke.sock serve_transcript.jsonl
-	./_build/default/bin/csokitd.exe serve --socket serve_smoke.sock & \
+	./_build/default/bin/csokitd.exe serve --socket serve_smoke.sock --fake-clock & \
+	./_build/default/bin/csokitd.exe metrics --socket serve_smoke.sock > /dev/null; \
+	./_build/default/bin/csokitd.exe top --once --socket serve_smoke.sock > /dev/null; \
 	./_build/default/bin/csokitd.exe client --socket serve_smoke.sock \
 		--script test/serve_golden_session.jsonl > serve_transcript.jsonl; \
 	wait
 	diff -u test/serve_golden_transcript.jsonl serve_transcript.jsonl
 	dune exec bench/main.exe -- smoke_serve
 	rm -f serve_smoke.sock serve_transcript.jsonl
+
+# OpenMetrics gate: boot csokitd with the fake clock, drive traffic
+# through it, then require (a) `csokitd metrics` to emit text ending in
+# the mandatory "# EOF" terminator, (b) `csokitd top --once` to render
+# a sample, and (c) `csokitd check` to pass the exporter's stdlib-only
+# well-formedness gates — HELP/TYPE lines, strictly ascending le bounds
+# with monotone cumulative counts, +Inf bucket equal to the count, an
+# exact byte-for-byte re-render of the parsed structure, and a flight
+# JSONL dump whose re-parse round-trips exactly.
+metrics-smoke:
+	dune build bin/csokitd.exe
+	rm -f metrics_smoke.sock metrics_smoke.txt metrics_check.txt
+	./_build/default/bin/csokitd.exe serve --socket metrics_smoke.sock --fake-clock & \
+	( ./_build/default/bin/csokitd.exe client --socket metrics_smoke.sock \
+		--script test/metrics_smoke_session.jsonl > /dev/null \
+	  && ./_build/default/bin/csokitd.exe metrics --socket metrics_smoke.sock > metrics_smoke.txt \
+	  && ./_build/default/bin/csokitd.exe top --once --socket metrics_smoke.sock \
+	  && ./_build/default/bin/csokitd.exe check --socket metrics_smoke.sock > metrics_check.txt ); \
+	echo '{"req":"shutdown"}' | ./_build/default/bin/csokitd.exe client \
+		--socket metrics_smoke.sock > /dev/null; \
+	wait
+	grep -q '^metrics: ok' metrics_check.txt
+	grep -q '^flight: ok' metrics_check.txt
+	grep -q '^# EOF$$' metrics_smoke.txt
+	rm -f metrics_smoke.sock metrics_smoke.txt metrics_check.txt
 
 examples:
 	dune exec examples/quickstart.exe
@@ -85,6 +116,7 @@ reproduce:
 	$(MAKE) fuzz-smoke 2>&1 | tee fuzz_output.txt
 	$(MAKE) trace-smoke 2>&1 | tee trace_output.txt
 	$(MAKE) serve-smoke 2>&1 | tee serve_output.txt
+	$(MAKE) metrics-smoke 2>&1 | tee metrics_output.txt
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 clean:

@@ -2493,10 +2493,7 @@ let serve_script ~points ~n_requests ci =
           Sproto.Query_ball
             { name = "bench"; center = p; radius = 10.0; eps = 0.1 })
 
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else sorted.(int_of_float (p /. 100.0 *. float_of_int (n - 1)))
+let percentile = Util.percentile_sorted
 
 (* Shared by [fig_serve] and [smoke_serve]: drives [n_clients]
    closed-loop clients through an in-process server (socketpair

@@ -11,6 +11,14 @@ let fmt_time s =
   else if s < 1.0 then Printf.sprintf "%.1fms" (s *. 1e3)
   else Printf.sprintf "%.2fs" s
 
+(* Nearest-rank percentile over an already-sorted sample array — the
+   same rank convention as [Obs.Hist.quantile] ([rank = q * (n-1)]), so
+   exact-sample and histogram-estimated quantiles are comparable. *)
+let percentile_sorted sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(int_of_float (p /. 100.0 *. float_of_int (n - 1)))
+
 let print_table ~title headers rows =
   let headers = Array.of_list headers in
   let rows = List.map Array.of_list rows in

@@ -382,6 +382,7 @@ module Incremental = struct
   let live_count t = Dyn.Ball.live_count t.ball
   let live_ids t = Dyn.Ball.live_ids t.ball
   let re_solves t = t.re_solves
+  let ball_stats t = Dyn.Ball.stats t.ball
   let point t id = Dyn.Ball.point t.ball id
 
   let insert t p =

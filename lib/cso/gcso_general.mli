@@ -126,6 +126,11 @@ module Incremental : sig
   (** Re-solves performed so far (each also counted by the
       [cso.gcso.inc.re_solves] counter). *)
 
+  val ball_stats : t -> Cso_geom.Dynamic.stats
+  (** Update/rebuild statistics of the underlying dynamic ball tree
+      (lifetime inserts, deletes, rebuild work) — the per-instance
+      numbers [csokitd]'s [Stats] snapshot reports. *)
+
   (** {3 Queries between re-solves}
 
       Direct views of the dynamic trees, so a server can answer ball /

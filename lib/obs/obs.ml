@@ -350,6 +350,28 @@ module Hist = struct
   let buckets h = sparse_of_cells h.cells
   let total h = List.fold_left (fun acc (_, c) -> acc + c) 0 (buckets h)
 
+  (* Quantile estimate from log2 buckets: locate the bucket holding the
+     rank-q observation — the same nearest-rank convention as the exact
+     sorted-array percentile in bench/util.ml, index floor(q * (n-1)) —
+     and return that bucket's inclusive lower bound. The estimate agrees
+     with the exact percentile up to the bucket's factor-of-two width
+     and is deterministic because bucket vectors are. *)
+  let quantile_of_buckets sparse q =
+    let total = List.fold_left (fun acc (_, c) -> acc + c) 0 sparse in
+    if total = 0 then 0.0
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let rank = int_of_float (q *. float_of_int (total - 1)) in
+      let rec go seen = function
+        | [] -> 0.0
+        | (b, c) :: rest ->
+            if rank < seen + c then bucket_lo b else go (seen + c) rest
+      in
+      go 0 (List.sort compare sparse)
+    end
+
+  let quantile h q = quantile_of_buckets (buckets h) q
+
   let snapshot_arrays_locked () =
     by_name
       (Hashtbl.fold
@@ -469,6 +491,32 @@ let trace_push ev =
   end;
   Mutex.unlock mu
 
+(* --- flight-recorder ring (state; public surface is module Flight
+   below). Same ring discipline as the trace buffer, but the payload is
+   a per-request record pushed by lib/serve rather than a span. --- *)
+
+type flight_record = {
+  fl_id : int;
+  fl_kind : string;
+  fl_conn : int;
+  fl_queue_us : int;
+  fl_exec_us : int;
+  fl_flush_us : int;
+  fl_outcome : string;
+}
+
+let flight_cap = ref 1024
+let flight_buf : flight_record array ref = ref [||]
+let flight_len = ref 0
+let flight_next = ref 0
+let flight_dropped = ref 0
+
+let flight_clear_locked () =
+  flight_buf := [||];
+  flight_len := 0;
+  flight_next := 0;
+  flight_dropped := 0
+
 let with_span name f =
   if not (Atomic.get switch) then f ()
   else begin
@@ -510,6 +558,7 @@ let reset () =
   Hashtbl.reset spans;
   Hist.reset_locked ();
   trace_clear_locked ();
+  flight_clear_locked ();
   Mutex.unlock mu
 
 (* --- JSON reporters --- *)
@@ -533,7 +582,7 @@ let hists_json snap =
   in
   "{" ^ String.concat ", " cells ^ "}"
 
-let to_json ?(label = "") () =
+let to_json ?(label = "") ?(extra = []) () =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{\n  \"bench\": \"obs\",\n";
   if label <> "" then
@@ -559,6 +608,11 @@ let to_json ?(label = "") () =
                   (Json.escape p) calls secs)
               stats));
       Buffer.add_string buf "\n  ]");
+  List.iter
+    (fun (k, raw) ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\n  \"%s\": %s" (Json.escape k) raw))
+    extra;
   Buffer.add_string buf "\n}\n";
   Buffer.contents buf
 
@@ -732,6 +786,382 @@ module Trace = struct
         :: acc)
       tbl []
     |> List.sort (fun a b -> compare a.ph_path b.ph_path)
+end
+
+(* --- flight recorder: public surface --- *)
+
+module Flight = struct
+  type record = flight_record = {
+    fl_id : int;
+    fl_kind : string;
+    fl_conn : int;
+    fl_queue_us : int;
+    fl_exec_us : int;
+    fl_flush_us : int;
+    fl_outcome : string;
+  }
+
+  let set_capacity n =
+    if n < 1 then invalid_arg "Obs.Flight.set_capacity: capacity < 1";
+    Mutex.lock mu;
+    flight_cap := n;
+    flight_clear_locked ();
+    Mutex.unlock mu
+
+  let clear () =
+    Mutex.lock mu;
+    flight_clear_locked ();
+    Mutex.unlock mu
+
+  let dropped () =
+    Mutex.lock mu;
+    let d = !flight_dropped in
+    Mutex.unlock mu;
+    d
+
+  let push r =
+    if Atomic.get switch then begin
+      Mutex.lock mu;
+      let cap = !flight_cap in
+      if cap > 0 then begin
+        if Array.length !flight_buf <> cap then begin
+          flight_buf := Array.make cap r;
+          flight_len := 0;
+          flight_next := 0
+        end;
+        !flight_buf.(!flight_next) <- r;
+        flight_next := (!flight_next + 1) mod cap;
+        if !flight_len < cap then flight_len := !flight_len + 1
+        else Stdlib.incr flight_dropped
+      end;
+      Mutex.unlock mu
+    end
+
+  let records () =
+    Mutex.lock mu;
+    let cap = Array.length !flight_buf in
+    let len = !flight_len in
+    let out =
+      List.init len (fun i ->
+          !flight_buf.((!flight_next - len + i + (2 * cap)) mod (max 1 cap)))
+    in
+    Mutex.unlock mu;
+    out
+
+  let record_jsonl r =
+    Printf.sprintf
+      "{\"id\": %d, \"kind\": \"%s\", \"conn\": %d, \"queue_us\": %d, \
+       \"exec_us\": %d, \"flush_us\": %d, \"outcome\": \"%s\"}"
+      r.fl_id (Json.escape r.fl_kind) r.fl_conn r.fl_queue_us r.fl_exec_us
+      r.fl_flush_us (Json.escape r.fl_outcome)
+
+  let to_jsonl = function
+    | [] -> ""
+    | rs -> String.concat "\n" (List.map record_jsonl rs) ^ "\n"
+
+  let of_json j =
+    let field k =
+      match Json.member k j with
+      | Some v -> v
+      | None -> raise (Json.Parse_error ("flight record: missing field " ^ k))
+    in
+    let int k = int_of_float (Json.num (field k)) in
+    {
+      fl_id = int "id";
+      fl_kind = Json.str (field "kind");
+      fl_conn = int "conn";
+      fl_queue_us = int "queue_us";
+      fl_exec_us = int "exec_us";
+      fl_flush_us = int "flush_us";
+      fl_outcome = Json.str (field "outcome");
+    }
+
+  let parse_jsonl s =
+    String.split_on_char '\n' s
+    |> List.filter (fun line -> String.trim line <> "")
+    |> List.map (fun line -> of_json (Json.parse line))
+end
+
+(* --- OpenMetrics / Prometheus text exporter --- *)
+
+module Metrics = struct
+  (* Two fixed metric families — one counter family, one histogram
+     family — with the dot-separated lib/obs name carried as an escaped
+     [name] label, so every registered counter and histogram is exported
+     without a name-mangling scheme. Sample values are integers and the
+     histogram [le] bounds are the exact power-of-two bucket boundaries
+     from [Hist.bucket_lo], so the rendering is byte-stable wherever the
+     counter values are — in particular bit-identical across
+     CSO_NUM_DOMAINS for the deterministic kernels. *)
+
+  let counter_help = "# HELP cso_counter_total Monotonic lib/obs event counter."
+  let counter_type = "# TYPE cso_counter_total counter"
+
+  let hist_help =
+    "# HELP cso_hist Log2-bucketed lib/obs per-event magnitude histogram."
+
+  let hist_type = "# TYPE cso_hist histogram"
+
+  (* Prometheus label-value escaping: backslash, double quote, newline. *)
+  let escape_label s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* Exact, parseable-back float rendering for [le] bounds: integral
+     bucket boundaries print without an exponent, everything else as 17
+     significant digits (round-trip safe for every double). *)
+  let float_repr v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.17g" v
+
+  let render_of ~counters ~hists =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf counter_help;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf counter_type;
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun (n, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "cso_counter_total{name=\"%s\"} %d\n"
+             (escape_label n) v))
+      (by_name counters);
+    Buffer.add_string buf hist_help;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf hist_type;
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun (n, sparse) ->
+        let n_esc = escape_label n in
+        let cum = ref 0 in
+        List.iter
+          (fun (b, c) ->
+            cum := !cum + c;
+            (* The last bucket is the clamp bucket: its upper bound is
+               +Inf, which the mandatory +Inf sample below provides. *)
+            if b + 1 < Hist.n_buckets then
+              Buffer.add_string buf
+                (Printf.sprintf "cso_hist_bucket{name=\"%s\",le=\"%s\"} %d\n"
+                   n_esc
+                   (float_repr (Hist.bucket_lo (b + 1)))
+                   !cum))
+          (List.sort compare sparse);
+        Buffer.add_string buf
+          (Printf.sprintf "cso_hist_bucket{name=\"%s\",le=\"+Inf\"} %d\n" n_esc
+             !cum);
+        Buffer.add_string buf
+          (Printf.sprintf "cso_hist_count{name=\"%s\"} %d\n" n_esc !cum))
+      (List.sort (fun (a, _) (b, _) -> compare a b) hists);
+    Buffer.add_string buf "# EOF\n";
+    Buffer.contents buf
+
+  let render () = render_of ~counters:(snapshot ()) ~hists:(Hist.snapshot ())
+
+  (* --- well-formedness checker -------------------------------------
+     Stdlib-only: parses the exporter's output back into structure,
+     validates the OpenMetrics invariants (HELP/TYPE lines present,
+     cumulative bucket counts monotone over ascending [le], the +Inf
+     bucket equal to the count sample), and re-renders the parsed
+     structure — the result must equal the input byte-for-byte, which
+     pins formatting, ordering and label escaping all at once. *)
+
+  exception Check_failed of string
+
+  let checkf fmt = Printf.ksprintf (fun m -> raise (Check_failed m)) fmt
+
+  (* One parsed sample: metric name, labels in order, integer value. *)
+  type sample = { sm_metric : string; sm_labels : (string * string) list;
+                  sm_value : int }
+
+  let parse_sample line =
+    let n = String.length line in
+    let pos = ref 0 in
+    let take_while p =
+      let start = !pos in
+      while !pos < n && p line.[!pos] do Stdlib.incr pos done;
+      String.sub line start (!pos - start)
+    in
+    let expect c =
+      if !pos < n && line.[!pos] = c then Stdlib.incr pos
+      else checkf "sample %S: expected '%c' at offset %d" line c !pos
+    in
+    let ident_char c =
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+      | _ -> false
+    in
+    let metric = take_while ident_char in
+    if metric = "" then checkf "sample %S: missing metric name" line;
+    expect '{';
+    let labels = ref [] in
+    let rec labels_loop () =
+      let k = take_while ident_char in
+      if k = "" then checkf "sample %S: missing label name" line;
+      expect '=';
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec value_loop () =
+        if !pos >= n then checkf "sample %S: unterminated label value" line
+        else
+          match line.[!pos] with
+          | '"' -> Stdlib.incr pos
+          | '\\' ->
+              Stdlib.incr pos;
+              (if !pos >= n then checkf "sample %S: dangling escape" line
+               else
+                 match line.[!pos] with
+                 | '\\' -> Buffer.add_char buf '\\'; Stdlib.incr pos
+                 | '"' -> Buffer.add_char buf '"'; Stdlib.incr pos
+                 | 'n' -> Buffer.add_char buf '\n'; Stdlib.incr pos
+                 | c -> checkf "sample %S: bad escape '\\%c'" line c);
+              value_loop ()
+          | c -> Buffer.add_char buf c; Stdlib.incr pos; value_loop ()
+      in
+      value_loop ();
+      labels := (k, Buffer.contents buf) :: !labels;
+      if !pos < n && line.[!pos] = ',' then begin
+        Stdlib.incr pos;
+        labels_loop ()
+      end
+      else expect '}'
+    in
+    labels_loop ();
+    expect ' ';
+    let value_s = String.sub line !pos (n - !pos) in
+    let value =
+      match int_of_string_opt value_s with
+      | Some v -> v
+      | None -> checkf "sample %S: bad integer value %S" line value_s
+    in
+    { sm_metric = metric; sm_labels = List.rev !labels; sm_value = value }
+
+  let render_sample s =
+    Printf.sprintf "%s{%s} %d" s.sm_metric
+      (String.concat ","
+         (List.map
+            (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+            s.sm_labels))
+      s.sm_value
+
+  let label k s =
+    match List.assoc_opt k s.sm_labels with
+    | Some v -> v
+    | None -> checkf "sample %s: missing label %S" (render_sample s) k
+
+  let check text =
+    try
+      let lines =
+        match String.split_on_char '\n' text |> List.rev with
+        | "" :: rest -> List.rev rest
+        | _ -> checkf "text does not end with a newline"
+      in
+      (* Split into header/sample phases with a small state machine. *)
+      let expect_line expected rest =
+        match rest with
+        | l :: rest when l = expected -> rest
+        | l :: _ -> checkf "expected %S, found %S" expected l
+        | [] -> checkf "expected %S, found end of text" expected
+      in
+      let rest = expect_line counter_help lines in
+      let rest = expect_line counter_type rest in
+      let is_sample prefix l =
+        String.length l > String.length prefix
+        && String.sub l 0 (String.length prefix) = prefix
+      in
+      let rec take_samples prefix acc rest =
+        match rest with
+        | l :: tl when is_sample prefix l ->
+            take_samples prefix (parse_sample l :: acc) tl
+        | _ -> (List.rev acc, rest)
+      in
+      let counter_samples, rest = take_samples "cso_counter_total{" [] rest in
+      List.iter
+        (fun s ->
+          ignore (label "name" s);
+          if List.length s.sm_labels <> 1 then
+            checkf "counter sample %s: expected exactly the name label"
+              (render_sample s);
+          if s.sm_value < 0 then
+            checkf "counter sample %s: negative value" (render_sample s))
+        counter_samples;
+      let rest = expect_line hist_help rest in
+      let rest = expect_line hist_type rest in
+      let hist_samples, rest =
+        take_samples "cso_hist" [] rest (* buckets and counts interleaved *)
+      in
+      (match rest with
+      | [ "# EOF" ] -> ()
+      | l :: _ -> checkf "trailing line %S (expected \"# EOF\")" l
+      | [] -> checkf "missing \"# EOF\" terminator");
+      (* Group the histogram samples per name, in order of appearance:
+         a run of cso_hist_bucket lines closed by one cso_hist_count. *)
+      let rec group rest =
+        match rest with
+        | [] -> ()
+        | s :: _ when s.sm_metric <> "cso_hist_bucket" ->
+            checkf "histogram %s: count sample without buckets"
+              (render_sample s)
+        | s :: _ ->
+            let name = label "name" s in
+            let rec buckets prev_le prev_cum rest =
+              match rest with
+              | b :: tl when b.sm_metric = "cso_hist_bucket" ->
+                  if label "name" b <> name then
+                    checkf "histogram %S: interleaved bucket for %S" name
+                      (label "name" b);
+                  let le_s = label "le" b in
+                  let le =
+                    if le_s = "+Inf" then infinity
+                    else
+                      match float_of_string_opt le_s with
+                      | Some f -> f
+                      | None -> checkf "histogram %S: bad le %S" name le_s
+                  in
+                  if le <= prev_le then
+                    checkf "histogram %S: le %S not ascending" name le_s;
+                  if b.sm_value < prev_cum then
+                    checkf "histogram %S: cumulative count decreases at le %S"
+                      name le_s;
+                  if le = infinity then (b.sm_value, tl)
+                  else buckets le b.sm_value tl
+              | _ -> checkf "histogram %S: missing +Inf bucket" name
+            in
+            let inf_cum, rest = buckets neg_infinity 0 rest in
+            (match rest with
+            | c :: tl
+              when c.sm_metric = "cso_hist_count" && label "name" c = name ->
+                if c.sm_value <> inf_cum then
+                  checkf "histogram %S: +Inf bucket %d <> count %d" name
+                    inf_cum c.sm_value;
+                group tl
+            | _ -> checkf "histogram %S: missing count sample" name)
+      in
+      group hist_samples;
+      (* Exact re-render: parsed structure back to text must reproduce
+         the input byte-for-byte. *)
+      let rendered =
+        String.concat "\n"
+          (List.concat
+             [
+               [ counter_help; counter_type ];
+               List.map render_sample counter_samples;
+               [ hist_help; hist_type ];
+               List.map render_sample hist_samples;
+               [ "# EOF"; "" ];
+             ])
+      in
+      if rendered <> text then
+        checkf "re-rendered text differs from input (formatting drift)";
+      Ok ()
+    with Check_failed m -> Error m
 end
 
 (* --- complexity budgets --- *)

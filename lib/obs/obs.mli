@@ -135,14 +135,20 @@ val span_stats : unit -> (string * int * float) list
 
 (** {2 JSON} *)
 
-val to_json : ?label:string -> unit -> string
+val to_json : ?label:string -> ?extra:(string * string) list -> unit -> string
 (** Render the current counters (plus non-empty histograms and span
     stats, if any) as a JSON object in the same hand-rolled style as the
     [BENCH_*.json] artifacts written by [bench/]:
     [{"bench": "obs", "label": ..., "counters": {...},
       "hists": {...}, "spans": [...]}].
     Keys are sorted and all strings are escaped, so two runs with
-    identical counters produce identical [counters] sections. *)
+    identical counters produce identical [counters] sections.
+
+    [extra] appends caller-supplied top-level members after the standard
+    sections, each as [(key, raw_json_value)] in list order — the hook
+    [csokitd] uses to splice its per-instance registry section into the
+    [Stats] snapshot. The raw value is embedded verbatim and must
+    already be valid JSON. *)
 
 val counters_json : (string * int) list -> string
 (** Render a counter snapshot (or delta) alone as a sorted JSON object,
@@ -253,6 +259,18 @@ module Hist : sig
   val total : t -> int
   (** Number of observations recorded. *)
 
+  val quantile_of_buckets : (int * int) list -> float -> float
+  (** [quantile_of_buckets sparse q] estimates the [q]-quantile
+      ([0. <= q <= 1.], clamped) of the observations summarized by a
+      sparse bucket list: the inclusive lower bound ({!bucket_lo}) of
+      the bucket holding the rank-[floor (q * (n-1))] observation —
+      the same nearest-rank convention as the exact sorted-array
+      percentile in [bench/util.ml], so the two estimators agree up to
+      the bucket's factor-of-two width. [0.] when empty. *)
+
+  val quantile : t -> float -> float
+  (** [quantile h q] = [quantile_of_buckets (buckets h) q]. *)
+
   val snapshot : unit -> (string * (int * int) list) list
   (** All registered histograms with their sparse buckets, sorted by
       name (empty histograms included, with an empty bucket list). *)
@@ -335,6 +353,89 @@ module Trace : sig
   (** Aggregate events into a per-path phase table, sorted by path.
       Self-time subtracts only {e direct} children (by path prefix) and
       is clamped at 0 so coarse clocks cannot report negative self. *)
+end
+
+(** {2 Flight recorder}
+
+    A bounded ring of per-request records pushed by the [csokitd]
+    request loop ([lib/serve]), one per completed request: its
+    monotonically assigned id, decoded kind, connection id, the three
+    phase durations (queue-wait, execute, flush — microseconds measured
+    through the server's pluggable clock), and the outcome (["ok"],
+    ["overloaded"], or ["error:<kind>"] for typed errors). Same ring
+    discipline and JSONL round-trip style as {!Trace}; like counters, no
+    records are captured while the global switch is off. *)
+
+module Flight : sig
+  type record = {
+    fl_id : int;  (** Request id, monotone per server in arrival order. *)
+    fl_kind : string;
+        (** Decoded request kind (["solve"], ["balls_all"], ...); ["-"]
+            for frames that never decoded (overload / frame errors). *)
+    fl_conn : int;  (** Connection id, monotone per server. *)
+    fl_queue_us : int;  (** Enqueue -> execute start. *)
+    fl_exec_us : int;  (** Handler execution ([0] for pre-made replies). *)
+    fl_flush_us : int;  (** Response ready -> last byte written. *)
+    fl_outcome : string;
+        (** ["ok"], ["overloaded"], or ["error:<kind>"]. *)
+  }
+
+  val set_capacity : int -> unit
+  (** Resize the ring (default 1024 records) and clear it. When full,
+      the oldest records are overwritten and counted in {!dropped}.
+      Raises [Invalid_argument] for capacities below 1. *)
+
+  val clear : unit -> unit
+  (** Drop all buffered records and reset the dropped count. *)
+
+  val dropped : unit -> int
+  (** Records overwritten since the last {!clear}/[reset]. *)
+
+  val push : record -> unit
+  (** Append one record (oldest overwritten when full). No-op while the
+      global switch is disabled. *)
+
+  val records : unit -> record list
+  (** Buffered records, oldest first. *)
+
+  val to_jsonl : record list -> string
+  (** One JSON object per line:
+      [{"id": .., "kind": .., "conn": .., "queue_us": .., "exec_us": ..,
+        "flush_us": .., "outcome": ..}]; [""] for the empty list. *)
+
+  val parse_jsonl : string -> record list
+  (** Exact inverse of {!to_jsonl} (blank lines skipped). Raises
+      {!Json.Parse_error} on malformed lines. *)
+end
+
+(** {2 OpenMetrics / Prometheus text exporter} *)
+
+module Metrics : sig
+  (** Renders every registered counter and histogram as OpenMetrics
+      text: two fixed metric families ([cso_counter_total] and
+      [cso_hist]) with the dot-separated lib/obs name carried as an
+      escaped [name] label. Histograms are exported with exact
+      cumulative power-of-two buckets ([le] bounds from
+      {!Hist.bucket_lo}; the mandatory [+Inf] bucket equals the
+      count). All values are integers and names are sorted, so the text
+      is byte-stable wherever the counter values are — bit-identical
+      across [CSO_NUM_DOMAINS] for the deterministic kernels. *)
+
+  val render : unit -> string
+  (** Export the live registry. *)
+
+  val render_of :
+    counters:(string * int) list ->
+    hists:(string * (int * int) list) list ->
+    string
+  (** Pure rendering of explicit snapshots (tests, deltas). *)
+
+  val check : string -> (unit, string) result
+  (** Stdlib-only well-formedness gate over {!render} output: HELP/TYPE
+      lines present, samples parse, cumulative bucket counts are
+      monotone over strictly ascending [le] bounds, the [+Inf] bucket
+      equals the count sample, and re-rendering the parsed structure
+      reproduces the input byte-for-byte. *)
 end
 
 (** {2 Machine-checked complexity budgets}

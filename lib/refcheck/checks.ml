@@ -1496,7 +1496,7 @@ let gen_wire_req rng =
   let d = int_in rng 1 3 in
   let pt () = Array.init d (fun _ -> coord rng) in
   let name = gen_wire_name rng in
-  match Random.State.int rng 10 with
+  match Random.State.int rng 12 with
   | 0 ->
       let points = Array.init (int_in rng 0 4) (fun _ -> pt ()) in
       let rects =
@@ -1535,11 +1535,13 @@ let gen_wire_req rng =
   | 6 -> Sproto.Insert { name; point = pt () }
   | 7 -> Sproto.Delete { name; id = gen_wire_id rng }
   | 8 -> Sproto.Stats
+  | 9 -> Sproto.Metrics
+  | 10 -> Sproto.Flight
   | _ -> Sproto.Shutdown
 
 let gen_wire_resp rng =
   let ids () = List.init (int_in rng 0 4) (fun _ -> gen_wire_id rng) in
-  match Random.State.int rng 10 with
+  match Random.State.int rng 12 with
   | 0 -> Sproto.Ok_reply
   | 1 -> Sproto.Inserted (gen_wire_id rng)
   | 2 ->
@@ -1568,6 +1570,8 @@ let gen_wire_resp rng =
       Sproto.Error
         (kinds.(Random.State.int rng (Array.length kinds)), gen_wire_name rng)
   | 8 -> Sproto.Overloaded
+  | 9 -> Sproto.Metrics_reply (gen_wire_name rng)
+  | 10 -> Sproto.Flight_reply (gen_wire_name rng)
   | _ -> Sproto.Bye
 
 let gen_wire rng =

@@ -44,7 +44,25 @@ type request =
   | Insert of { name : string; point : Point.t }
   | Delete of { name : string; id : int }
   | Stats
+  | Metrics
+  | Flight
   | Shutdown
+
+(* The per-kind histogram / JSONL tag of a request; also the [kind]
+   field of flight-recorder records. *)
+let request_kind = function
+  | Load _ -> "load"
+  | Prepare _ -> "prepare"
+  | Solve _ -> "solve"
+  | Query_ball _ -> "ball"
+  | Balls_all _ -> "balls_all"
+  | Assign _ -> "assign"
+  | Insert _ -> "insert"
+  | Delete _ -> "delete"
+  | Stats -> "stats"
+  | Metrics -> "metrics"
+  | Flight -> "flight"
+  | Shutdown -> "shutdown"
 
 type err_kind =
   | Bad_request
@@ -90,6 +108,8 @@ type response =
   | Balls of int list array
   | Assigned of (int * int) list
   | Stats_reply of string
+  | Metrics_reply of string
+  | Flight_reply of string
   | Error of err_kind * string
   | Overloaded
   | Bye
@@ -248,7 +268,9 @@ let request_to_binary r =
       put_string b name;
       put_int b id
   | Stats -> Buffer.add_uint8 b 9
-  | Shutdown -> Buffer.add_uint8 b 10);
+  | Shutdown -> Buffer.add_uint8 b 10
+  | Metrics -> Buffer.add_uint8 b 11
+  | Flight -> Buffer.add_uint8 b 12);
   Buffer.contents b
 
 let request_of_binary s =
@@ -289,6 +311,8 @@ let request_of_binary s =
         Delete { name; id }
     | 9 -> Stats
     | 10 -> Shutdown
+    | 11 -> Metrics
+    | 12 -> Flight
     | t -> fail "unknown request tag %d" t
   in
   get_eof c;
@@ -348,6 +372,12 @@ let response_to_binary r =
   | Stats_reply s ->
       Buffer.add_uint8 b 7;
       put_string b s
+  | Metrics_reply s ->
+      Buffer.add_uint8 b 11;
+      put_string b s
+  | Flight_reply s ->
+      Buffer.add_uint8 b 12;
+      put_string b s
   | Error (kind, msg) ->
       Buffer.add_uint8 b 8;
       Buffer.add_uint8 b (err_tag kind);
@@ -390,6 +420,8 @@ let response_of_binary s =
         Error (kind, msg)
     | 9 -> Overloaded
     | 10 -> Bye
+    | 11 -> Metrics_reply (get_string c)
+    | 12 -> Flight_reply (get_string c)
     | t -> fail "unknown response tag %d" t
   in
   get_eof c;
@@ -439,6 +471,8 @@ let request_to_json r =
   | Delete { name; id } ->
       Printf.sprintf "{\"req\":\"delete\",\"name\":%s,\"id\":%d}" (jstr name) id
   | Stats -> "{\"req\":\"stats\"}"
+  | Metrics -> "{\"req\":\"metrics\"}"
+  | Flight -> "{\"req\":\"flight\"}"
   | Shutdown -> "{\"req\":\"shutdown\"}"
 
 let response_to_json r =
@@ -462,6 +496,10 @@ let response_to_json r =
         (String.concat ","
            (List.map (fun (i, c) -> Printf.sprintf "[%d,%d]" i c) pairs))
   | Stats_reply s -> Printf.sprintf "{\"resp\":\"stats\",\"data\":%s}" (jstr s)
+  | Metrics_reply s ->
+      Printf.sprintf "{\"resp\":\"metrics\",\"data\":%s}" (jstr s)
+  | Flight_reply s ->
+      Printf.sprintf "{\"resp\":\"flight\",\"data\":%s}" (jstr s)
   | Error (kind, msg) ->
       Printf.sprintf "{\"resp\":\"error\",\"kind\":%s,\"msg\":%s}"
         (jstr (err_kind_to_string kind))
@@ -566,6 +604,8 @@ let request_of_json line =
           id = jget_int "id" (jmember "id" j);
         }
   | "stats" -> Stats
+  | "metrics" -> Metrics
+  | "flight" -> Flight
   | "shutdown" -> Shutdown
   | other -> fail "unknown request %S" other
 
@@ -600,6 +640,8 @@ let response_of_json line =
              | _ -> fail "field \"pairs\": expected [id,center] pairs")
            (jget_arr "pairs" (jmember "pairs" j)))
   | "stats" -> Stats_reply (jget_str "data" (jmember "data" j))
+  | "metrics" -> Metrics_reply (jget_str "data" (jmember "data" j))
+  | "flight" -> Flight_reply (jget_str "data" (jmember "data" j))
   | "error" ->
       let kind_s = jget_str "kind" (jmember "kind" j) in
       let kind =

@@ -62,8 +62,20 @@ type request =
           fresh assignments between re-solves, no solve paid. *)
   | Insert of { name : string; point : Cso_metric.Point.t }
   | Delete of { name : string; id : int }
-  | Stats  (** Counter / histogram / span snapshot ([lib/obs]). *)
+  | Stats
+      (** Counter / histogram / span snapshot ([lib/obs]) plus the
+          per-instance registry section. *)
+  | Metrics  (** OpenMetrics text export ({!Cso_obs.Obs.Metrics}). *)
+  | Flight
+      (** Recent per-request flight-recorder ring as JSONL
+          ({!Cso_obs.Obs.Flight}). *)
   | Shutdown
+
+val request_kind : request -> string
+(** The request's kind tag — the same lowercase word the JSONL codec
+    uses ([load], [ball], [balls_all], ...). Names the per-kind latency
+    histogram [serve.request_us.<kind>] and the flight-record [kind]
+    field. *)
 
 type err_kind =
   | Bad_request  (** Decodable frame, invalid contents. *)
@@ -95,7 +107,11 @@ type response =
   | Assigned of (int * int) list
       (** [(point external id, center external id)], ascending by
           point id. *)
-  | Stats_reply of string  (** [Obs.to_json] blob. *)
+  | Stats_reply of string
+      (** [Obs.to_json] blob with the per-instance [instances]
+          section. *)
+  | Metrics_reply of string  (** OpenMetrics text. *)
+  | Flight_reply of string  (** Flight-recorder ring as JSONL. *)
   | Error of err_kind * string
   | Overloaded
       (** Typed admission-control reply: the request was {e not}

@@ -26,6 +26,11 @@ type entry = {
      solution order. Coordinates are captured eagerly: a center's point
      may be deleted later, yet stale assignments remain well-defined. *)
   mutable centers : (int * Point.t) list option;
+  (* Updates applied since the cached centers were last recomputed: 0
+     right after a fresh solve, growing with every insert/delete, equal
+     to the total update count while no solve has happened yet. The
+     "cached-centers age" of the Stats per-instance section. *)
+  mutable centers_age : int;
 }
 
 type t = { table : (string, entry) Hashtbl.t; lock : Mutex.t }
@@ -50,12 +55,14 @@ let find t name =
 let do_insert e p =
   let id = Gcso.Incremental.insert e.inc p in
   e.static <- None;
+  e.centers_age <- e.centers_age + 1;
   Obs.incr c_updates;
   P.Inserted id
 
 let do_delete e id =
   Gcso.Incremental.delete e.inc id;
   e.static <- None;
+  e.centers_age <- e.centers_age + 1;
   Obs.incr c_updates;
   P.Ok_reply
 
@@ -79,6 +86,7 @@ let do_solve e =
        dereferencing possibly-dead ids. *)
     | Some prev when after = before -> prev
     | _ ->
+        e.centers_age <- 0;
         List.map
           (fun i -> (ids.(i), Gcso.Incremental.point e.inc ids.(i)))
           sol.Cso_core.Instance.centers
@@ -158,7 +166,8 @@ let do_load t ~name ~points ~rects ~k ~z ~eps ~rounds ~drift =
   let inc = Gcso.Incremental.create ~eps ?rounds ~drift ~rects ~k ~z () in
   Array.iter (fun p -> ignore (Gcso.Incremental.insert inc p)) points;
   let entry =
-    { name; lock = Mutex.create (); inc; static = None; centers = None }
+    { name; lock = Mutex.create (); inc; static = None; centers = None;
+      centers_age = 0 }
   in
   with_lock t.lock (fun () ->
       if Hashtbl.mem t.table name then
@@ -175,6 +184,41 @@ let with_entry t name f =
       P.Error (P.Unknown_instance, Printf.sprintf "no instance %S" name)
   | Some e -> with_lock e.lock (fun () -> f e)
 
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-instance section of the Stats snapshot, sorted by name. Every
+   field is deterministic registry/driver state (never wall clock), so
+   the blob inherits the byte-identical-across-domain-counts guarantee
+   of the counter sections around it. *)
+let instances_json t =
+  let rows =
+    List.filter_map
+      (fun name ->
+        match find t name with
+        | None -> None (* raced with a concurrent load/teardown *)
+        | Some e ->
+            Some
+              (with_lock e.lock (fun () ->
+                   let st = Gcso.Incremental.ball_stats e.inc in
+                   Printf.sprintf
+                     "\"%s\": {\"live\": %d, \"inserts\": %d, \
+                      \"deletes\": %d, \"re_solves\": %d, \
+                      \"centers_age\": %d, \"solved\": %b, \
+                      \"prepared\": %b}"
+                     (Obs.Json.escape name)
+                     (Gcso.Incremental.live_count e.inc)
+                     st.Cso_geom.Dynamic.inserts st.Cso_geom.Dynamic.deletes
+                     (Gcso.Incremental.re_solves e.inc)
+                     e.centers_age (e.centers <> None) (e.static <> None))))
+      (names t)
+  in
+  "{" ^ String.concat ", " rows ^ "}"
+
+let stats_json t =
+  Obs.to_json ~label:"csokitd" ~extra:[ ("instances", instances_json t) ] ()
+
 let handle t req =
   try
     match req with
@@ -189,7 +233,9 @@ let handle t req =
     | P.Assign name -> with_entry t name do_assign
     | P.Insert { name; point } -> with_entry t name (fun e -> do_insert e point)
     | P.Delete { name; id } -> with_entry t name (fun e -> do_delete e id)
-    | P.Stats -> P.Stats_reply (Obs.to_json ~label:"csokitd" ())
+    | P.Stats -> P.Stats_reply (stats_json t)
+    | P.Metrics -> P.Metrics_reply (Obs.Metrics.render ())
+    | P.Flight -> P.Flight_reply (Obs.Flight.to_jsonl (Obs.Flight.records ()))
     | P.Shutdown -> P.Bye
   with
   | Invalid_argument m | Failure m -> P.Error (P.Bad_request, m)

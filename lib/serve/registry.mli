@@ -31,4 +31,9 @@ val handle : t -> Protocol.request -> Protocol.response
 (** Execute one request against the registry. Never raises: invalid
     requests become typed {!Protocol.Error} replies ([Shutdown] is
     acknowledged with [Bye]; actually stopping the event loop is the
-    server's job, [Stats] snapshots [lib/obs]). *)
+    server's job). [Stats] snapshots [lib/obs] plus a per-instance
+    [instances] section (live points, lifetime inserts/deletes,
+    re-solves, cached-centers age, solved/prepared flags — all
+    deterministic driver state); [Metrics] renders
+    {!Cso_obs.Obs.Metrics} OpenMetrics text; [Flight] dumps the
+    {!Cso_obs.Obs.Flight} ring as JSONL. *)

@@ -34,10 +34,24 @@
     {2 Observability}
 
     [serve.requests], [serve.responses], [serve.overloads],
-    [serve.frame_errors], [serve.connections] count the deterministic
-    request flow; the [serve.request_us] histogram records per-request
-    handler latency in microseconds (wall-clock — excluded from the
-    deterministic artifacts, surfaced by the [Stats] request). *)
+    [serve.frame_errors], [serve.connections], [serve.bytes_in] and
+    [serve.bytes_out] count the deterministic request flow; the
+    [serve.request_us] histogram records per-request handler latency in
+    microseconds, with a per-kind twin [serve.request_us.<kind>]
+    (interned on first use, named by {!Protocol.request_kind}).
+
+    Every arriving frame — admitted, overloaded or undecodable — is
+    assigned a monotone request id at enqueue, and its three phases
+    (queue wait: enqueue to execute start; execute: handler duration;
+    flush: response ready to last byte written) are timed with the
+    {!set_clock} clock. When the response's final byte leaves the
+    socket, a {!Cso_obs.Obs.Flight} record is pushed from the driver
+    thread, so ring order follows flush-completion order. Records of
+    responses dropped by a vanished peer ([EPIPE]) are lost with them.
+
+    While [lib/obs] is disabled ([CSO_OBS=0]) none of this touches the
+    clock or the ring, and replies are byte-identical to an enabled
+    run — the kill-switch identity the serve suite pins. *)
 
 type config = {
   mode : Protocol.mode;  (** Wire codec for every connection. *)
@@ -84,5 +98,7 @@ val connections : t -> int
 (** Live connection count (listeners excluded). *)
 
 val set_clock : t -> (unit -> float) -> unit
-(** Clock for the per-request latency histogram (seconds; defaults to
-    [Sys.time]; the daemon installs [Unix.gettimeofday]). *)
+(** Clock for request-phase timing — the latency histograms and the
+    flight-recorder phases (seconds; defaults to [Sys.time]; the daemon
+    installs [Unix.gettimeofday], or a constant [fun () -> 0.] under
+    [--fake-clock] so every timing is deterministically zero). *)

@@ -513,6 +513,42 @@ let test_hist_disabled () =
       Hist.observe_float h 5.0);
   Alcotest.(check int) "no observations while disabled" t0 (Hist.total h)
 
+(* The histogram quantile estimator returns the lower bound of the
+   bucket holding the nearest-rank sample — exact whenever every sample
+   is a power of two, within the bucket's factor-of-two width
+   otherwise. Same rank convention as [Util.percentile_sorted]. *)
+let test_hist_quantile () =
+  let samples = [ 1; 1; 2; 4; 4; 4; 8; 64; 64; 1024 ] in
+  let h = Hist.hist "props.hist.quantile" in
+  let (), deltas =
+    Hist.with_delta (fun () -> List.iter (Hist.observe h) samples)
+  in
+  let sparse =
+    Option.value ~default:[] (List.assoc_opt "props.hist.quantile" deltas)
+  in
+  let sorted = Array.of_list (List.map float_of_int samples) in
+  List.iter
+    (fun q ->
+      let rank = int_of_float (q *. float_of_int (List.length samples - 1)) in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "q=%g equals the nearest-rank sample" q)
+        sorted.(rank)
+        (Hist.quantile_of_buckets sparse q))
+    [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ];
+  Alcotest.(check (float 0.0)) "Hist.quantile reads the live registry"
+    sorted.(4) (Hist.quantile h 0.5);
+  Alcotest.(check (float 0.0)) "empty histogram estimates 0" 0.0
+    (Hist.quantile_of_buckets [] 0.5);
+  Alcotest.(check (float 0.0)) "q clamped below" sorted.(0)
+    (Hist.quantile_of_buckets sparse (-3.0));
+  Alcotest.(check (float 0.0)) "q clamped above" sorted.(9)
+    (Hist.quantile_of_buckets sparse 17.0);
+  (* Non-power-of-two samples: the estimate is the containing bucket's
+     lower bound, i.e. the nearest-rank sample rounded down to a power
+     of two. *)
+  Alcotest.(check (float 0.0)) "mid-bucket sample rounds to bucket_lo" 4.0
+    (Hist.quantile_of_buckets [ (Hist.bucket_of_int 7, 1) ] 0.5)
+
 (* --- trace ring --- *)
 
 let with_fake_clock f =
@@ -618,6 +654,132 @@ let test_trace_phases () =
       Alcotest.(check (float 0.0)) "self clamped at zero" 0.0 self
   | None -> Alcotest.fail "phase missing")
 
+(* --- flight recorder --- *)
+
+let fl_rec i =
+  {
+    Obs.Flight.fl_id = i;
+    fl_kind = (if i mod 2 = 0 then "solve" else "na\"me\n\\x");
+    fl_conn = i mod 3;
+    fl_queue_us = 10 * i;
+    fl_exec_us = i;
+    fl_flush_us = 0;
+    fl_outcome = (if i mod 2 = 0 then "ok" else "error:unknown_instance");
+  }
+
+let test_flight_ring () =
+  Obs.Flight.set_capacity 3;
+  Fun.protect
+    ~finally:(fun () -> Obs.Flight.set_capacity 1024)
+    (fun () ->
+      for i = 0 to 4 do
+        Obs.Flight.push (fl_rec i)
+      done;
+      let recs = Obs.Flight.records () in
+      Alcotest.(check int) "bounded at capacity" 3 (List.length recs);
+      Alcotest.(check int) "overwritten records counted" 2
+        (Obs.Flight.dropped ());
+      Alcotest.(check (list int)) "oldest evicted, oldest-first order"
+        [ 2; 3; 4 ]
+        (List.map (fun r -> r.Obs.Flight.fl_id) recs);
+      (* JSONL round-trips exactly, including escaped kinds/outcomes. *)
+      let jsonl = Obs.Flight.to_jsonl recs in
+      Alcotest.(check bool) "parse is the exact inverse" true
+        (Obs.Flight.parse_jsonl jsonl = recs);
+      Alcotest.(check string) "empty ring renders the empty string" ""
+        (Obs.Flight.to_jsonl []);
+      (* Pushes are a no-op while the kill switch is off. *)
+      Obs.Flight.clear ();
+      let was = Obs.enabled () in
+      Obs.set_enabled false;
+      Fun.protect
+        ~finally:(fun () -> Obs.set_enabled was)
+        (fun () -> Obs.Flight.push (fl_rec 9));
+      Alcotest.(check int) "no records while disabled" 0
+        (List.length (Obs.Flight.records ())))
+
+(* --- OpenMetrics exporter --- *)
+
+let test_metrics_render () =
+  let counters = [ ("b.two", 0); ("a one\"\\\n", 3) ] in
+  let hists = [ ("h.one", [ (65, 2); (67, 1) ]) ] in
+  let text = Obs.Metrics.render_of ~counters ~hists in
+  (match Obs.Metrics.check text with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "well-formed render rejected: %s" m);
+  Alcotest.(check bool) "counter sample, sorted first" true
+    (contains "cso_counter_total{name=\"a one\\\"\\\\\\n\"} 3\n" text);
+  (* Exact cumulative buckets: le is the next bucket's lower bound
+     (bucket 65 holds [1,2) so le="2"; bucket 67 holds [4,8) so
+     le="8"), and +Inf equals the count. *)
+  Alcotest.(check bool) "cumulative le=2 bucket" true
+    (contains "cso_hist_bucket{name=\"h.one\",le=\"2\"} 2\n" text);
+  Alcotest.(check bool) "cumulative le=8 bucket" true
+    (contains "cso_hist_bucket{name=\"h.one\",le=\"8\"} 3\n" text);
+  Alcotest.(check bool) "+Inf bucket and count agree" true
+    (contains "cso_hist_bucket{name=\"h.one\",le=\"+Inf\"} 3\n" text
+    && contains "cso_hist_count{name=\"h.one\"} 3\n" text);
+  (* Bucket 0 (non-positive values) exports its tiny subnormal bound in
+     round-trip-safe %.17g form and still validates. *)
+  (match
+     Obs.Metrics.check
+       (Obs.Metrics.render_of ~counters:[] ~hists:[ ("z", [ (0, 1) ]) ])
+   with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "bucket-0 histogram rejected: %s" m);
+  (* The live registry renders valid text too. *)
+  match Obs.Metrics.check (Obs.Metrics.render ()) with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "live render rejected: %s" m
+
+let test_metrics_check_rejects () =
+  let reject label text =
+    match Obs.Metrics.check text with
+    | Ok () -> Alcotest.failf "%s: accepted" label
+    | Error _ -> ()
+  in
+  let good =
+    Obs.Metrics.render_of ~counters:[ ("a", 1) ]
+      ~hists:[ ("h", [ (65, 2) ]) ]
+  in
+  reject "missing EOF terminator"
+    (String.sub good 0 (String.length good - 6));
+  reject "truncated mid-line" (String.sub good 0 (String.length good - 8));
+  let hdr =
+    "# HELP cso_counter_total Monotonic lib/obs event counter.\n\
+     # TYPE cso_counter_total counter\n"
+  and hhdr =
+    "# HELP cso_hist Log2-bucketed lib/obs per-event magnitude histogram.\n\
+     # TYPE cso_hist histogram\n"
+  in
+  reject "cumulative count decreasing"
+    (hdr ^ hhdr
+    ^ "cso_hist_bucket{name=\"h\",le=\"2\"} 3\n\
+       cso_hist_bucket{name=\"h\",le=\"+Inf\"} 2\n\
+       cso_hist_count{name=\"h\"} 2\n# EOF\n");
+  reject "+Inf bucket differs from count"
+    (hdr ^ hhdr
+    ^ "cso_hist_bucket{name=\"h\",le=\"+Inf\"} 2\n\
+       cso_hist_count{name=\"h\"} 3\n# EOF\n");
+  reject "le not ascending"
+    (hdr ^ hhdr
+    ^ "cso_hist_bucket{name=\"h\",le=\"8\"} 1\n\
+       cso_hist_bucket{name=\"h\",le=\"2\"} 2\n\
+       cso_hist_bucket{name=\"h\",le=\"+Inf\"} 2\n\
+       cso_hist_count{name=\"h\"} 2\n# EOF\n");
+  reject "missing +Inf bucket"
+    (hdr ^ hhdr
+    ^ "cso_hist_bucket{name=\"h\",le=\"2\"} 1\n\
+       cso_hist_count{name=\"h\"} 1\n# EOF\n");
+  reject "negative counter" (hdr ^ "cso_counter_total{name=\"a\"} -1\n"
+    ^ hhdr ^ "# EOF\n");
+  reject "extra label on a counter"
+    (hdr ^ "cso_counter_total{name=\"a\",job=\"x\"} 1\n" ^ hhdr ^ "# EOF\n");
+  (* Formatting drift: a value that parses identically but prints
+     differently must fail the exact re-render. *)
+  reject "formatting drift (leading zero)"
+    (hdr ^ "cso_counter_total{name=\"a\"} 01\n" ^ hhdr ^ "# EOF\n")
+
 (* --- budgets --- *)
 
 let test_budget_fit () =
@@ -714,6 +876,14 @@ let suite =
     QCheck_alcotest.to_alcotest prop_hist_bucket_brackets;
     Alcotest.test_case "hist observe + with_delta" `Quick test_hist_observe;
     Alcotest.test_case "hist disabled is frozen" `Quick test_hist_disabled;
+    Alcotest.test_case "hist quantile matches nearest-rank" `Quick
+      test_hist_quantile;
+    Alcotest.test_case "flight ring bounded + jsonl round-trip" `Quick
+      test_flight_ring;
+    Alcotest.test_case "metrics render: exact cumulative buckets" `Quick
+      test_metrics_render;
+    Alcotest.test_case "metrics check rejects malformed text" `Quick
+      test_metrics_check_rejects;
     Alcotest.test_case "trace round-trip (jsonl + chrome)" `Quick
       test_trace_roundtrip;
     Alcotest.test_case "trace ring is bounded" `Quick test_trace_ring_bounded;

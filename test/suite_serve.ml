@@ -294,8 +294,10 @@ let mirror reqs =
                        cs;
                      (id, !best))
                    (Gcso.Incremental.live_points (the_inc ()))))
-      | P.Stats | P.Shutdown ->
-          Alcotest.fail "stats/shutdown do not belong in byte-identity scripts")
+      | P.Stats | P.Metrics | P.Flight | P.Shutdown ->
+          Alcotest.fail
+            "stats/metrics/flight/shutdown do not belong in byte-identity \
+             scripts")
     reqs
 
 let serve_payloads mode reqs =
@@ -700,6 +702,8 @@ let sample_requests =
        exactly (binary takes the full 63 bits, checked separately). *)
     P.Delete { name = "x"; id = (1 lsl 53) - 1 };
     P.Stats;
+    P.Metrics;
+    P.Flight;
     P.Shutdown;
   ]
 
@@ -722,6 +726,11 @@ let sample_responses =
     P.Balls [| [ 1 ]; []; [ 2; 0 ] |];
     P.Assigned [ (0, 3); (1, 3); (2, 1) ];
     P.Stats_reply "{\"label\":\"csokitd\"}";
+    P.Metrics_reply
+      "# HELP cso_counter_total x\n# TYPE cso_counter_total counter\n# EOF\n";
+    P.Flight_reply
+      "{\"id\": 0, \"kind\": \"solve\", \"conn\": 1, \"queue_us\": 2, \
+       \"exec_us\": 3, \"flush_us\": 4, \"outcome\": \"ok\"}\n";
     P.Error (P.Not_prepared, "instance \"x\" has no prepared static tree");
     P.Overloaded;
     P.Bye;
@@ -881,6 +890,202 @@ let test_stats_and_shutdown () =
       try_read c;
       Alcotest.(check bool) "connection closed by the server" true c.eof)
 
+(* ------------------------------------------------------------------ *)
+(* Observability: byte counters, stats content, metrics/flight         *)
+(* ------------------------------------------------------------------ *)
+
+let small_load =
+  P.Load
+    {
+      name;
+      points = Array.init 6 (fun i -> [| float_of_int i; 0.0 |]);
+      rects = [| Rect.of_intervals [ (-1.0, 9.0); (-1.0, 9.0) ] |];
+      k = 2;
+      z = 0;
+      eps = 0.5;
+      rounds = Some 40;
+      drift = 2.0;
+    }
+
+(* Constant clocks make every phase timing exactly 0µs — a *counting*
+   fake clock would not be deterministic, because pool domains race on
+   the call order. Restores the library defaults on the way out. *)
+let with_fake_clocks srv f =
+  Obs.set_clock (fun () -> 0.0);
+  Server.set_clock srv (fun () -> 0.0);
+  Fun.protect ~finally:(fun () -> Obs.set_clock Sys.time) f
+
+(* [serve.bytes_in]/[serve.bytes_out] must equal the summed encoded
+   frame sizes — per codec, since the two codecs frame differently. *)
+let test_bytes_counters () =
+  List.iter
+    (fun mode ->
+      Obs.reset ();
+      let reqs =
+        [
+          small_load;
+          P.Solve name;
+          P.Query_ball
+            { name; center = [| 0.0; 0.0 |]; radius = 10.0; eps = 0.0 };
+        ]
+      in
+      let config = { Server.default_config with Server.mode } in
+      let payloads =
+        with_server ~config ~n:1 (fun srv cs ->
+            let c = List.hd cs in
+            List.iter (h_send mode c) reqs;
+            pump srv cs ~want:[ List.length reqs ];
+            frames c)
+      in
+      (* Reply payloads come back stripped; add the framing overhead
+         back (4-byte length prefix / trailing newline). *)
+      let overhead = match mode with P.Binary -> 4 | P.Jsonl -> 1 in
+      let expected_in =
+        List.fold_left
+          (fun a r -> a + String.length (P.encode_request mode r))
+          0 reqs
+      in
+      let expected_out =
+        List.fold_left (fun a p -> a + String.length p + overhead) 0 payloads
+      in
+      let label s = Printf.sprintf "%s (%s)" s (P.mode_to_string mode) in
+      Alcotest.(check bool) (label "bytes flowed") true
+        (expected_in > 0 && expected_out > 0);
+      Alcotest.(check int) (label "serve.bytes_in") expected_in
+        (Obs.value_of "serve.bytes_in");
+      Alcotest.(check int) (label "serve.bytes_out") expected_out
+        (Obs.value_of "serve.bytes_out"))
+    [ P.Binary; P.Jsonl ]
+
+(* The Stats blob must parse and carry the serve counters, the per-kind
+   latency histograms and the per-instance registry section. *)
+let test_stats_content () =
+  Obs.reset ();
+  with_server ~n:1 (fun srv cs ->
+      let c = List.hd cs in
+      let reqs =
+        [
+          small_load;
+          P.Solve name;
+          P.Insert { name; point = [| 7.0; 1.0 |] };
+          P.Stats;
+        ]
+      in
+      List.iter (h_send P.Binary c) reqs;
+      pump srv cs ~want:[ List.length reqs ];
+      match dec P.Binary (newest c) with
+      | P.Stats_reply blob ->
+          let j = Obs.Json.parse blob in
+          let counters = Option.get (Obs.Json.member "counters" j) in
+          let cnt k =
+            match Obs.Json.member k counters with
+            | Some v -> int_of_float (Obs.Json.num v)
+            | None -> Alcotest.failf "stats blob lacks counter %s" k
+          in
+          Alcotest.(check int) "serve.requests" 4 (cnt "serve.requests");
+          Alcotest.(check bool) "bytes counters present and nonzero" true
+            (cnt "serve.bytes_in" > 0 && cnt "serve.bytes_out" > 0);
+          let hists = Option.get (Obs.Json.member "hists" j) in
+          List.iter
+            (fun kind ->
+              let hname = "serve.request_us." ^ kind in
+              match Obs.Json.member hname hists with
+              | Some v ->
+                  let total =
+                    List.fold_left
+                      (fun a pair ->
+                        match Obs.Json.arr pair with
+                        | [ _; c ] -> a + int_of_float (Obs.Json.num c)
+                        | _ -> Alcotest.fail "malformed histogram pair")
+                      0 (Obs.Json.arr v)
+                  in
+                  Alcotest.(check int)
+                    (Printf.sprintf "%s holds one observation" hname)
+                    1 total
+              | None -> Alcotest.failf "stats blob lacks histogram %s" hname)
+            [ "load"; "solve"; "insert" ];
+          let instances = Option.get (Obs.Json.member "instances" j) in
+          let w = Option.get (Obs.Json.member name instances) in
+          let field k = int_of_float (Obs.Json.num (Option.get (Obs.Json.member k w))) in
+          Alcotest.(check int) "instance live count" 7 (field "live");
+          Alcotest.(check int) "instance inserts" 7 (field "inserts");
+          Alcotest.(check int) "instance deletes" 0 (field "deletes");
+          Alcotest.(check int) "centers age since last solve" 1
+            (field "centers_age");
+          Alcotest.(check bool) "solved flag" true
+            (Obs.Json.member "solved" w = Some (Obs.Json.Bool true))
+      | _ -> Alcotest.fail "expected a stats reply")
+
+(* Metrics text, Flight JSONL and the Stats blob must come out
+   bit-identical for every pool size under the constant fake clock, and
+   pass their own exact re-parse gates. *)
+let test_metrics_flight_identity () =
+  let script = drift_script () @ [ P.Metrics; P.Flight; P.Stats ] in
+  let run nd =
+    with_domains nd (fun () ->
+        Obs.reset ();
+        with_server ~n:1 (fun srv cs ->
+            with_fake_clocks srv (fun () ->
+                let c = List.hd cs in
+                List.iter (h_send P.Binary c) script;
+                pump srv cs ~want:[ List.length script ];
+                let fr = frames c in
+                let n = List.length fr in
+                let at i =
+                  match dec P.Binary (List.nth fr i) with
+                  | P.Metrics_reply s | P.Flight_reply s | P.Stats_reply s -> s
+                  | _ -> Alcotest.fail "expected an observability reply"
+                in
+                (at (n - 3), at (n - 2), at (n - 1)))))
+  in
+  let metrics, flight, stats = run (List.hd domain_counts) in
+  (match Obs.Metrics.check metrics with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "metrics self-check failed: %s" m);
+  let records = Obs.Flight.parse_jsonl flight in
+  Alcotest.(check string) "flight JSONL re-renders exactly" flight
+    (Obs.Flight.to_jsonl records);
+  (* One record per request answered before the Flight dump (all
+     timings zero under the fake clock; outcomes typed). *)
+  Alcotest.(check int) "one flight record per earlier request"
+    (List.length script - 2)
+    (List.length records);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "fake-clock phases are zero" true
+        Obs.Flight.(r.fl_queue_us = 0 && r.fl_exec_us = 0 && r.fl_flush_us = 0))
+    records;
+  Alcotest.(check bool) "an error outcome is typed" true
+    (List.exists
+       (fun r -> r.Obs.Flight.fl_outcome = "error:unknown_instance")
+       records);
+  List.iter
+    (fun nd ->
+      let m, f, s = run nd in
+      let lbl what = Printf.sprintf "%s identical (%d domains)" what nd in
+      Alcotest.(check string) (lbl "metrics") metrics m;
+      Alcotest.(check string) (lbl "flight") flight f;
+      Alcotest.(check string) (lbl "stats") stats s)
+    (List.tl domain_counts)
+
+(* With the kill switch off, Metrics still renders valid (frozen) text
+   and the flight ring stays empty — and neither touches the clock. *)
+let test_obs_off_metrics_flight () =
+  without_obs (fun () ->
+      Obs.Flight.clear ();
+      with_server ~n:1 (fun srv cs ->
+          let c = List.hd cs in
+          List.iter (h_send P.Binary c) [ small_load; P.Metrics; P.Flight ];
+          pump srv cs ~want:[ 3 ];
+          match List.map (dec P.Binary) (frames c) with
+          | [ P.Ok_reply; P.Metrics_reply m; P.Flight_reply f ] ->
+              (match Obs.Metrics.check m with
+              | Ok () -> ()
+              | Error e ->
+                  Alcotest.failf "obs-off metrics must stay valid: %s" e);
+              Alcotest.(check string) "obs-off flight ring is empty" "" f
+          | _ -> Alcotest.fail "unexpected replies"))
+
 let suite =
   [
     Alcotest.test_case "byte identity: binary, drift script, all pools" `Slow
@@ -908,4 +1113,12 @@ let suite =
     Alcotest.test_case "oversize closes only the offending connection" `Quick
       test_oversize_closes_connection;
     Alcotest.test_case "stats and shutdown" `Quick test_stats_and_shutdown;
+    Alcotest.test_case "bytes counters match encoded frames" `Quick
+      test_bytes_counters;
+    Alcotest.test_case "stats blob: counters, per-kind hists, instances"
+      `Quick test_stats_content;
+    Alcotest.test_case "metrics/flight/stats identical across pools" `Slow
+      test_metrics_flight_identity;
+    Alcotest.test_case "CSO_OBS=0: metrics valid, flight empty" `Quick
+      test_obs_off_metrics_flight;
   ]
