@@ -1,7 +1,8 @@
 # Convenience wrapper around dune. See README.md.
 
-.PHONY: all build test test-props bench bench-smoke trace-smoke fuzz-smoke \
-	serve-smoke metrics-smoke examples clean reproduce
+.PHONY: all build test test-props bench bench-smoke kernels-smoke \
+	trace-smoke fuzz-smoke serve-smoke metrics-smoke examples clean \
+	reproduce
 
 all: build
 
@@ -32,6 +33,13 @@ bench:
 # alongside `dune runtest`.
 bench-smoke:
 	dune exec bench/main.exe -- smoke_parallel smoke_counters smoke_budgets smoke_kernels smoke_dynamic
+
+# Compute-kernel gate on its own: boxed vs packed vs tiled vs float32
+# distance kernels, bit-identity of every variant (including float32
+# against its own quantized reference), exact eval-counter totals vs
+# BENCH_kernels_baseline.json, and the packed/tiled not-slower gates.
+kernels-smoke:
+	dune exec bench/main.exe -- smoke_kernels
 
 # Trace round-trip gate: record a traced GCSO run, re-read the JSONL
 # through the csokit parser (proving writer and parser agree), check the

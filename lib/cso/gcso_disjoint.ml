@@ -1,4 +1,4 @@
-module Point = Cso_metric.Point
+module Points = Cso_metric.Points
 module Rect = Cso_geom.Rect
 module Bbd = Cso_geom.Bbd_tree
 module Range_tree = Cso_geom.Range_tree
@@ -18,7 +18,7 @@ let solve_core ?(eps = 0.3) ?rounds ~points ~set_of ~rects ~k ~z r =
   let n = Array.length points in
   if n = 0 then Some ([], [])
   else begin
-    let tree = Bbd.build points in
+    let tree = Bbd.build_packed (Points.of_array points) in
     match prune ~eps tree ~set_of ~k ~z ~r with
     | None -> None
     | Some x ->
@@ -91,22 +91,24 @@ let per_rect_centers (g : Geo_instance.t) rtree ~r =
     (fun j rect ->
       let members = Range_tree.report rtree rect in
       if members <> [] then begin
+        (* Per-rectangle coreset: pack the members once; Gonzalez and
+           the sparsification both read the packed store by index. *)
         let sub_pts =
           Array.of_list (List.map (fun i -> g.Geo_instance.points.(i)) members)
         in
+        let sub_coords = Points.of_array sub_pts in
         let member_arr = Array.of_list members in
-        let centers, rad = Gonzalez.run_points_fast sub_pts ~k:g.Geo_instance.k in
+        let centers, rad = Gonzalez.run_packed sub_coords ~k:g.Geo_instance.k in
         if rad > 2.0 *. r then h0 := j :: !h0
         else begin
           (* Sparsify to 2r separation. *)
           let keep = ref [] in
           List.iter
             (fun c ->
-              let pc = sub_pts.(c) in
               if
                 not
                   (List.exists
-                     (fun c' -> Point.l2 pc sub_pts.(c') <= 2.0 *. r)
+                     (fun c' -> Points.l2_idx sub_coords c c' <= 2.0 *. r)
                      !keep)
               then keep := c :: !keep)
             centers;
@@ -145,7 +147,7 @@ let solve_at ?(eps = 0.3) ?rounds (g : Geo_instance.t) rtree ~r =
 let solve ?(eps = 0.3) ?rounds (g : Geo_instance.t) =
   if Geo_instance.frequency g > 1 then
     invalid_arg "Gcso_disjoint.solve: rectangles must be disjoint (f = 1)";
-  let rtree = Range_tree.build g.Geo_instance.points in
+  let rtree = Range_tree.build_packed g.Geo_instance.coords in
   (* Same lattice hazard as [Gcso_general.solve]: raw WSPD candidates can
      all fall below the optimum in its (1+eps) band, leaving the smallest
      feasible guess unboundedly far above it. Generate finer and inflate
@@ -154,7 +156,7 @@ let solve ?(eps = 0.3) ?rounds (g : Geo_instance.t) =
     let eps_w = eps /. (2.0 +. eps) in
     Array.map
       (fun d -> d /. (1.0 -. eps_w))
-      (Wspd.candidate_distances ~eps:eps_w g.Geo_instance.points)
+      (Wspd.candidate_distances_packed ~eps:eps_w g.Geo_instance.coords)
   in
   let gamma =
     let len = Array.length gamma in

@@ -2,6 +2,7 @@ module Point = Cso_metric.Point
 module Bbd = Cso_geom.Bbd_tree
 module Range_tree = Cso_geom.Range_tree
 module Wspd = Cso_geom.Wspd
+module Csr = Cso_geom.Csr
 module Mwu = Cso_lp.Mwu
 module Pool = Cso_parallel.Pool
 module Obs = Cso_obs.Obs
@@ -23,17 +24,42 @@ type prepared = {
   bbd : Bbd.t;
   rtree : Range_tree.t;
   rect_nodes : int list array; (* canonical range-tree nodes per rectangle *)
+  (* CSR flattenings driving the batched oracle: fixed for the life of
+     the instance, so every MWU round sweeps contiguous int arrays
+     instead of chasing per-constraint lists. Row/element order matches
+     the corresponding list/fold order exactly — the float accumulation
+     order, and hence bit-identity with the per-constraint reference,
+     depends on it. *)
+  rect_csr : Csr.t; (* [rect_nodes], flattened *)
+  bbd_paths : Csr.t; (* leaf-to-root BBD node path per point *)
+  rt_paths : Csr.t; (* range-tree U_i node set per point *)
 }
 
 let prepare (g : Geo_instance.t) =
-  (* Pack the coordinates once; both trees share the packed store. *)
-  let coords = Cso_metric.Points.of_array g.Geo_instance.points in
+  (* Both trees share the instance's packed store. *)
+  let coords = g.Geo_instance.coords in
   let bbd = Bbd.build_packed coords in
   let rtree = Range_tree.build_packed coords in
   let rect_nodes =
     Array.map (fun rect -> Range_tree.query_nodes rtree rect) g.Geo_instance.rects
   in
-  { g; bbd; rtree; rect_nodes }
+  let n = Cso_metric.Points.length coords in
+  let bbd_paths =
+    Csr.of_lists
+      (Array.init n (fun l ->
+           List.rev
+             (Bbd.fold_path_to_root bbd (Bbd.leaf_of_point bbd l) ~init:[]
+                ~f:(fun acc u -> u :: acc))))
+  in
+  let rt_paths =
+    Csr.of_lists
+      (Array.init n (fun i ->
+           List.rev
+             (Range_tree.fold_point_paths rtree i ~init:[] ~f:(fun acc u ->
+                  u :: acc))))
+  in
+  { g; bbd; rtree; rect_nodes; rect_csr = Csr.of_lists rect_nodes;
+    bbd_paths; rt_paths }
 
 (* Indices of the [k] largest weights. *)
 let top_k weights k =
@@ -49,12 +75,73 @@ type oracle_sol = {
   value : float;
 }
 
+(* Rounding (Appendix C), shared by the batched production path and the
+   per-constraint reference: average the per-round oracle solutions,
+   keep rectangles with mass >= 1/(2f), greedily cover the surviving
+   points with balls of radius [removal_mult * r]. The greedy centers
+   are instance point indices, so the ball queries go through the
+   packed store by index — no boxed point on this path. *)
+let round_solution p ~eps ~r ~removal_mult sols =
+  let g = p.g in
+  let n = Array.length g.Geo_instance.points in
+  let m = Array.length g.Geo_instance.rects in
+  let t = float_of_int (List.length sols) in
+  let x_hat = Array.make n 0.0 and y_hat = Array.make m 0.0 in
+  List.iter
+    (fun sol ->
+      List.iter (fun l -> x_hat.(l) <- x_hat.(l) +. 1.0) sol.chosen_pts;
+      List.iter (fun j -> y_hat.(j) <- y_hat.(j) +. 1.0) sol.chosen_rects)
+    sols;
+  Array.iteri (fun i v -> x_hat.(i) <- v /. t) x_hat;
+  Array.iteri (fun j v -> y_hat.(j) <- v /. t) y_hat;
+  let f = float_of_int (max 1 (Geo_instance.frequency g)) in
+  let threshold = (1.0 /. (2.0 *. f)) -. 1e-9 in
+  let outliers = ref [] in
+  for j = m - 1 downto 0 do
+    if y_hat.(j) >= threshold then outliers := j :: !outliers
+  done;
+  Range_tree.reset_marks p.rtree;
+  List.iter
+    (fun j ->
+      List.iter (fun u -> Range_tree.add_mark p.rtree u) p.rect_nodes.(j))
+    !outliers;
+  Bbd.reset_active p.bbd;
+  for i = 0 to n - 1 do
+    if Range_tree.marked_on_paths p.rtree i then
+      Bbd.deactivate p.bbd (Bbd.leaf_of_point p.bbd i)
+  done;
+  let centers = ref [] in
+  let removal = removal_mult *. r in
+  let rec greedy () =
+    match Bbd.root_repr p.bbd with
+    | None -> ()
+    | Some pi ->
+        centers := pi :: !centers;
+        let nodes =
+          Bbd.ball_query_active_idx p.bbd ~center:pi ~radius:removal ~eps
+        in
+        List.iter (Bbd.deactivate p.bbd) nodes;
+        (* The representative itself is always captured (distance 0),
+           but guard against a pathological miss. *)
+        if Bbd.point_is_active p.bbd pi then
+          Bbd.deactivate p.bbd (Bbd.leaf_of_point p.bbd pi);
+        greedy ()
+  in
+  greedy ();
+  Some { Instance.centers = List.rev !centers; outliers = !outliers }
+
+(* Batched oracle: each MWU round is one sequential CSR scatter (the
+   float accumulation whose order is the bit-identity contract) plus
+   one pooled gather pass per side, sweeping flat int arrays into
+   buffers reused across every round of the guess. Values, counters
+   and histogram events are bit-identical to [solve_at_reference]'s
+   per-constraint closures — pinned by the differential tests in
+   [test/suite_gcso.ml] and the [gcso.batched_oracle] fuzz check. *)
 let solve_at ?(eps = 0.3) ?rounds ?(cover_mult = 1.0) ?(removal_mult = 2.0)
     ?warm_weights ?on_round ?on_weights p ~r =
   let g = p.g in
   let n = Array.length g.Geo_instance.points in
   let m = Array.length g.Geo_instance.rects in
-  let pts = g.Geo_instance.points in
   let k = g.Geo_instance.k and z = g.Geo_instance.z in
   if n = 0 then Some { Instance.centers = []; outliers = [] }
   else begin
@@ -67,24 +154,129 @@ let solve_at ?(eps = 0.3) ?rounds ?(cover_mult = 1.0) ?(removal_mult = 2.0)
     Array.iter
       (fun nodes -> Obs.Hist.observe h_ball_nodes (List.length nodes))
       canon;
+    let canon_csr = Csr.of_lists canon in
+    let co = canon_csr.Csr.offsets and ci = canon_csr.Csr.ids in
+    let po = p.bbd_paths.Csr.offsets and pi = p.bbd_paths.Csr.ids in
+    let uo = p.rt_paths.Csr.offsets and ui = p.rt_paths.Csr.ids in
+    let ro = p.rect_csr.Csr.offsets and ri = p.rect_csr.Csr.ids in
+    let width = float_of_int (k + z) in
+    (* Per-guess buffers, overwritten in full every round. [viol] is
+       returned to [Mwu.run], which only reads it within the round. *)
+    let w = Array.make n 0.0 in
+    let tau = Array.make m 0.0 in
+    let viol = Array.make n 0.0 in
+    let pool = Pool.get_default () in
+    let oracle sigma =
+      Obs.incr c_oracle;
+      (* w_l = sum of sigma over the points whose ball query captured l.
+         Sequential scatter in constraint order: the same float
+         accumulation order as the per-constraint list walk. *)
+      Bbd.reset_weights p.bbd;
+      for i = 0 to n - 1 do
+        let s = sigma.(i) in
+        for e = co.(i) to co.(i + 1) - 1 do
+          Bbd.add_weight p.bbd (Array.unsafe_get ci e) s
+        done
+      done;
+      (* The tree weights are fixed once the writes above finish, so the
+         per-point root-path gathers are independent read-only work:
+         one pooled flat pass. *)
+      Pool.parallel_for pool ~chunk:64 ~start:0 ~finish:(n - 1) (fun l ->
+          let acc = ref 0.0 in
+          for e = po.(l) to po.(l + 1) - 1 do
+            acc := !acc +. Bbd.get_weight p.bbd (Array.unsafe_get pi e)
+          done;
+          w.(l) <- !acc);
+      (* tau_j = sigma-weight of the points inside rectangle j. *)
+      Range_tree.set_point_weights p.rtree sigma;
+      for j = 0 to m - 1 do
+        let acc = ref 0.0 in
+        for e = ro.(j) to ro.(j + 1) - 1 do
+          acc := !acc +. Range_tree.node_weight p.rtree (Array.unsafe_get ri e)
+        done;
+        tau.(j) <- !acc
+      done;
+      let chosen_pts = top_k w k in
+      let chosen_rects = top_k tau z in
+      let value =
+        List.fold_left (fun acc l -> acc +. w.(l)) 0.0 chosen_pts
+        +. List.fold_left (fun acc j -> acc +. tau.(j)) 0.0 chosen_rects
+      in
+      if value >= 1.0 -. 1e-12 then Some { chosen_pts; chosen_rects; value }
+      else None
+    in
+    let violation sol =
+      Obs.incr c_violation;
+      (* R1_i: chosen points captured by point i's ball query. *)
+      Bbd.reset_weights p.bbd;
+      List.iter
+        (fun l ->
+          for e = po.(l) to po.(l + 1) - 1 do
+            Bbd.add_weight2 p.bbd (Array.unsafe_get pi e) 1.0
+          done)
+        sol.chosen_pts;
+      (* R2_i: chosen rectangles containing point i. *)
+      Range_tree.reset_weight2 p.rtree;
+      List.iter
+        (fun j ->
+          for e = ro.(j) to ro.(j + 1) - 1 do
+            Range_tree.add_weight2 p.rtree (Array.unsafe_get ri e) 1.0
+          done)
+        sol.chosen_rects;
+      (* One pooled pass over the constraint set: per-constraint slots,
+         read-only over the freshly written tree weights — the MWU hot
+         loop. *)
+      Pool.parallel_for pool ~chunk:64 ~start:0 ~finish:(n - 1) (fun i ->
+          let r1 = ref 0.0 in
+          for e = co.(i) to co.(i + 1) - 1 do
+            r1 := !r1 +. Bbd.get_weight2 p.bbd (Array.unsafe_get ci e)
+          done;
+          let r2 = ref 0.0 in
+          for e = uo.(i) to uo.(i + 1) - 1 do
+            r2 :=
+              !r2 +. Range_tree.node_weight2 p.rtree (Array.unsafe_get ui e)
+          done;
+          viol.(i) <- !r1 +. !r2 -. 1.0);
+      viol
+    in
+    match
+      Mwu.run ~m:n ~width ~eps ?rounds ?warm_weights ?on_round ?on_weights
+        ~oracle ~violation ()
+    with
+    | Mwu.Infeasible -> None
+    | Mwu.Feasible sols -> round_solution p ~eps ~r ~removal_mult sols
+  end
+
+(* Per-constraint reference path: the pre-batching oracle, kept verbatim
+   (list walks, per-round allocations) as the differential baseline the
+   batched [solve_at] is pinned against. Test-only — nothing in the
+   production call graph reaches it. *)
+let solve_at_reference ?(eps = 0.3) ?rounds ?(cover_mult = 1.0)
+    ?(removal_mult = 2.0) ?warm_weights ?on_round ?on_weights p ~r =
+  let g = p.g in
+  let n = Array.length g.Geo_instance.points in
+  let k = g.Geo_instance.k and z = g.Geo_instance.z in
+  if n = 0 then Some { Instance.centers = []; outliers = [] }
+  else begin
+    let rc = cover_mult *. r in
+    let canon = Bbd.balls_all p.bbd ~radius:rc ~eps in
+    Array.iter
+      (fun nodes -> Obs.Hist.observe h_ball_nodes (List.length nodes))
+      canon;
     let width = float_of_int (k + z) in
     let oracle sigma =
       Obs.incr c_oracle;
-      (* w_l = sum of sigma over the points whose ball query captured l. *)
       Bbd.reset_weights p.bbd;
       Array.iteri
         (fun i nodes ->
           List.iter (fun u -> Bbd.add_weight p.bbd u sigma.(i)) nodes)
         canon;
-      (* The tree weights are fixed once the writes above finish, so the
-         per-point root-path folds are independent read-only work. *)
       let pool = Pool.get_default () in
       let w =
         Pool.tabulate pool ~chunk:64 n (fun l ->
             Bbd.fold_path_to_root p.bbd (Bbd.leaf_of_point p.bbd l) ~init:0.0
               ~f:(fun acc u -> acc +. Bbd.get_weight p.bbd u))
       in
-      (* tau_j = sigma-weight of the points inside rectangle j. *)
       Range_tree.set_point_weights p.rtree sigma;
       let tau =
         Array.map
@@ -105,14 +297,12 @@ let solve_at ?(eps = 0.3) ?rounds ?(cover_mult = 1.0) ?(removal_mult = 2.0)
     in
     let violation sol =
       Obs.incr c_violation;
-      (* R1_i: chosen points captured by point i's ball query. *)
       Bbd.reset_weights p.bbd;
       List.iter
         (fun l ->
           Bbd.fold_path_to_root p.bbd (Bbd.leaf_of_point p.bbd l) ~init:()
             ~f:(fun () u -> Bbd.add_weight2 p.bbd u 1.0))
         sol.chosen_pts;
-      (* R2_i: chosen rectangles containing point i. *)
       Range_tree.reset_weight2 p.rtree;
       List.iter
         (fun j ->
@@ -120,8 +310,6 @@ let solve_at ?(eps = 0.3) ?rounds ?(cover_mult = 1.0) ?(removal_mult = 2.0)
             (fun u -> Range_tree.add_weight2 p.rtree u 1.0)
             p.rect_nodes.(j))
         sol.chosen_rects;
-      (* Per-constraint evaluation: read-only over the freshly written
-         tree weights, one slot per constraint — the MWU hot loop. *)
       let pool = Pool.get_default () in
       Pool.tabulate pool ~chunk:64 n (fun i ->
           let r1 =
@@ -140,54 +328,7 @@ let solve_at ?(eps = 0.3) ?rounds ?(cover_mult = 1.0) ?(removal_mult = 2.0)
         ~oracle ~violation ()
     with
     | Mwu.Infeasible -> None
-    | Mwu.Feasible sols ->
-        let t = float_of_int (List.length sols) in
-        let x_hat = Array.make n 0.0 and y_hat = Array.make m 0.0 in
-        List.iter
-          (fun sol ->
-            List.iter (fun l -> x_hat.(l) <- x_hat.(l) +. 1.0) sol.chosen_pts;
-            List.iter (fun j -> y_hat.(j) <- y_hat.(j) +. 1.0) sol.chosen_rects)
-          sols;
-        Array.iteri (fun i v -> x_hat.(i) <- v /. t) x_hat;
-        Array.iteri (fun j v -> y_hat.(j) <- v /. t) y_hat;
-        (* Round: keep rectangles with mass >= 1/(2f); greedily cover the
-           surviving points with balls of radius removal_mult * r. *)
-        let f = float_of_int (max 1 (Geo_instance.frequency g)) in
-        let threshold = (1.0 /. (2.0 *. f)) -. 1e-9 in
-        let outliers = ref [] in
-        for j = m - 1 downto 0 do
-          if y_hat.(j) >= threshold then outliers := j :: !outliers
-        done;
-        Range_tree.reset_marks p.rtree;
-        List.iter
-          (fun j ->
-            List.iter (fun u -> Range_tree.add_mark p.rtree u) p.rect_nodes.(j))
-          !outliers;
-        Bbd.reset_active p.bbd;
-        for i = 0 to n - 1 do
-          if Range_tree.marked_on_paths p.rtree i then
-            Bbd.deactivate p.bbd (Bbd.leaf_of_point p.bbd i)
-        done;
-        let centers = ref [] in
-        let removal = removal_mult *. r in
-        let rec greedy () =
-          match Bbd.root_repr p.bbd with
-          | None -> ()
-          | Some pi ->
-              centers := pi :: !centers;
-              let nodes =
-                Bbd.ball_query_active p.bbd ~center:pts.(pi) ~radius:removal
-                  ~eps
-              in
-              List.iter (Bbd.deactivate p.bbd) nodes;
-              (* The representative itself is always captured (distance
-                 0), but guard against a pathological miss. *)
-              if Bbd.point_is_active p.bbd pi then
-                Bbd.deactivate p.bbd (Bbd.leaf_of_point p.bbd pi);
-              greedy ()
-        in
-        greedy ();
-        Some { Instance.centers = List.rev !centers; outliers = !outliers }
+    | Mwu.Feasible sols -> round_solution p ~eps ~r ~removal_mult sols
   end
 
 type report = {
@@ -236,7 +377,9 @@ let solve ?(eps = 0.3) ?rounds ?candidates ?warm_weights ?on_weights g =
            eps_w = eps_c/(2+eps_c) makes that upper factor exactly
            [1+eps_c], preserving the (2+eps) budget below. *)
         let eps_w = eps_c /. (2.0 +. eps_c) in
-        let raw = Wspd.candidate_distances ~eps:eps_w g.Geo_instance.points in
+        let raw =
+          Wspd.candidate_distances_packed ~eps:eps_w (Bbd.coords p.bbd)
+        in
         Array.map (fun d -> d /. (1.0 -. eps_w)) raw
   in
   (* The WSPD only approximates the diameter; append a guess safely above

@@ -47,7 +47,24 @@ val solve_at : ?eps:float -> ?rounds:int -> ?cover_mult:float ->
     (default [2.]) is the rounding removal radius multiplier; Section 3.3
     passes [10.] / [20.]. [warm_weights] / [on_weights] pass through to
     {!Cso_lp.Mwu.run}: seed the constraint weights from a prior run and
-    observe them per round. *)
+    observe them per round.
+
+    The MWU oracle is {e batched}: the canonical-node sets are flattened
+    to CSR once per guess and every round runs one sequential scatter
+    plus one pooled flat gather pass per side, into buffers reused
+    across rounds. Bit-identical — weights, round counts, solutions,
+    and every counter total — to {!solve_at_reference}. *)
+
+val solve_at_reference : ?eps:float -> ?rounds:int -> ?cover_mult:float ->
+  ?removal_mult:float -> ?warm_weights:float array ->
+  ?on_round:(round:int -> max_violation:float -> unit) ->
+  ?on_weights:(float array -> unit) ->
+  prepared -> r:float -> Instance.solution option
+(** The pre-batching per-constraint oracle (list walks, per-round
+    allocations), kept as the differential baseline {!solve_at} is
+    pinned against — same arguments, bit-identical results and
+    observability events. Test/reference only: slower, and nothing in
+    the production call graph uses it. *)
 
 type report = {
   solution : Instance.solution;

@@ -4,6 +4,7 @@ module Space = Cso_metric.Space
 
 type t = {
   points : Point.t array;
+  coords : Cso_metric.Points.t;
   rects : Rect.t array;
   k : int;
   z : int;
@@ -24,7 +25,10 @@ let make ~points ~rects ~k ~z =
         List.rev !l)
       points
   in
-  { points; rects; k; z; membership }
+  (* Pack once at construction: every solver (trees, WSPD, greedy) reads
+     [coords]; the boxed [points] stay as the I/O/validation view. *)
+  { points; coords = Cso_metric.Points.of_array points; rects; k; z;
+    membership }
 
 let dims t = if Array.length t.points = 0 then 0 else Point.dim t.points.(0)
 

@@ -8,6 +8,10 @@
 
 type t = private {
   points : Cso_metric.Point.t array;
+      (** boxed I/O/validation view; solvers read [coords] *)
+  coords : Cso_metric.Points.t;
+      (** the points, packed once at construction — the representation
+          every production path (trees, WSPD, greedy) works over *)
   rects : Cso_geom.Rect.t array;
   k : int;
   z : int;

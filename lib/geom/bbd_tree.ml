@@ -1,4 +1,3 @@
-module Point = Cso_metric.Point
 module Points = Cso_metric.Points
 module Obs = Cso_obs.Obs
 module Pool = Cso_parallel.Pool
@@ -47,7 +46,6 @@ type node = {
 
 type t = {
   coords : Points.t;
-  pts : Point.t array;
   mutable nodes : node array;
   mutable n_nodes : int;
   root : int;
@@ -99,10 +97,10 @@ let widest_dim coords idx lo hi =
   done;
   !best
 
-let build_with coords pts =
+let build_with coords =
   let n = Points.length coords in
   let t =
-    { coords; pts; nodes = Array.make (max 1 (2 * n)) dummy_node; n_nodes = 0;
+    { coords; nodes = Array.make (max 1 (2 * n)) dummy_node; n_nodes = 0;
       root = 0; leaf_of = Array.make n (-1) }
   in
   if n = 0 then t
@@ -148,11 +146,14 @@ let build_with coords pts =
     t
   end
 
-let build pts = build_with (Points.of_array pts) pts
-let build_packed coords = build_with coords (Points.to_array coords)
+let build pts = build_with (Points.of_array pts)
+let build_packed coords = build_with coords
 
 let size t = t.coords.Points.n
-let points t = t.pts
+
+(* Boxed view for tests and reference paths only: fresh copies, rebuilt
+   on every call — the tree no longer retains a boxed array. *)
+let points t = Points.to_array t.coords
 let coords t = t.coords
 let node_count t id = t.nodes.(id).count
 let node_active_count t id =
@@ -242,6 +243,24 @@ let ball_query t ~center ~radius ~eps =
 
 let ball_query_active t ~center ~radius ~eps =
   ball_query_gen ~respect_active:true t ~center ~radius ~eps
+
+(* Index-centered queries: the center is one of the tree's own points,
+   staged from the packed store into the per-domain scratch row — no
+   boxed point anywhere on the path. Results and counter events are
+   identical to the boxed-center query at the same coordinates. *)
+let ball_query_idx_gen ~respect_active t ~center ~radius ~eps =
+  if t.coords.Points.n = 0 then []
+  else begin
+    let s = scratch_for t in
+    Points.blit_point t.coords center s.ctr;
+    query_into ~respect_active t ~center:s.ctr ~radius ~eps s
+  end
+
+let ball_query_idx t ~center ~radius ~eps =
+  ball_query_idx_gen ~respect_active:false t ~center ~radius ~eps
+
+let ball_query_active_idx t ~center ~radius ~eps =
+  ball_query_idx_gen ~respect_active:true t ~center ~radius ~eps
 
 (* One canonical-node query per point, batched: the per-domain scratch is
    fetched once per chunk index, the center is staged into the packed
@@ -360,3 +379,9 @@ let active_count_in_ball t ~center ~radius ~eps =
     (fun acc id -> acc + node_active_count t id)
     0
     (ball_query_active t ~center ~radius ~eps)
+
+let active_count_in_ball_idx t ~center ~radius ~eps =
+  List.fold_left
+    (fun acc id -> acc + node_active_count t id)
+    0
+    (ball_query_active_idx t ~center ~radius ~eps)

@@ -18,8 +18,9 @@ type t
 
 val build : Cso_metric.Point.t array -> t
 (** Builds the tree; single-point leaves. Accepts the empty array.
-    Internally the coordinates are packed into a {!Cso_metric.Points.t}
-    store; the boxed array is retained for the {!points} view. *)
+    The coordinates are packed into a {!Cso_metric.Points.t} store
+    immediately; no boxed array is retained (test/reference convenience
+    over {!build_packed}, the production entry point). *)
 
 val build_packed : Cso_metric.Points.t -> t
 (** Builds the tree straight from a packed store (same tree, same boxes,
@@ -29,7 +30,8 @@ val size : t -> int
 (** Number of points. *)
 
 val points : t -> Cso_metric.Point.t array
-(** The underlying point array (do not mutate). *)
+(** Fresh boxed copies of the points, rebuilt on every call — a
+    test/reference view; production code reads {!coords} by index. *)
 
 val coords : t -> Cso_metric.Points.t
 (** The packed coordinate store the tree was built over. *)
@@ -52,6 +54,16 @@ val ball_query_active : t -> center:Cso_metric.Point.t -> radius:float ->
   eps:float -> int list
 (** Like [ball_query] but never descends into deactivated nodes; canonical
     nodes cover only active points. *)
+
+val ball_query_idx : t -> center:int -> radius:float -> eps:float -> int list
+(** [ball_query] centered at the tree's own point [center] (a point
+    index), staged from the packed store — no boxed point on the path.
+    Same result and counter events as the boxed-center query at those
+    coordinates. *)
+
+val ball_query_active_idx :
+  t -> center:int -> radius:float -> eps:float -> int list
+(** Index-centered {!ball_query_active}. *)
 
 val points_of_node : t -> int -> int list
 (** All point indices stored under the node. *)
@@ -115,6 +127,10 @@ val active_count_in_ball : t -> center:Cso_metric.Point.t -> radius:float ->
   eps:float -> int
 (** Sum of active counts over the canonical nodes of the (active) query:
     approximately [|B(c,r) cap active P|]. *)
+
+val active_count_in_ball_idx : t -> center:int -> radius:float ->
+  eps:float -> int
+(** Index-centered {!active_count_in_ball}. *)
 
 val budgets : Cso_obs.Obs.Budget.t list
 (** Declared complexity budget for the per-query node-visit histogram

@@ -1,0 +1,31 @@
+(** Compressed-sparse-row flattening of an [int list array].
+
+    The batched MWU oracle re-reads every constraint's canonical-node
+    list on every round; flattened into [offsets]/[ids] those sweeps are
+    contiguous array reads instead of per-element pointer chases. Row
+    and element order are preserved exactly, so folding a row yields the
+    same value sequence — and the same float accumulation — as
+    [List.fold_left] over the source list.
+
+    Immutable after construction; safe to read from any number of
+    domains concurrently. The fields are exposed for hot loops:
+    row [i] occupies [ids.(offsets.(i) .. offsets.(i+1) - 1)]. *)
+
+type t = private {
+  offsets : int array;  (** length [rows + 1]; [offsets.(0) = 0] *)
+  ids : int array;  (** length [offsets.(rows)] *)
+}
+
+val of_lists : int list array -> t
+(** Flatten, preserving row and element order. *)
+
+val rows : t -> int
+val entries : t -> int
+
+val row_length : t -> int -> int
+
+val iter_row : t -> int -> (int -> unit) -> unit
+(** [iter_row t i f] applies [f] to row [i]'s elements in order. *)
+
+val fold_row : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Left fold over row [i] in element order. *)

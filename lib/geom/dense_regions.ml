@@ -14,15 +14,15 @@ let c_balls = Obs.counter "geom.dense.balls"
 
 let prune_balls tree ~set_of ~inner ~outer ~eps ~threshold ~max_balls =
   let n = Bbd_tree.size tree in
-  let pts = Bbd_tree.points tree in
   let nn = Bbd_tree.n_nodes tree in
   let sets : (int, int) Hashtbl.t array =
     Array.init nn (fun _ -> Hashtbl.create 4)
   in
-  (* Canonical inner-ball nodes per point; reused for every decrement. *)
+  (* Canonical inner-ball nodes per point; reused for every decrement.
+     Index-centered queries — no boxed point on this path. *)
   let canon =
     Array.init n (fun p ->
-        Bbd_tree.ball_query tree ~center:pts.(p) ~radius:inner ~eps)
+        Bbd_tree.ball_query_idx tree ~center:p ~radius:inner ~eps)
   in
   (* Pass 1: charge every ball's contributions. *)
   Array.iteri
@@ -97,7 +97,7 @@ let prune_balls tree ~set_of ~inner ~outer ~eps ~threshold ~max_balls =
           && distinct_sets_around p > threshold
         then begin
           let nodes =
-            Bbd_tree.ball_query_active tree ~center:pts.(p) ~radius:outer ~eps
+            Bbd_tree.ball_query_active_idx tree ~center:p ~radius:outer ~eps
           in
           let members =
             List.concat_map (Bbd_tree.active_points_of_node tree) nodes

@@ -25,7 +25,9 @@ module Obs = Cso_obs.Obs
 module type STATIC = sig
   type tree
 
-  val build : Point.t array -> tree
+  val build : Cso_metric.Points.t -> tree
+  (** Packed build — the production entry point of every static tree. *)
+
   val prefix : string (* counter namespace, e.g. "geom.dynbbd" *)
 end
 
@@ -139,7 +141,7 @@ module Core (S : STATIC) = struct
   let set_level t level ids =
     grow_levels t level;
     let pts = Array.map (fun id -> t.coords.(id)) ids in
-    t.levels.(level) <- Some { tree = S.build pts; ids };
+    t.levels.(level) <- Some { tree = S.build (Cso_metric.Points.of_array pts); ids };
     t.n_stored <- t.n_stored + Array.length ids;
     t.s_level_rebuilds <- t.s_level_rebuilds + 1;
     t.s_points_rebuilt <- t.s_points_rebuilt + Array.length ids;
@@ -239,7 +241,7 @@ module Ball = struct
   include Core (struct
     type tree = Bbd_tree.t
 
-    let build = Bbd_tree.build
+    let build = Bbd_tree.build_packed
     let prefix = "geom.dynbbd"
   end)
 
@@ -287,7 +289,7 @@ module Range = struct
   include Core (struct
     type tree = Range_tree.t
 
-    let build = Range_tree.build
+    let build = Range_tree.build_packed
     let prefix = "geom.dynrtree"
   end)
 

@@ -34,9 +34,8 @@ let node_of_box coords idx lo hi =
    median point. Identical-coordinate inputs still split by index count.
    Coordinates come from the packed store; node centers stay boxed (they
    are fresh synthesized points, not members of the input set). *)
-let build_tree pts =
-  let n = Array.length pts in
-  let coords = Points.of_array pts in
+let build_tree_packed coords =
+  let n = Points.length coords in
   let idx = Array.init n (fun i -> i) in
   let widest lo hi =
     let d = Points.dim coords in
@@ -74,6 +73,8 @@ let build_tree pts =
     end
   in
   if n = 0 then None else Some (go 0 n)
+
+let build_tree pts = build_tree_packed (Points.of_array pts)
 
 (* Core recursion over the split tree, shared by [pairs] and
    [pairs_info]; [emit u v] receives each well-separated node pair. *)
@@ -173,9 +174,18 @@ let pairs_info ?(eps = 0.25) pts =
             :: !acc));
   !acc
 
-let candidate_distances ?(eps = 0.25) pts =
-  let ps = pairs ~eps pts in
-  let ds = List.map (fun (a, b) -> Point.l2 pts.(a) pts.(b)) ps in
+(* Production entry point: representative distances are read straight
+   off the packed store ([Points.l2_idx] is bit-identical to [Point.l2]
+   on the same coordinates, same counter events), so no boxed point is
+   touched anywhere on the candidate-lattice path. *)
+let candidate_distances_packed ?(eps = 0.25) coords =
+  let s = separation ~eps () in
+  let ps = ref [] in
+  (match build_tree_packed coords with
+  | None -> ()
+  | Some root ->
+      iter_pairs ~s root (fun u v -> ps := (u.repr, v.repr) :: !ps));
+  let ds = List.map (fun (a, b) -> Points.l2_idx coords a b) !ps in
   let arr = Array.of_list (0.0 :: ds) in
   (* Monomorphic float sort; same total order as the polymorphic one. *)
   Array.sort Float.compare arr;
@@ -184,3 +194,7 @@ let candidate_distances ?(eps = 0.25) pts =
     (fun d -> match !out with x :: _ when x = d -> () | _ -> out := d :: !out)
     arr;
   Array.of_list (List.rev !out)
+
+(* Boxed wrapper, test/reference only: packs and delegates. *)
+let candidate_distances ?eps pts =
+  candidate_distances_packed ?eps (Points.of_array pts)

@@ -31,8 +31,15 @@ val pairs_info : ?eps:float -> Cso_metric.Point.t array -> pair_info list
     center distance, and full point sets — the data needed to verify
     well-separatedness and exact pair coverage in tests. *)
 
-val candidate_distances : ?eps:float -> Cso_metric.Point.t array ->
+val candidate_distances_packed : ?eps:float -> Cso_metric.Points.t ->
   float array
 (** Sorted, deduplicated candidate distances (0. included): the array
-    [Gamma] of Algorithm 1. For every pairwise distance [delta] of the
-    input there is a candidate in [[(1-eps) delta, (1+eps) delta]]. *)
+    [Gamma] of Algorithm 1, computed over a packed store — the
+    production entry point; no boxed point on the path. For every
+    pairwise distance [delta] of the input there is a candidate in
+    [[(1-eps) delta, (1+eps) delta]]. *)
+
+val candidate_distances : ?eps:float -> Cso_metric.Point.t array ->
+  float array
+(** Boxed test/reference wrapper: packs the array and delegates to
+    {!candidate_distances_packed} — bit-identical output. *)

@@ -1,4 +1,4 @@
-module Point = Cso_metric.Point
+module Points = Cso_metric.Points
 module Bbd = Cso_geom.Bbd_tree
 module Wspd = Cso_geom.Wspd
 
@@ -15,13 +15,12 @@ type result = {
 let greedy_pass tree ~k ~r ~eps =
   Bbd.reset_active tree;
   let tau = Bbd.size tree in
-  let pts = Bbd.points tree in
   let centers = ref [] in
   for _ = 1 to k do
     let best = ref (-1) and best_count = ref (-1) in
     for i = 0 to tau - 1 do
       if Bbd.point_is_active tree i then begin
-        let c = Bbd.active_count_in_ball tree ~center:pts.(i) ~radius:r ~eps in
+        let c = Bbd.active_count_in_ball_idx tree ~center:i ~radius:r ~eps in
         if c > !best_count then begin
           best_count := c;
           best := i
@@ -31,7 +30,7 @@ let greedy_pass tree ~k ~r ~eps =
     if !best >= 0 then begin
       centers := !best :: !centers;
       let nodes =
-        Bbd.ball_query_active tree ~center:pts.(!best) ~radius:(3.0 *. r) ~eps
+        Bbd.ball_query_active_idx tree ~center:!best ~radius:(3.0 *. r) ~eps
       in
       List.iter (Bbd.deactivate tree) nodes
     end
@@ -42,8 +41,10 @@ let run_on_all ?(eps = 0.25) pts ~k ~budget =
   let n = Array.length pts in
   if n = 0 then { centers = []; radius = 0.0; sample_size = 0; sample_outliers = 0 }
   else begin
-    let tree = Bbd.build pts in
-    let gamma = Wspd.candidate_distances ~eps pts in
+    (* One pack feeds the tree and the candidate lattice. *)
+    let coords = Points.of_array pts in
+    let tree = Bbd.build_packed coords in
+    let gamma = Wspd.candidate_distances_packed ~eps coords in
     let lo = ref 0 and hi = ref (Array.length gamma - 1) in
     let best = ref None in
     while !lo <= !hi do
@@ -103,10 +104,11 @@ let run ?rng ?(eps = 0.25) pts ~k ~z =
   end
 
 let outliers_at pts ~centers ~threshold =
+  let coords = Points.of_array pts in
   let out = ref [] in
-  for i = Array.length pts - 1 downto 0 do
+  for i = Points.length coords - 1 downto 0 do
     let covered =
-      List.exists (fun c -> Point.l2 pts.(c) pts.(i) <= threshold) centers
+      List.exists (fun c -> Points.l2_idx coords c i <= threshold) centers
     in
     if not covered then out := i :: !out
   done;

@@ -7,9 +7,39 @@
    the final value depends only on how many events happened, never on
    which domain saw them. *)
 
+(* --- sharded, padded atomic cells -------------------------------------
+   A counter (and each histogram) keeps one atomic cell per shard;
+   a domain increments the shard indexed by its domain id, and readers
+   sum the shards. Increments are commutative integer adds and the
+   shard sum is exact, so totals stay bit-identical across domain
+   counts — but two domains hammering the same counter no longer
+   contend on (or false-share) a single cache line. Shard cells are
+   allocated with one cache line of padding between them ([pad_words]
+   dummy words, kept alive in [pads]) so that cells interned back to
+   back do not land on one line either. OCaml gives no placement
+   guarantees, so the padding is best-effort: allocation order is
+   preserved by the copying minor collector and the major heap does not
+   compact unless asked. *)
+
+let n_shards = 8 (* power of two; covers CSO_NUM_DOMAINS up to 8 exactly *)
+let shard_mask = n_shards - 1
+
+(* One cache line (64 bytes) is 8 words; an [Atomic.make] block is
+   header + 1 value word, so 6 padding words + header fill the line. *)
+let pad_words = 6
+let pads : int array list ref = ref []
+
+let padded_cells () =
+  Array.init n_shards (fun _ ->
+      let c = Atomic.make 0 in
+      pads := Array.make pad_words 0 :: !pads;
+      c)
+
+let shard_id () = (Domain.self () :> int) land shard_mask
+
 type counter = {
   c_name : string;
-  cell : int Atomic.t;
+  cells : int Atomic.t array; (* one per shard *)
 }
 
 let parse_env () =
@@ -33,7 +63,7 @@ let counter name =
     match Hashtbl.find_opt counters name with
     | Some c -> c
     | None ->
-        let c = { c_name = name; cell = Atomic.make 0 } in
+        let c = { c_name = name; cells = padded_cells () } in
         Hashtbl.add counters name c;
         c
   in
@@ -41,19 +71,32 @@ let counter name =
   c
 
 let name c = c.c_name
-let incr c = if Atomic.get switch then Atomic.incr c.cell
+
+let incr c =
+  if Atomic.get switch then
+    Atomic.incr (Array.unsafe_get c.cells (shard_id ()))
 
 let add c n =
   if n < 0 then invalid_arg "Obs.add: negative increment";
-  if n <> 0 && Atomic.get switch then ignore (Atomic.fetch_and_add c.cell n)
+  if n <> 0 && Atomic.get switch then
+    ignore (Atomic.fetch_and_add (Array.unsafe_get c.cells (shard_id ())) n)
 
-let value c = Atomic.get c.cell
+(* Exact: integer shard sums commute, so the total is independent of
+   which domain performed each increment. *)
+let sum_cells cells =
+  let acc = ref 0 in
+  for s = 0 to n_shards - 1 do
+    acc := !acc + Atomic.get cells.(s)
+  done;
+  !acc
+
+let value c = sum_cells c.cells
 
 let value_of n =
   Mutex.lock mu;
   let v =
     match Hashtbl.find_opt counters n with
-    | Some c -> Atomic.get c.cell
+    | Some c -> sum_cells c.cells
     | None -> 0
   in
   Mutex.unlock mu;
@@ -64,7 +107,7 @@ let by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l
 (* Snapshot with the registry mutex held by the caller. *)
 let snapshot_locked () =
   by_name
-    (Hashtbl.fold (fun n c acc -> (n, Atomic.get c.cell) :: acc) counters [])
+    (Hashtbl.fold (fun n c acc -> (n, sum_cells c.cells) :: acc) counters [])
 
 let snapshot () =
   Mutex.lock mu;
@@ -287,7 +330,12 @@ module Hist = struct
 
   type t = {
     h_name : string;
-    cells : int Atomic.t array;
+    (* [shards.(s).(b)]: shard [s]'s count for bucket [b]. A domain
+       writes only its own shard's bucket row (one contiguous
+       allocation per shard), so concurrent observers never share a
+       cache line; bucket values are the exact integer sums over
+       shards, identical for every domain count. *)
+    shards : int Atomic.t array array;
   }
 
   let hists : (string, t) Hashtbl.t = Hashtbl.create 16
@@ -299,7 +347,14 @@ module Hist = struct
       | Some h -> h
       | None ->
           let h =
-            { h_name = name; cells = Array.init n_buckets (fun _ -> Atomic.make 0) }
+            { h_name = name;
+              shards =
+                Array.init n_shards (fun _ ->
+                    let row =
+                      Array.init n_buckets (fun _ -> Atomic.make 0)
+                    in
+                    pads := Array.make pad_words 0 :: !pads;
+                    row) }
           in
           Hashtbl.add hists name h;
           h
@@ -334,20 +389,33 @@ module Hist = struct
   let bucket_lo b = if b <= 0 then 0.0 else Float.ldexp 1.0 (b - 65)
 
   let observe h v =
-    if Atomic.get switch then Atomic.incr h.cells.(bucket_of_int v)
+    if Atomic.get switch then
+      Atomic.incr
+        (Array.unsafe_get (Array.unsafe_get h.shards (shard_id ()))
+           (bucket_of_int v))
 
   let observe_float h v =
-    if Atomic.get switch then Atomic.incr h.cells.(bucket_of_float v)
+    if Atomic.get switch then
+      Atomic.incr
+        (Array.unsafe_get (Array.unsafe_get h.shards (shard_id ()))
+           (bucket_of_float v))
 
-  let sparse_of_cells cells =
+  let bucket_value shards b =
+    let acc = ref 0 in
+    for s = 0 to n_shards - 1 do
+      acc := !acc + Atomic.get shards.(s).(b)
+    done;
+    !acc
+
+  let sparse_of_cells shards =
     let acc = ref [] in
     for b = n_buckets - 1 downto 0 do
-      let c = Atomic.get cells.(b) in
+      let c = bucket_value shards b in
       if c > 0 then acc := (b, c) :: !acc
     done;
     !acc
 
-  let buckets h = sparse_of_cells h.cells
+  let buckets h = sparse_of_cells h.shards
   let total h = List.fold_left (fun acc (_, c) -> acc + c) 0 (buckets h)
 
   (* Quantile estimate from log2 buckets: locate the bucket holding the
@@ -375,7 +443,8 @@ module Hist = struct
   let snapshot_arrays_locked () =
     by_name
       (Hashtbl.fold
-         (fun n h acc -> (n, Array.map Atomic.get h.cells) :: acc)
+         (fun n h acc ->
+           (n, Array.init n_buckets (fun b -> bucket_value h.shards b)) :: acc)
          hists [])
 
   let snapshot () =
@@ -383,7 +452,7 @@ module Hist = struct
     let l =
       by_name
         (Hashtbl.fold
-           (fun n h acc -> (n, sparse_of_cells h.cells) :: acc)
+           (fun n h acc -> (n, sparse_of_cells h.shards) :: acc)
            hists [])
     in
     Mutex.unlock mu;
@@ -418,7 +487,9 @@ module Hist = struct
 
   let reset_locked () =
     Hashtbl.iter
-      (fun _ h -> Array.iter (fun c -> Atomic.set c 0) h.cells)
+      (fun _ h ->
+        Array.iter (fun row -> Array.iter (fun c -> Atomic.set c 0) row)
+          h.shards)
       hists
 end
 
@@ -554,7 +625,9 @@ let span_stats () =
 
 let reset () =
   Mutex.lock mu;
-  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+  Hashtbl.iter
+    (fun _ c -> Array.iter (fun cell -> Atomic.set cell 0) c.cells)
+    counters;
   Hashtbl.reset spans;
   Hist.reset_locked ();
   trace_clear_locked ();

@@ -107,7 +107,19 @@ let create ?num_domains () =
       failure = None;
     }
   in
-  t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  (* Never spawn more worker domains than the host has spare cores:
+     an oversubscribed domain does not add throughput, but it does make
+     every stop-the-world pause wait for one more wakeup — on a
+     single-core host that turns allocating "parallel" kernels into a
+     2-3x slowdown. [size] stays the requested participation (it is the
+     deterministic chunking parameter); only the spawn count is
+     clamped, and [run_job] already degrades to inline execution when
+     there are no workers. *)
+  let spare = max 0 (min max_domains (Domain.recommended_domain_count ()) - 1) in
+  t.workers <-
+    Array.init
+      (min (size - 1) spare)
+      (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
 let shutdown t =
@@ -161,27 +173,62 @@ let run_job t ~n_chunks run =
 
 let default_chunk = 1024
 
+(* Crossover measured on the wired kernels (BENCH_parallel_smoke.json):
+   below a few thousand indices the fixed cost of posting a job — one
+   mutex acquisition, a condvar broadcast, and the wakeup latency of
+   sleeping worker domains — exceeds the body work, and the recorded
+   "speedups" at smoke sizes were 0.43–0.79x (a slowdown). Ranges at or
+   under this many indices run inline on the calling domain unless the
+   caller overrides [?seq_below]. *)
+let default_seq_below = 2048
+
 let check_chunk chunk =
   if chunk < 1 then invalid_arg "Pool: chunk < 1"
 
-let parallel_for t ?(chunk = default_chunk) ~start ~finish body =
+let check_seq_below seq_below =
+  if seq_below < 0 then invalid_arg "Pool: seq_below < 0"
+
+(* Chunk size balancing scheduling overhead against load balance: about
+   8 chunks per participating domain, clamped to [64, default_chunk].
+   Deterministic in (n, pool size) only — callers that need a chunking
+   that is stable across pool sizes (float reductions) must keep passing
+   an explicit [~chunk]. *)
+let auto_chunk t n =
+  if n <= 0 then default_chunk
+  else
+    let per = (n + (8 * t.size) - 1) / (8 * t.size) in
+    max 64 (min default_chunk per)
+
+let parallel_for t ?(chunk = default_chunk) ?(seq_below = default_seq_below)
+    ~start ~finish body =
   check_chunk chunk;
+  check_seq_below seq_below;
   let n = finish - start + 1 in
   if n > 0 then begin
-    let n_chunks = (n + chunk - 1) / chunk in
-    let run c =
-      let lo = start + (c * chunk) in
-      let hi = min finish (lo + chunk - 1) in
-      for i = lo to hi do
+    if n <= seq_below then
+      (* Below the measured crossover the job-posting overhead dominates:
+         run inline. Bodies perform disjoint writes (the documented
+         contract), so the result is identical to the pooled run. *)
+      for i = start to finish do
         body i
       done
-    in
-    if n_chunks = 1 then run 0 else run_job t ~n_chunks run
+    else begin
+      let n_chunks = (n + chunk - 1) / chunk in
+      let run c =
+        let lo = start + (c * chunk) in
+        let hi = min finish (lo + chunk - 1) in
+        for i = lo to hi do
+          body i
+        done
+      in
+      if n_chunks = 1 then run 0 else run_job t ~n_chunks run
+    end
   end
 
-let parallel_for_reduce t ?(chunk = default_chunk) ~start ~finish ~neutral
-    ~combine body =
+let parallel_for_reduce t ?(chunk = default_chunk)
+    ?(seq_below = default_seq_below) ~start ~finish ~neutral ~combine body =
   check_chunk chunk;
+  check_seq_below seq_below;
   let n = finish - start + 1 in
   if n <= 0 then neutral
   else begin
@@ -195,26 +242,36 @@ let parallel_for_reduce t ?(chunk = default_chunk) ~start ~finish ~neutral
     in
     if n_chunks = 1 then fold_range start finish
     else begin
+      (* The chunked partial/combine structure is kept on the inline path
+         too: the result depends only on [chunk], never on whether the
+         pool actually ran the chunks — the determinism contract. *)
       let partial = Array.make n_chunks neutral in
-      run_job t ~n_chunks (fun c ->
-          let lo = start + (c * chunk) in
-          let hi = min finish (lo + chunk - 1) in
-          partial.(c) <- fold_range lo hi);
+      let run c =
+        let lo = start + (c * chunk) in
+        let hi = min finish (lo + chunk - 1) in
+        partial.(c) <- fold_range lo hi
+      in
+      if n <= seq_below then
+        for c = 0 to n_chunks - 1 do
+          run c
+        done
+      else run_job t ~n_chunks run;
       Array.fold_left combine neutral partial
     end
   end
 
-let tabulate t ?chunk n f =
+let tabulate t ?chunk ?seq_below n f =
   if n < 0 then invalid_arg "Pool.tabulate: n < 0";
   if n = 0 then [||]
   else begin
     let out = Array.make n (f 0) in
-    parallel_for t ?chunk ~start:1 ~finish:(n - 1) (fun i -> out.(i) <- f i);
+    parallel_for t ?chunk ?seq_below ~start:1 ~finish:(n - 1) (fun i ->
+        out.(i) <- f i);
     out
   end
 
-let map_array t ?chunk f a =
-  tabulate t ?chunk (Array.length a) (fun i -> f a.(i))
+let map_array t ?chunk ?seq_below f a =
+  tabulate t ?chunk ?seq_below (Array.length a) (fun i -> f a.(i))
 
 (* The implicit pool for the library's hot paths. *)
 

@@ -29,9 +29,19 @@
 type t
 
 val create : ?num_domains:int -> unit -> t
-(** [create ~num_domains ()] spawns a pool of [num_domains] total
-    participants ([num_domains - 1] worker domains). Defaults to
-    {!default_size}. Raises [Invalid_argument] if [num_domains < 1]. *)
+(** [create ~num_domains ()] makes a pool of [num_domains] total
+    participants. Defaults to {!default_size}. Raises
+    [Invalid_argument] if [num_domains < 1].
+
+    At most [Domain.recommended_domain_count () - 1] worker domains are
+    actually spawned, whatever [num_domains] says: oversubscribing a
+    host adds no throughput but makes every stop-the-world GC pause
+    wait on one more domain wakeup, which turns allocating kernels into
+    a measured 2-3x slowdown on single-core machines. [size] still
+    reports the requested participation (it is the chunking parameter
+    of {!auto_chunk}); with fewer workers the remaining chunks simply
+    run on the calling domain, and the determinism contract above makes
+    that invisible in the results. *)
 
 val shutdown : t -> unit
 (** Terminate and join all worker domains. Idempotent. Using the pool
@@ -58,17 +68,37 @@ val set_default : t -> unit
     domain counts). The previous pool is {e not} shut down — the caller
     keeps ownership of both. *)
 
+val default_seq_below : int
+(** The default [?seq_below] grain threshold (2048): ranges of at most
+    this many indices run inline on the calling domain instead of being
+    posted to the pool. Derived from the measured crossover of the wired
+    kernels — below a few thousand indices the job-posting fixed cost
+    (mutex, condvar broadcast, worker wakeup latency) exceeds the body
+    work and parallelism is a slowdown (the 0.43–0.79x "speedups"
+    BENCH_parallel_smoke.json used to record). *)
+
+val auto_chunk : t -> int -> int
+(** [auto_chunk t n] is a chunk size giving roughly 8 chunks per
+    participating domain for an [n]-index range, clamped to [64, 1024].
+    Depends on the pool size: callers whose results depend on the chunk
+    boundaries (non-associative float reductions) must keep an explicit
+    stable [~chunk] instead. *)
+
 val parallel_for :
-  t -> ?chunk:int -> start:int -> finish:int -> (int -> unit) -> unit
+  t -> ?chunk:int -> ?seq_below:int -> start:int -> finish:int ->
+  (int -> unit) -> unit
 (** [parallel_for t ~start ~finish body] runs [body i] for every
     [start <= i <= finish] (inclusive; empty when [finish < start]),
     split into chunks of [chunk] consecutive indices (default 1024).
-    The first exception raised by any chunk is re-raised after all
-    chunks finish. *)
+    Ranges of at most [seq_below] indices (default
+    {!default_seq_below}) run inline on the calling domain — same
+    results, none of the job-posting overhead. The first exception
+    raised by any chunk is re-raised after all chunks finish. *)
 
 val parallel_for_reduce :
   t ->
   ?chunk:int ->
+  ?seq_below:int ->
   start:int ->
   finish:int ->
   neutral:'a ->
@@ -76,12 +106,14 @@ val parallel_for_reduce :
   (int -> 'a) ->
   'a
 (** Chunked fold; see the determinism contract above. Returns [neutral]
-    on an empty range. *)
+    on an empty range. The inline [seq_below] path keeps the per-chunk
+    partial/combine structure, so the result depends only on [chunk] —
+    never on whether the pool actually ran the chunks. *)
 
-val tabulate : t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+val tabulate : t -> ?chunk:int -> ?seq_below:int -> int -> (int -> 'a) -> 'a array
 (** [tabulate t n f] is [Array.init n f] with the bodies evaluated in
     parallel ([f 0] runs first, on the calling domain, to seed the
     array). *)
 
-val map_array : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_array : t -> ?chunk:int -> ?seq_below:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array t f a] is [Array.map f a] evaluated in parallel. *)

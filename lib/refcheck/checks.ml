@@ -152,6 +152,62 @@ let metric_cached =
             (Printf.sprintf "cached dist(%d,%d)=%.17g <> direct %.17g" i j
                (c.Space.dist i j) (s.Space.dist i j)))
 
+(* The tiled/batched packed kernels against the naive per-index
+   references (points.mli contract): [l2_sq_block] matches
+   [l2_sq_idx] bitwise; the float32 kernels match a naive double loop
+   over the rounded coordinates bitwise — the same accumulation order,
+   so the only degree of freedom is the single quantization step. *)
+let metric_packed_kernels =
+  let module Points = Cso_metric.Points in
+  Fuzz.make ~name:"metric.packed_kernels_vs_idx"
+    ~gen:(fun rng ->
+      let pts = gen_points rng ~n_min:1 ~n_max:14 ~d_max:5 in
+      let n = Array.length pts in
+      let lo = Random.State.int rng n in
+      (pts, lo, lo + 1 + Random.State.int rng (n - lo)))
+    ~shrink:(fun (pts, _, _) ->
+      List.filter_map
+        (fun p ->
+          if Array.length p >= 1 then Some (p, 0, Array.length p) else None)
+        (drop_each ~keep:1 pts @ round_pts pts))
+    ~show:(fun (pts, lo, hi) ->
+      Printf.sprintf "rows [%d, %d) of %s" lo hi (pts_str pts))
+    ~prop:(fun (pts, lo, hi) ->
+      let c = Points.of_array pts in
+      let s = Points.F32.of_points c in
+      let n = Array.length pts and d = Array.length pts.(0) in
+      let rows = hi - lo in
+      let dst = Array.make (rows * n) nan in
+      let dst32 = Array.make (rows * n) nan in
+      Points.l2_sq_block c ~lo ~hi dst;
+      Points.F32.l2_sq_block s ~lo ~hi dst32;
+      let naive32 i j =
+        let acc = ref 0.0 in
+        for k = 0 to d - 1 do
+          let dk = Points.F32.coord s i k -. Points.F32.coord s j k in
+          acc := !acc +. (dk *. dk)
+        done;
+        !acc
+      in
+      let bits = Int64.bits_of_float in
+      let bad = ref (Ok ()) in
+      for i = lo to hi - 1 do
+        for j = 0 to n - 1 do
+          let at = ((i - lo) * n) + j in
+          if bits dst.(at) <> bits (Points.l2_sq_idx c i j) then
+            bad :=
+              requiref false "l2_sq_block(%d,%d)=%.17g <> l2_sq_idx %.17g" i j
+                dst.(at) (Points.l2_sq_idx c i j);
+          if bits dst32.(at) <> bits (naive32 i j)
+             || bits (Points.F32.l2_sq_idx s i j) <> bits (naive32 i j)
+          then
+            bad :=
+              requiref false "F32 kernel (%d,%d)=%.17g <> naive %.17g" i j
+                dst32.(at) (naive32 i j)
+        done
+      done;
+      !bad)
+
 (* ------------------------------------------------------------------ *)
 (* geom.*                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -945,6 +1001,51 @@ let gcso_mwu_tricriteria =
           "cost %.17g > (2+eps)*opt = %.17g at honest rounds" cost bound
       end)
 
+(* The batched MWU oracle (one CSR scatter + pooled gathers per round)
+   against the per-constraint reference closures it replaced: the whole
+   observable trace — rounded solution, round count, weight-vector bits
+   and counter deltas — must be identical at every radius guess. *)
+let gcso_batched_oracle =
+  Fuzz.make ~name:"gcso.batched_oracle" ~gen:gen_gcso ~shrink:shrink_gcso
+    ~show:show_gcso
+    ~prop:(fun g ->
+      let inst =
+        Geo_instance.make ~points:g.g_pts ~rects:g.g_rects ~k:g.g_k ~z:g.g_z
+      in
+      let prepared = Gcso_general.prepare inst in
+      let gamma =
+        Cso_geom.Wspd.candidate_distances_packed inst.Geo_instance.coords
+      in
+      let trace which ~r =
+        let solve =
+          match which with
+          | `Batched -> Gcso_general.solve_at
+          | `Reference -> Gcso_general.solve_at_reference
+        in
+        let rounds = ref 0 and weights = ref [] in
+        let sol, deltas =
+          Cso_obs.Obs.with_delta (fun () ->
+              solve ~eps:0.4 ~rounds:25
+                ~on_round:(fun ~round:_ ~max_violation:_ -> incr rounds)
+                ~on_weights:(fun w ->
+                  weights := Array.map Int64.bits_of_float w :: !weights)
+                prepared ~r)
+        in
+        (sol, !rounds, !weights, deltas)
+      in
+      let guesses =
+        sorted_ints [ 0; Array.length gamma / 2; Array.length gamma - 1 ]
+      in
+      List.fold_left
+        (fun acc gi ->
+          let* () = acc in
+          let r = gamma.(gi) in
+          let batched = trace `Batched ~r in
+          let reference = trace `Reference ~r in
+          requiref (batched = reference)
+            "batched oracle trace diverges from reference at r=%.17g" r)
+        (Ok ()) guesses)
+
 (* ------------------------------------------------------------------ *)
 (* dynamic.*                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -1689,6 +1790,7 @@ let all =
     metric_ball;
     metric_pairwise;
     metric_cached;
+    metric_packed_kernels;
     geom_bbd_sandwich;
     geom_bbd_balls_all;
     geom_bbd_scale;
@@ -1705,6 +1807,7 @@ let all =
     cso_lp_tricriteria;
     cso_budget_monotone;
     gcso_mwu_tricriteria;
+    gcso_batched_oracle;
     dynamic_bbd;
     dynamic_rtree;
     dynamic_gcso_incremental;

@@ -70,7 +70,7 @@ let do_prepare e =
   let live = Gcso.Incremental.live_points e.inc in
   let ids = Array.of_list (List.map fst live) in
   let pts = Array.of_list (List.map snd live) in
-  e.static <- Some (Bbd.build pts, ids);
+  e.static <- Some (Bbd.build_packed (Cso_metric.Points.of_array pts), ids);
   Obs.incr c_prepares;
   P.Ok_reply
 

@@ -136,6 +136,125 @@ let prop_gcso_mwu_tri_criteria =
              round budget. *)
           && Geo_instance.cost g sol <= (3.5 *. opt) +. 1e-6)
 
+(* ------------------------------------------------------------------ *)
+(* Batched MWU oracle vs the per-constraint reference                  *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Cso_obs.Obs
+module Pool = Cso_parallel.Pool
+
+let with_domains nd f =
+  let old = Pool.get_default () in
+  Pool.with_pool ~num_domains:nd (fun p ->
+      Pool.set_default p;
+      Fun.protect ~finally:(fun () -> Pool.set_default old) f)
+
+(* One complete observable trace of a solver at radius [r]: the rounded
+   solution, the MWU round count, every weight snapshot (as raw float
+   bits, so identity means bit-identity), and the counter deltas. *)
+let solver_trace which prepared ~r =
+  let solve =
+    match which with
+    | `Batched -> Gcso_general.solve_at
+    | `Reference -> Gcso_general.solve_at_reference
+  in
+  let rounds = ref 0 and weights = ref [] in
+  let sol, deltas =
+    Obs.with_delta (fun () ->
+        solve ~eps:0.3 ~rounds:40
+          ~on_round:(fun ~round:_ ~max_violation:_ -> incr rounds)
+          ~on_weights:(fun w ->
+            weights := Array.map Int64.bits_of_float w :: !weights)
+          prepared ~r)
+  in
+  (sol, !rounds, List.rev !weights, deltas)
+
+(* The batched oracle must be indistinguishable from the per-constraint
+   reference — solution, round count, weight bits and every lp.mwu.* /
+   cso.gcso.* counter total — at each pool size. *)
+let test_batched_oracle_matches_reference () =
+  let w = Planted.gcso_disjoint (rng ()) ~n:40 ~m:6 ~k:2 ~z:1 in
+  let g = w.Planted.geo in
+  let prepared = Gcso_general.prepare g in
+  let gamma = Cso_geom.Wspd.candidate_distances_packed g.Geo_instance.coords in
+  List.iter
+    (fun r ->
+      let reference =
+        with_domains 1 (fun () -> solver_trace `Reference prepared ~r)
+      in
+      let _, _, _, ref_deltas = reference in
+      Alcotest.(check bool)
+        (Printf.sprintf "reference trace at r=%g moved mwu counters" r)
+        true
+        (List.mem_assoc "lp.mwu.rounds" ref_deltas);
+      List.iter
+        (fun nd ->
+          let batched =
+            with_domains nd (fun () -> solver_trace `Batched prepared ~r)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "batched = reference (r=%g, %d domains)" r nd)
+            true (batched = reference))
+        [ 1; 2; 4 ])
+    [ gamma.(Array.length gamma / 2); gamma.(Array.length gamma - 1) ]
+
+(* Same differential with instrumentation off (the CSO_OBS=0 story):
+   no counters move, and the algorithmic trace is unchanged. *)
+let test_batched_oracle_obs_disabled () =
+  let w = Planted.gcso_disjoint (rng ()) ~n:30 ~m:5 ~k:2 ~z:1 in
+  let g = w.Planted.geo in
+  let prepared = Gcso_general.prepare g in
+  let gamma = Cso_geom.Wspd.candidate_distances_packed g.Geo_instance.coords in
+  let r = gamma.(Array.length gamma - 1) in
+  let sol, rounds, weights, _ =
+    with_domains 2 (fun () -> solver_trace `Batched prepared ~r)
+  in
+  let was = Obs.enabled () in
+  Obs.set_enabled false;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was) (fun () ->
+      let sol', rounds', weights', deltas =
+        with_domains 2 (fun () -> solver_trace `Batched prepared ~r)
+      in
+      Alcotest.(check bool) "no counter moves with CSO_OBS off" true
+        (deltas = []);
+      Alcotest.(check bool) "trace unchanged with CSO_OBS off" true
+        ((sol', rounds', weights') = (sol, rounds, weights));
+      let refr, refrounds, refweights, _ =
+        with_domains 2 (fun () -> solver_trace `Reference prepared ~r)
+      in
+      Alcotest.(check bool) "batched = reference with CSO_OBS off" true
+        ((refr, refrounds, refweights) = (sol, rounds, weights)))
+
+(* Random instances (the shapes of prop_gcso_mwu_tri_criteria), random
+   radius guesses: bit-identity is a property, not a fixture. *)
+let prop_batched_oracle_identity =
+  let rngp = Random.State.make [| 8642 |] in
+  QCheck.Test.make
+    ~name:"batched MWU oracle bit-identical to per-constraint reference"
+    ~count:10 QCheck.unit
+    (fun () ->
+      let n = 8 + Random.State.int rngp 12 in
+      let points =
+        Array.init n (fun _ ->
+            [| Random.State.float rngp 100.0; Random.State.float rngp 100.0 |])
+      in
+      let rand_rect () =
+        let a = Random.State.float rngp 100.0
+        and b = Random.State.float rngp 100.0 in
+        let c = Random.State.float rngp 100.0
+        and d = Random.State.float rngp 100.0 in
+        Rect.of_intervals [ (min a b, max a b); (min c d, max c d) ]
+      in
+      let rects = [| rand_rect (); rand_rect (); Rect.unbounded 2 |] in
+      let k = 1 + Random.State.int rngp 2 in
+      let g = Geo_instance.make ~points ~rects ~k ~z:1 in
+      let prepared = Gcso_general.prepare g in
+      let gamma =
+        Cso_geom.Wspd.candidate_distances_packed g.Geo_instance.coords
+      in
+      let r = gamma.(Random.State.int rngp (Array.length gamma)) in
+      solver_trace `Batched prepared ~r = solver_trace `Reference prepared ~r)
+
 let test_mwu_on_round_trace () =
   let w = Planted.gcso_disjoint (rng ()) ~n:30 ~m:5 ~k:2 ~z:1 in
   let g = w.Planted.geo in
@@ -164,5 +283,10 @@ let suite =
       test_gcso_coreset_rejects_f2;
     Alcotest.test_case "gcso mwu vs general lp" `Slow test_gcso_vs_cso_lp_costs;
     QCheck_alcotest.to_alcotest prop_gcso_mwu_tri_criteria;
+    Alcotest.test_case "batched oracle = per-constraint reference" `Quick
+      test_batched_oracle_matches_reference;
+    Alcotest.test_case "batched oracle with obs disabled" `Quick
+      test_batched_oracle_obs_disabled;
+    QCheck_alcotest.to_alcotest prop_batched_oracle_identity;
     Alcotest.test_case "mwu round trace" `Quick test_mwu_on_round_trace;
   ]

@@ -138,6 +138,166 @@ let test_float_sort_order_regression () =
                    || (Float.is_nan x && Float.is_nan y))
        a b)
 
+(* ------------------------------------------------------------------ *)
+(* Tiled block kernel and float32 backing (bit-identity contracts)    *)
+(* ------------------------------------------------------------------ *)
+
+let same_bits a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let random_store rng ~n ~d =
+  Points.of_array
+    (Array.init n (fun _ ->
+         Array.init d (fun _ -> Random.State.float rng 100.0 -. 50.0)))
+
+(* [l2_sq_block] must write the exact bits of [l2_sq_to] / [l2_sq_idx]
+   and charge the same [metric.dist_evals] delta as the row kernel. *)
+let test_l2_sq_block_bit_identity () =
+  let module Obs = Cso_obs.Obs in
+  let rng = Random.State.make [| 90125 |] in
+  List.iter
+    (fun (n, d) ->
+      let c = random_store rng ~n ~d in
+      let lo = Random.State.int rng n in
+      let hi = lo + 1 + Random.State.int rng (n - lo) in
+      let rows = hi - lo in
+      let dst = Array.make (rows * n) nan in
+      let (), deltas =
+        Obs.with_delta (fun () -> Points.l2_sq_block c ~lo ~hi dst)
+      in
+      Alcotest.(check (option int))
+        (Printf.sprintf "dist_evals delta (n=%d d=%d)" n d)
+        (Some (rows * n))
+        (List.assoc_opt "metric.dist_evals" deltas);
+      let row = Array.make n nan in
+      for i = lo to hi - 1 do
+        Points.l2_sq_to c i row;
+        for j = 0 to n - 1 do
+          let b = dst.(((i - lo) * n) + j) in
+          if not (same_bits b row.(j) && same_bits b (Points.l2_sq_idx c i j))
+          then
+            Alcotest.failf "l2_sq_block (%d, %d) at n=%d d=%d: %h <> %h" i j n
+              d b row.(j)
+        done
+      done)
+    (* Small, tile-straddling (tile = 2048/d) and every unrolled dim. *)
+    [ (1, 1); (7, 2); (40, 3); (64, 4); (700, 3); (1100, 2) ];
+  let c = random_store rng ~n:4 ~d:2 in
+  Alcotest.check_raises "bad row range"
+    (Invalid_argument "Points.l2_sq_block: bad row range [3, 2) (n = 4)")
+    (fun () -> Points.l2_sq_block c ~lo:3 ~hi:2 (Array.make 16 0.0));
+  Alcotest.check_raises "short destination"
+    (Invalid_argument "Points.l2_sq_block: destination shorter than rows * n")
+    (fun () -> Points.l2_sq_block c ~lo:0 ~hi:2 (Array.make 7 0.0))
+
+(* The float32 store: quantization happens exactly once (at [of_points],
+   to nearest float32), and the three kernels agree bitwise with each
+   other over the rounded coordinates, with the float64 counter
+   accounting. *)
+let test_f32_kernels_bit_identity () =
+  let module Obs = Cso_obs.Obs in
+  let rng = Random.State.make [| 20113 |] in
+  List.iter
+    (fun (n, d) ->
+      let c = random_store rng ~n ~d in
+      let s = Points.F32.of_points c in
+      Alcotest.(check int) "length" n (Points.F32.length s);
+      Alcotest.(check int) "dim" d (Points.F32.dim s);
+      for i = 0 to n - 1 do
+        for j = 0 to d - 1 do
+          let expected =
+            Int32.float_of_bits (Int32.bits_of_float (Points.coord c i j))
+          in
+          if not (same_bits expected (Points.F32.coord s i j)) then
+            Alcotest.failf "coord (%d, %d) not rounded-to-nearest float32" i j
+        done
+      done;
+      let lo = Random.State.int rng n in
+      let hi = lo + 1 + Random.State.int rng (n - lo) in
+      let rows = hi - lo in
+      let dst = Array.make (rows * n) nan in
+      let (), deltas =
+        Obs.with_delta (fun () -> Points.F32.l2_sq_block s ~lo ~hi dst)
+      in
+      Alcotest.(check (option int))
+        (Printf.sprintf "f32 dist_evals delta (n=%d d=%d)" n d)
+        (Some (rows * n))
+        (List.assoc_opt "metric.dist_evals" deltas);
+      let row = Array.make n nan in
+      for i = lo to hi - 1 do
+        Points.F32.l2_sq_to s i row;
+        for j = 0 to n - 1 do
+          let b = dst.(((i - lo) * n) + j) in
+          if
+            not
+              (same_bits b row.(j)
+              && same_bits b (Points.F32.l2_sq_idx s i j))
+          then
+            Alcotest.failf "F32 kernels disagree at (%d, %d), n=%d d=%d" i j n
+              d
+        done
+      done)
+    [ (1, 1); (9, 2); (33, 3); (64, 4); (900, 2) ]
+
+(* Quantization error contract (points.mli): with
+   [e_k = 2^-24 (|x_ik| + |x_jk|)] the per-coordinate rounding bound,
+   [|d32 - d64| <= sum_k (2 |x_ik - x_jk| e_k + e_k^2)], up to double
+   rounding of the sums themselves. *)
+let prop_f32_error_bound =
+  QCheck.Test.make ~name:"f32 squared distance within the quantization bound"
+    ~count:100
+    QCheck.(pair (int_range 2 40) (int_range 1 6))
+    (fun (n, d) ->
+      let rng = Random.State.make [| n; d; 77 |] in
+      let c = random_store rng ~n ~d in
+      let s = Points.F32.of_points c in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let j = (i + 1) mod n in
+        let d64 = Points.l2_sq_idx c i j in
+        let d32 = Points.F32.l2_sq_idx s i j in
+        let bound = ref 0.0 in
+        for k = 0 to d - 1 do
+          let xi = Points.coord c i k and xj = Points.coord c j k in
+          let e = ldexp (abs_float xi +. abs_float xj) (-24) in
+          bound := !bound +. (2.0 *. abs_float (xi -. xj) *. e) +. (e *. e)
+        done;
+        (* Slack for double rounding of the two accumulations. *)
+        let slack = 1e-12 *. (abs_float d64 +. 1.0) in
+        if abs_float (d32 -. d64) > !bound +. slack then ok := false
+      done;
+      !ok)
+
+(* Bit-identity of the tiled kernels on adversarial shapes: random
+   dimensions (unrolled and generic) and ranges straddling tile
+   boundaries. *)
+let prop_block_kernels_bit_identical =
+  QCheck.Test.make
+    ~name:"l2_sq_block / F32 block bit-identical to per-index kernels"
+    ~count:60
+    QCheck.(pair (int_range 1 80) (int_range 1 6))
+    (fun (n, d) ->
+      let rng = Random.State.make [| n; d; 13 |] in
+      let c = random_store rng ~n ~d in
+      let s = Points.F32.of_points c in
+      let lo = Random.State.int rng n in
+      let hi = lo + 1 + Random.State.int rng (n - lo) in
+      let rows = hi - lo in
+      let dst = Array.make (rows * n) nan in
+      let dst32 = Array.make (rows * n) nan in
+      Points.l2_sq_block c ~lo ~hi dst;
+      Points.F32.l2_sq_block s ~lo ~hi dst32;
+      let ok = ref true in
+      for i = lo to hi - 1 do
+        for j = 0 to n - 1 do
+          let at = ((i - lo) * n) + j in
+          if not (same_bits dst.(at) (Points.l2_sq_idx c i j)) then
+            ok := false;
+          if not (same_bits dst32.(at) (Points.F32.l2_sq_idx s i j)) then
+            ok := false
+        done
+      done;
+      !ok)
+
 let prop_euclidean_is_metric =
   QCheck.Test.make ~name:"random euclidean space satisfies metric axioms"
     ~count:30
@@ -173,6 +333,12 @@ let suite =
       test_point_compare_regression;
     Alcotest.test_case "float sort order regression" `Quick
       test_float_sort_order_regression;
+    Alcotest.test_case "l2_sq_block bit-identity + accounting" `Quick
+      test_l2_sq_block_bit_identity;
+    Alcotest.test_case "f32 kernels bit-identity + accounting" `Quick
+      test_f32_kernels_bit_identity;
+    QCheck_alcotest.to_alcotest prop_f32_error_bound;
+    QCheck_alcotest.to_alcotest prop_block_kernels_bit_identical;
     QCheck_alcotest.to_alcotest prop_euclidean_is_metric;
     QCheck_alcotest.to_alcotest prop_nearest_center;
   ]

@@ -123,6 +123,60 @@ let test_pool_sizes () =
       ignore (Pool.create ~num_domains:0 ()));
   Alcotest.(check bool) "default size positive" true (Pool.default_size () >= 1)
 
+(* --- the sequential cutoff --- *)
+
+let test_seq_below_defaults () =
+  Alcotest.(check int) "default grain threshold" 2048 Pool.default_seq_below;
+  Pool.with_pool ~num_domains:4 (fun p ->
+      (* auto_chunk: ~8 chunks per domain, clamped to [64, 1024]. *)
+      let prev = ref 0 in
+      List.iter
+        (fun n ->
+          let c = Pool.auto_chunk p n in
+          Alcotest.(check bool)
+            (Printf.sprintf "auto_chunk %d in [64, 1024]" n)
+            true
+            (c >= 64 && c <= 1024);
+          Alcotest.(check bool)
+            (Printf.sprintf "auto_chunk %d monotone" n)
+            true (c >= !prev);
+          prev := c)
+        [ 1; 100; 2048; 50_000; 1_000_000; 10_000_000 ];
+      Alcotest.(check int) "large n saturates at the chunk cap" 1024
+        (Pool.auto_chunk p 10_000_000);
+      Alcotest.(check int) "empty range gets the cap" 1024
+        (Pool.auto_chunk p 0))
+
+(* Forcing the inline path ([seq_below] above the range) and forcing the
+   pooled path ([seq_below:0]) must be indistinguishable: same floats
+   bit-for-bit out of reduce/tabulate, every index visited exactly once
+   by [parallel_for]. This is the contract that lets wired kernels keep
+   the default cutoff without changing any committed artifact. *)
+let prop_seq_below_identity =
+  QCheck.Test.make
+    ~name:"seq_below inline path = pooled path (for / reduce / tabulate)"
+    ~count:30
+    QCheck.(pair (int_range 0 3000) (int_range 1 400))
+    (fun (n, chunk) ->
+      let xs = Array.init n (fun i -> sin (float_of_int (i + 1))) in
+      Pool.with_pool ~num_domains:4 (fun p ->
+          let reduce sb =
+            Pool.parallel_for_reduce p ~chunk ~seq_below:sb ~start:0
+              ~finish:(n - 1) ~neutral:0.0 ~combine:( +. ) (fun i -> xs.(i))
+          in
+          let tab sb =
+            Pool.tabulate p ~chunk ~seq_below:sb n (fun i -> xs.(i) *. 0.5)
+          in
+          let visits sb =
+            let hits = Array.make n 0 in
+            Pool.parallel_for p ~chunk ~seq_below:sb ~start:0 ~finish:(n - 1)
+              (fun i -> hits.(i) <- hits.(i) + 1);
+            Array.for_all (fun h -> h = 1) hits
+          in
+          Int64.bits_of_float (reduce max_int) = Int64.bits_of_float (reduce 0)
+          && tab max_int = tab 0
+          && visits max_int && visits 0))
+
 (* --- the wired hot paths --- *)
 
 let prop_distance_matrix_identical =
@@ -444,6 +498,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_reduce_float_max;
     QCheck_alcotest.to_alcotest prop_parallel_for_writes_every_index;
     QCheck_alcotest.to_alcotest prop_map_array;
+    Alcotest.test_case "seq_below / auto_chunk defaults" `Quick
+      test_seq_below_defaults;
+    QCheck_alcotest.to_alcotest prop_seq_below_identity;
     QCheck_alcotest.to_alcotest prop_distance_matrix_identical;
     QCheck_alcotest.to_alcotest prop_gonzalez_identical;
     QCheck_alcotest.to_alcotest prop_charikar_identical;
