@@ -2519,8 +2519,14 @@ let dynamic_workload n =
   let rng = Random.State.make [| n; 9090 |] in
   Drift.drifting rng ~n_ops:n ~k:4 ~z:0 ~churn:0.25
 
+(* Fixed-seed delete-heavy churn workload: the tombstone adversary the
+   per-level partial rebuilds are gated against. *)
+let churn_workload n =
+  let rng = Random.State.make [| n; 7171 |] in
+  Drift.churn_heavy rng ~n_ops:n ~k:4 ~z:0
+
 let replay_ball w =
-  let t = Dyn.Ball.create ~dim:w.Drift.dim in
+  let t = Dyn.Ball.create ~dim:w.Drift.dim () in
   Array.iter
     (function
       | Drift.Insert p -> ignore (Dyn.Ball.insert t p)
@@ -2529,7 +2535,7 @@ let replay_ball w =
   t
 
 let replay_range w =
-  let t = Dyn.Range.create ~dim:w.Drift.dim in
+  let t = Dyn.Range.create ~dim:w.Drift.dim () in
   Array.iter
     (function
       | Drift.Insert p -> ignore (Dyn.Range.insert t p)
@@ -2540,8 +2546,11 @@ let replay_range w =
 (* Shared by [fig_dynamic] and [smoke_dynamic]: replays a drifting
    insert/delete workload through both dynamic trees, hard-fails if a
    final query differs from a static rebuild over the survivors, gates
-   amortized insert cost against rebuild-per-insert at n >= 4096, writes
-   [json_path] and returns the deterministic rebuild-work counts. *)
+   amortized insert cost against rebuild-per-insert at n >= 4096, then
+   replays a delete-heavy churn workload and hard-fails any level whose
+   stored/live ratio reaches 1 + alpha (and requires the partial-rebuild
+   policy to actually fire). Writes [json_path] and returns the
+   deterministic rebuild-work counts. *)
 let run_dynamic_checks ~label ~sizes ~reps ~json_path () =
   let rows = ref [] and json_rows = ref [] and counts = ref [] in
   let record structure n variant secs per_op =
@@ -2599,8 +2608,8 @@ let run_dynamic_checks ~label ~sizes ~reps ~json_path () =
          s.Dyn.points_rebuilt)
         :: (Printf.sprintf "dynamic.ball.level_rebuilds.n%d" n,
             s.Dyn.level_rebuilds)
-        :: (Printf.sprintf "dynamic.ball.full_rebuilds.n%d" n,
-            s.Dyn.full_rebuilds)
+        :: (Printf.sprintf "dynamic.ball.partial_rebuilds.n%d" n,
+            s.Dyn.partial_rebuilds)
         :: (Printf.sprintf "dynamic.live.n%d" n, Dyn.Ball.live_count ball)
         :: (Printf.sprintf "dynamic.ball.query_hits.n%d" n,
             List.length dyn_hits)
@@ -2633,7 +2642,7 @@ let run_dynamic_checks ~label ~sizes ~reps ~json_path () =
       let _, t_dyn =
         with_obs_disabled (fun () ->
             timed_best reps (fun () ->
-                let t = Dyn.Ball.create ~dim:w.Drift.dim in
+                let t = Dyn.Ball.create ~dim:w.Drift.dim () in
                 Array.iter (fun p -> ignore (Dyn.Ball.insert t p)) ins))
       in
       let stride = 64 in
@@ -2657,7 +2666,64 @@ let run_dynamic_checks ~label ~sizes ~reps ~json_path () =
              "dynamic check: amortized insert SLOWER than rebuild-per-insert \
               at n=%d (%.6fs vs %.6fs); the logarithmic method must never \
               lose at this size"
-             n t_dyn t_rebuild))
+             n t_dyn t_rebuild);
+      (* --- delete-heavy churn: per-level stored/live stays bounded ---
+         The churn adversary sustains 3:1 deletes over inserts; the
+         weight-balanced partial rebuilds must keep every level at
+         [stored < (1 + alpha) * live] anyway, and the final answers
+         must still equal the live set. *)
+      let cw = churn_workload n in
+      let cball = replay_ball cw in
+      let crange = replay_range cw in
+      let clive = Dyn.Ball.live_ids cball in
+      if Dyn.Range.report crange (Rect.unbounded cw.Drift.dim) <> clive then
+        failwith
+          (Printf.sprintf
+             "dynamic check: churn range answers diverged from the live set \
+              at n=%d"
+             n);
+      let gate_levels structure t_alpha stats =
+        List.iteri
+          (fun i (stored, lvl_live) ->
+            if
+              not
+                (float_of_int (stored - lvl_live)
+                < t_alpha *. float_of_int lvl_live)
+            then
+              failwith
+                (Printf.sprintf
+                   "dynamic check: churn %s level %d holds %d stored for %d \
+                    live at n=%d — stored/live ratio exceeds 1 + alpha \
+                    (%.2f); the partial-rebuild policy is broken"
+                   structure i stored lvl_live n (1.0 +. t_alpha)))
+          stats
+      in
+      gate_levels "ball" (Dyn.Ball.alpha cball) (Dyn.Ball.level_stats cball);
+      gate_levels "range" (Dyn.Range.alpha crange)
+        (Dyn.Range.level_stats crange);
+      let cs = Dyn.Ball.stats cball in
+      if cs.Dyn.partial_rebuilds = 0 then
+        failwith
+          (Printf.sprintf
+             "dynamic check: churn workload fired no partial rebuild at \
+              n=%d — the adversary is not exercising the policy"
+             n);
+      counts :=
+        (Printf.sprintf "dynamic.churn.ball.partial_rebuilds.n%d" n,
+         cs.Dyn.partial_rebuilds)
+        :: (Printf.sprintf "dynamic.churn.ball.points_rebuilt.n%d" n,
+            cs.Dyn.points_rebuilt)
+        :: (Printf.sprintf "dynamic.churn.stored.n%d" n,
+            Dyn.Ball.stored_count cball)
+        :: (Printf.sprintf "dynamic.churn.live.n%d" n,
+            Dyn.Ball.live_count cball)
+        :: !counts;
+      let _, tc =
+        with_obs_disabled (fun () ->
+            timed_best reps (fun () -> ignore (replay_ball cw)))
+      in
+      record "ball" n "churn replay (3:1 deletes)" tc
+        (tc /. float_of_int n))
     sizes;
   let counts =
     List.sort (fun (a, _) (b, _) -> String.compare a b) !counts
@@ -2728,7 +2794,8 @@ let smoke_dynamic () =
       counts;
     Printf.printf
       "dynamic smoke: answers match static rebuilds; amortized insert beats \
-       rebuild-per-insert; all rebuild-work counts match baseline exactly.\n"
+       rebuild-per-insert; churn keeps every level below (1 + alpha) * \
+       live; all rebuild-work counts match baseline exactly.\n"
   end
 
 (* ------------------------------------------------------------------ *)

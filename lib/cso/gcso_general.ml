@@ -456,9 +456,20 @@ module Incremental = struct
   let c_resolves = Obs.counter "cso.gcso.inc.re_solves"
   let c_cached = Obs.counter "cso.gcso.inc.cached_queries"
   let c_updates = Obs.counter "cso.gcso.inc.updates"
+  let c_rect_updates = Obs.counter "cso.gcso.inc.rect_updates"
+
+  type orphan = { rect_id : int; witness : int }
 
   type t = {
-    rects : Rect.t array;
+    (* Live rectangles as [(external id, rect)], ascending by id; ids
+       are dense creation order and never reused, so warm state and
+       cached reports survive set updates unambiguously. *)
+    mutable rect_slots : (int * Rect.t) list;
+    mutable next_rect_id : int;
+    (* A rect insert/delete changes the WSPD candidate lattice and the
+       constraint-matrix shape in ways the insert-only point sketch
+       cannot see, so it must force the next query to re-solve. *)
+    mutable rects_dirty : bool;
     k : int;
     z : int;
     eps : float;
@@ -470,19 +481,23 @@ module Incremental = struct
        last re-solve plus everything inserted since; rebuilt from the
        survivors after each re-solve so deletions eventually leave it. *)
     mutable sketch : Streaming.t;
-    (* Cached report plus the instance-index -> external-id map it was
-       solved under (centers/outlier indices are instance-relative). *)
-    mutable last : (report * int array) option;
+    (* Cached report plus the instance-index -> external-id maps it was
+       solved under: centers/point indices translate through the first
+       array, outlier rect indices through the second. *)
+    mutable last : (report * int array * int array) option;
     mutable solved_live : int;
     (* Sketch radius bound right after the post-re-solve rebuild: the
        drift baseline. The tri-criteria radius is useless here — its
        center blow-up puts it far below any (k+z)-center covering
        radius, so comparing against it would re-solve on every query. *)
     mutable sketch_base : float;
-    (* External id -> final MWU weight of the accepted guess at the last
-       re-solve; warm-starts the next one. *)
+    (* External point id -> final MWU weight of the accepted guess at
+       the last re-solve; warm-starts the next one. *)
     weights : (int, float) Hashtbl.t;
     mutable prior_m : int; (* constraint count those weights summed over *)
+    (* The warm vector actually fed to the last re-solve, by external
+       id — observability for the constraint-id mapping tests. *)
+    mutable warm_fed : (int array * float array) option;
     mutable re_solves : int;
   }
 
@@ -502,14 +517,19 @@ module Incremental = struct
           invalid_arg "Gcso_general.Incremental.create: mixed rect dimensions")
       rects;
     {
-      rects = Array.copy rects;
+      (* Initial rects get external ids [0 .. m-1] in array order, so a
+         session that never touches the rect set sees outlier indices
+         identical to the frozen-rects behavior. *)
+      rect_slots = List.mapi (fun i r -> (i, r)) (Array.to_list rects);
+      next_rect_id = Array.length rects;
+      rects_dirty = false;
       k;
       z;
       eps;
       rounds;
       drift;
-      ball = Dyn.Ball.create ~dim;
-      range = Dyn.Range.create ~dim;
+      ball = Dyn.Ball.create ~dim ();
+      range = Dyn.Range.create ~dim ();
       (* k + z centers: up to z far-away outlier groups may exist without
          the solved radius having to cover them, so the drift signal
          over-provisions by z to avoid spurious re-solves. *)
@@ -519,6 +539,7 @@ module Incremental = struct
       sketch_base = 0.0;
       weights = Hashtbl.create 64;
       prior_m = 0;
+      warm_fed = None;
       re_solves = 0;
     }
 
@@ -527,9 +548,13 @@ module Incremental = struct
   let re_solves t = t.re_solves
   let ball_stats t = Dyn.Ball.stats t.ball
   let point t id = Dyn.Ball.point t.ball id
+  let dim t = Dyn.Ball.dim t.ball
+  let rects t = t.rect_slots
+  let rect_count t = List.length t.rect_slots
+  let next_rect_id t = t.next_rect_id
 
   let insert t p =
-    if not (Array.exists (fun r -> Rect.contains r p) t.rects) then
+    if not (List.exists (fun (_, r) -> Rect.contains r p) t.rect_slots) then
       invalid_arg "Gcso_general.Incremental.insert: point in no rectangle";
     let id = Dyn.Ball.insert t.ball p in
     let id' = Dyn.Range.insert t.range p in
@@ -545,6 +570,43 @@ module Incremental = struct
        deletion drift, and the sketch is rebuilt at the next re-solve. *)
     Obs.incr c_updates
 
+  let insert_rect t r =
+    if Rect.dim r <> dim t then
+      invalid_arg "Gcso_general.Incremental.insert_rect: wrong dimension";
+    let rid = t.next_rect_id in
+    t.next_rect_id <- rid + 1;
+    t.rect_slots <- t.rect_slots @ [ (rid, r) ];
+    t.rects_dirty <- true;
+    Obs.incr c_updates;
+    Obs.incr c_rect_updates;
+    rid
+
+  (* A delete is rejected when it would orphan a live point — leave it
+     inside no rectangle, violating the [insert] invariant that every
+     live point can be clustered or outliered. The witness is the
+     smallest orphaned external id; candidates come from one exact
+     range report of the doomed rectangle. *)
+  let delete_rect t rid =
+    if not (List.mem_assoc rid t.rect_slots) then
+      invalid_arg
+        "Gcso_general.Incremental.delete_rect: unknown or deleted rect id";
+    let doomed = List.assoc rid t.rect_slots in
+    let others = List.filter (fun (rid', _) -> rid' <> rid) t.rect_slots in
+    let orphaned id =
+      let p = Dyn.Ball.point t.ball id in
+      not (List.exists (fun (_, r) -> Rect.contains r p) others)
+    in
+    (* Range report answers ascending, so the first orphan found is the
+       smallest witness. *)
+    match List.find_opt orphaned (Dyn.Range.report t.range doomed) with
+    | Some witness -> Error { rect_id = rid; witness }
+    | None ->
+        t.rect_slots <- others;
+        t.rects_dirty <- true;
+        Obs.incr c_updates;
+        Obs.incr c_rect_updates;
+        Ok ()
+
   (* Re-solve policy: solve if never solved, if the live population
      halved or doubled since the last solve (deletion drift; the sketch
      cannot shrink), or if the streaming k-center certifies that
@@ -553,6 +615,8 @@ module Incremental = struct
      Right after a re-solve the bound equals the baseline, so a query
      with no intervening updates is always served from cache. *)
   let needs_resolve t =
+    t.rects_dirty
+    ||
     match t.last with
     | None -> live_count t > 0
     | Some _ ->
@@ -576,13 +640,21 @@ module Incremental = struct
     let ids = Array.of_list (List.map fst live) in
     let points = Array.of_list (List.map snd live) in
     let n = Array.length points in
+    let rect_ids = Array.of_list (List.map fst t.rect_slots) in
     let rep =
       if n = 0 then empty_report
       else begin
-        let g = Geo_instance.make ~points ~rects:t.rects ~k:t.k ~z:t.z in
-        (* Warm start: prior weight by external id; points unseen at the
-           last solve enter at the prior uniform scale (Mwu renormalizes,
-           so only relative mass matters). *)
+        (* Live points always lie in some live rectangle (insert checks,
+           delete_rect refuses orphaning), so [rect_slots] is non-empty
+           whenever [n > 0]. *)
+        let rects = Array.of_list (List.map snd t.rect_slots) in
+        let g = Geo_instance.make ~points ~rects ~k:t.k ~z:t.z in
+        (* Warm start, mapped by stable external constraint id: a point
+           seen at the last solve keeps its weight; one unseen enters at
+           the floor [Mwu.min_weight_factor / prior_m] — exactly where
+           Mwu's clamp would put a zero — so fresh constraints start
+           from the same state a cold MWU assigns its least-trusted
+           rows, and the subsequent renormalization is bit-stable. *)
         let warm_weights =
           if t.prior_m = 0 then None
           else
@@ -591,9 +663,12 @@ module Incremental = struct
                  (fun id ->
                    match Hashtbl.find_opt t.weights id with
                    | Some w -> w
-                   | None -> 1.0 /. float_of_int t.prior_m)
+                   | None -> Mwu.min_weight_factor /. float_of_int t.prior_m)
                  ids)
         in
+        (match warm_weights with
+        | None -> t.warm_fed <- None
+        | Some w -> t.warm_fed <- Some (Array.copy ids, Array.copy w));
         let captured = ref None in
         let rep =
           solve ~eps:t.eps ?rounds:t.rounds ?warm_weights
@@ -609,14 +684,15 @@ module Incremental = struct
         rep
       end
     in
-    t.last <- Some (rep, ids);
+    t.last <- Some (rep, ids, rect_ids);
     t.solved_live <- n;
+    t.rects_dirty <- false;
     t.sketch <- Streaming.create ~k:(t.k + t.z);
     Array.iter (fun p -> Streaming.insert t.sketch p) points;
     t.sketch_base <- Streaming.radius_bound t.sketch;
     t.re_solves <- t.re_solves + 1;
     Obs.incr c_resolves;
-    (rep, ids)
+    (rep, ids, rect_ids)
 
   let query t =
     match t.last with
@@ -624,6 +700,17 @@ module Incremental = struct
         Obs.incr c_cached;
         cached
     | _ -> re_solve t
+
+  (* --- observability for the warm-weight constraint-id mapping --- *)
+
+  let stored_weights t =
+    Hashtbl.fold (fun id w acc -> (id, w) :: acc) t.weights []
+    |> List.sort compare
+
+  let last_warm t =
+    Option.map (fun (ids, w) -> (Array.copy ids, Array.copy w)) t.warm_fed
+
+  let prior_constraints t = t.prior_m
 
   let live_points t = Dyn.Ball.live_points t.ball
 

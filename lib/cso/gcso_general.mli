@@ -96,42 +96,80 @@ val solve : ?eps:float -> ?rounds:int -> ?candidates:float array ->
     accepted (smallest feasible) guess — the snapshot worth feeding back
     as [warm_weights] of a perturbed re-solve. *)
 
-(** Keep a GCSO instance queryable under point inserts/deletes without
-    re-solving per update. Updates go to logarithmic-method dynamic
-    trees ({!Cso_geom.Dynamic}) plus an insert-only streaming doubling
+(** Keep a GCSO instance queryable under point inserts/deletes and
+    rectangle (outlier-set) inserts/deletes without re-solving per
+    update. Point updates go to logarithmic-method dynamic trees
+    ({!Cso_geom.Dynamic}) plus an insert-only streaming doubling
     k-center sketch ({!Cso_kcenter.Streaming}); {!Incremental.query}
     returns the cached report until the sketch certifies that covering
     the current population needs more than [drift] times the sketch's
     own covering bound at the last re-solve (the tri-criteria radius is
     not comparable: its center blow-up puts it below any (k+z)-center
     bound), or the live count halves/doubles, which covers deletion
-    drift the insert-only sketch cannot see. A re-solve rebuilds the
-    static instance from the live points and warm-starts its MWU from
-    the previous accepted-guess weights, mapped across the two
-    populations by external point id. *)
+    drift the insert-only sketch cannot see. A rectangle update always
+    forces the next query to re-solve — it reshapes the WSPD candidate
+    lattice and the constraint matrix, which no point-side signal can
+    certify. A re-solve rebuilds the static instance from the live
+    points and live rectangles and warm-starts its MWU from the
+    previous accepted-guess weights, mapped across the two populations
+    by stable external constraint id (points and rects each draw from
+    dense, never-reused id sequences); constraints unseen at the prior
+    solve enter at the MWU weight floor
+    ({!Cso_lp.Mwu.min_weight_factor}). *)
 module Incremental : sig
   type t
 
+  type orphan = { rect_id : int; witness : int }
+  (** Typed rejection of a {!delete_rect} that would leave live point
+      [witness] (the smallest such external id) inside no rectangle. *)
+
   val create : ?eps:float -> ?rounds:int -> ?drift:float ->
     rects:Cso_geom.Rect.t array -> k:int -> z:int -> unit -> t
-  (** Fixed rectangle set, [k], [z]; the point population starts empty.
-      [eps] (default [0.3]) and [rounds] are handed to {!solve} at every
-      re-solve; [drift] (default [2.], must be [>= 1.]) is the
+  (** Initial rectangle set (non-empty; rect [i] of the array gets
+      external rect id [i]), [k], [z]; the point population starts
+      empty. [eps] (default [0.3]) and [rounds] are handed to {!solve}
+      at every re-solve; [drift] (default [2.], must be [>= 1.]) is the
       sketch-radius growth factor that triggers one. *)
 
   val insert : t -> Cso_metric.Point.t -> int
   (** O(log n) amortized (plus the sketch's O(k+z) scan). Returns the
       point's external id. Raises [Invalid_argument] if the point lies
-      in no rectangle (it could never be clustered nor outliered). *)
+      in no live rectangle (it could never be clustered nor
+      outliered). *)
 
   val delete : t -> int -> unit
   (** Tombstones the id in both trees. Raises [Invalid_argument] if the
       id is unknown or already deleted. *)
 
-  val query : t -> report * int array
-  (** The current solution plus the instance-index -> external-id map
-      its centers/outliers are expressed under. Served from cache unless
-      {!needs_resolve}; an empty population yields an empty report. *)
+  val insert_rect : t -> Cso_geom.Rect.t -> int
+  (** Adds a rectangle (outlier set) and returns its external rect id —
+      dense creation order, never reused. Forces the next {!query} to
+      re-solve. Raises [Invalid_argument] on a dimension mismatch. *)
+
+  val delete_rect : t -> int -> (unit, orphan) result
+  (** Removes the rectangle, unless some live point would be left in no
+      rectangle — then [Error] names the offending rect and the
+      smallest orphaned point id, and nothing changes. On [Ok] the next
+      {!query} re-solves. Raises [Invalid_argument] if the rect id is
+      unknown or already deleted. Costs one exact range report of the
+      doomed rectangle plus a containment scan of the live rect list
+      per candidate. *)
+
+  val rects : t -> (int * Cso_geom.Rect.t) list
+  (** Live rectangles as [(external id, rect)], ascending by id. *)
+
+  val rect_count : t -> int
+  val next_rect_id : t -> int
+  (** Total rect inserts so far (initial array included); external rect
+      ids are drawn from [0 .. next_rect_id - 1]. *)
+
+  val query : t -> report * int array * int array
+  (** The current solution plus the instance-index -> external-id maps
+      it is expressed under: centers and the solution's point indices
+      translate through the first array, outlier rect indices through
+      the second. Served from cache unless {!needs_resolve}; an empty
+      population yields an empty report (with the rect-id map of the
+      live rects). *)
 
   val needs_resolve : t -> bool
   (** True when the next {!query} will pay a re-solve. *)
@@ -147,6 +185,23 @@ module Incremental : sig
   (** Update/rebuild statistics of the underlying dynamic ball tree
       (lifetime inserts, deletes, rebuild work) — the per-instance
       numbers [csokitd]'s [Stats] snapshot reports. *)
+
+  (** {3 Warm-weight mapping observability}
+
+      Test hooks for the stable constraint-id scheme; none of them
+      perturbs the solver state. *)
+
+  val stored_weights : t -> (int * float) list
+  (** The accepted-guess MWU weights stored at the last re-solve, keyed
+      by external point id, ascending. Empty before the first solve. *)
+
+  val last_warm : t -> (int array * float array) option
+  (** The warm vector actually fed to the most recent re-solve that ran
+      the MWU (external ids and their weights, instance order), [None]
+      if that solve started cold. *)
+
+  val prior_constraints : t -> int
+  (** The constraint count the stored weights were normalized over. *)
 
   (** {3 Queries between re-solves}
 

@@ -11,6 +11,10 @@ let c_visits = Obs.counter "geom.bbd.nodes_visited"
 let c_expansions = Obs.counter "geom.bbd.expansions"
 let c_canonical = Obs.counter "geom.bbd.canonical_nodes"
 
+(* Points actually materialized by [points_of_node] — counting paths
+   that stay on canonical-node counts never move it. *)
+let c_reported_pts = Obs.counter "geom.bbd.reported_points"
+
 (* Per-query magnitude: the aggregate [c_visits] can't tell "O(log n)
    everywhere" from "O(log n) on average with a heavy tail"; the
    histogram can. *)
@@ -292,6 +296,7 @@ let points_of_node t id =
     end
   in
   go id;
+  Obs.add c_reported_pts (List.length !acc);
   !acc
 
 let active_points_of_node t id =

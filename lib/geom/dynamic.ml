@@ -6,18 +6,27 @@
    [2^i] points. An insert works like a binary-counter increment — the
    new point plus every point of the occupied prefix of levels is merged
    into the first free level, one static rebuild whose amortized cost is
-   O(log n) build-shares per point. A delete only tombstones: the point
-   stays inside its level tree but is filtered out of every answer; when
-   half of the stored points are tombstones the whole structure is
-   rebuilt from the survivors (so stored size is always <= 2x live size
-   and delete cost is amortized O(rebuild / n)).
+   O(log n) build-shares per point.
+
+   Deletes are weight-balanced per level: a delete tombstones the point
+   inside the level that stores it and bumps that level's dead counter;
+   when a level's dead fraction reaches [alpha] of its live points, that
+   single level is rebuilt in place from its survivors (survivors <=
+   stored <= 2^i, so the capacity invariant is untouched). Every level
+   therefore maintains [dead < alpha * live] between operations, i.e.
+   [stored < (1 + alpha) * live] per level — the old global half-dead
+   scheme allowed 2x blowup and forced point-level filtering on every
+   query even when no tombstone existed anywhere. Levels with
+   [dead = 0] (the common case under balanced churn) answer counting
+   queries straight from canonical-node counts, no point
+   materialization.
 
    Determinism contract: every operation is sequential and derived only
    from the operation sequence — level layouts, point ids, query answers
    and all [geom.dyn*] counters are bit-identical across domain counts
    and with [CSO_OBS=0] (modulo the counters themselves being off). Query
    answers are sorted ascending by point id, so they are directly
-   comparable with a static rebuild over the surviving points. *)
+   comparable with a static rebuild of the survivors. *)
 
 module Point = Cso_metric.Point
 module Obs = Cso_obs.Obs
@@ -34,28 +43,33 @@ end
 type stats = {
   inserts : int;
   deletes : int;
-  level_rebuilds : int; (* insert-side merges (one static build each) *)
+  level_rebuilds : int; (* static tree builds (insert merges + partial) *)
   points_rebuilt : int; (* total points fed through static builds *)
-  full_rebuilds : int; (* half-dead global rebuilds *)
+  partial_rebuilds : int; (* dead-fraction-triggered per-level rebuilds *)
 }
+
+let default_alpha = 0.25
 
 module Core (S : STATIC) = struct
   let c_inserts = Obs.counter (S.prefix ^ ".inserts")
   let c_deletes = Obs.counter (S.prefix ^ ".deletes")
   let c_level_rebuilds = Obs.counter (S.prefix ^ ".level_rebuilds")
   let c_points_rebuilt = Obs.counter (S.prefix ^ ".points_rebuilt")
-  let c_full_rebuilds = Obs.counter (S.prefix ^ ".full_rebuilds")
+  let c_partial_rebuilds = Obs.counter (S.prefix ^ ".partial_rebuilds")
 
   type level = {
     tree : S.tree;
     ids : int array; (* external id of local point index, ascending *)
+    mutable dead : int; (* tombstones currently stored in this level *)
   }
 
   type t = {
     dim : int;
+    alpha : float; (* per-level dead-fraction rebuild threshold *)
     mutable levels : level option array; (* index i: at most 2^i points *)
     mutable coords : Point.t array; (* id -> coordinates *)
     mutable alive : bool array;
+    mutable loc : int array; (* id -> level index while stored, else -1 *)
     mutable next_id : int;
     mutable n_live : int;
     mutable n_stored : int; (* sum of level sizes, dead included *)
@@ -64,16 +78,20 @@ module Core (S : STATIC) = struct
     mutable s_deletes : int;
     mutable s_level_rebuilds : int;
     mutable s_points_rebuilt : int;
-    mutable s_full_rebuilds : int;
+    mutable s_partial_rebuilds : int;
   }
 
-  let create ~dim =
+  let create ?(alpha = default_alpha) ~dim () =
     if dim < 1 then invalid_arg (S.prefix ^ ".create: dim < 1");
+    if not (alpha > 0.0 && alpha <= 1.0) then
+      invalid_arg (S.prefix ^ ".create: alpha must be in (0, 1]");
     {
       dim;
+      alpha;
       levels = Array.make 4 None;
       coords = Array.make 16 [||];
       alive = Array.make 16 false;
+      loc = Array.make 16 (-1);
       next_id = 0;
       n_live = 0;
       n_stored = 0;
@@ -82,10 +100,11 @@ module Core (S : STATIC) = struct
       s_deletes = 0;
       s_level_rebuilds = 0;
       s_points_rebuilt = 0;
-      s_full_rebuilds = 0;
+      s_partial_rebuilds = 0;
     }
 
   let dim t = t.dim
+  let alpha t = t.alpha
   let live_count t = t.n_live
   let stored_count t = t.n_stored
   let next_id t = t.next_id
@@ -102,12 +121,18 @@ module Core (S : STATIC) = struct
       deletes = t.s_deletes;
       level_rebuilds = t.s_level_rebuilds;
       points_rebuilt = t.s_points_rebuilt;
-      full_rebuilds = t.s_full_rebuilds;
+      partial_rebuilds = t.s_partial_rebuilds;
     }
 
   let level_sizes t =
     Array.to_list t.levels
     |> List.filter_map (Option.map (fun l -> Array.length l.ids))
+
+  let level_stats t =
+    Array.to_list t.levels
+    |> List.filter_map
+         (Option.map (fun l ->
+              (Array.length l.ids, Array.length l.ids - l.dead)))
 
   let live_ids t =
     let acc = ref [] in
@@ -123,10 +148,13 @@ module Core (S : STATIC) = struct
     if t.next_id = cap then begin
       let coords = Array.make (2 * cap) [||] in
       let alive = Array.make (2 * cap) false in
+      let loc = Array.make (2 * cap) (-1) in
       Array.blit t.coords 0 coords 0 cap;
       Array.blit t.alive 0 alive 0 cap;
+      Array.blit t.loc 0 loc 0 cap;
       t.coords <- coords;
-      t.alive <- alive
+      t.alive <- alive;
+      t.loc <- loc
     end
 
   let grow_levels t upto =
@@ -141,7 +169,9 @@ module Core (S : STATIC) = struct
   let set_level t level ids =
     grow_levels t level;
     let pts = Array.map (fun id -> t.coords.(id)) ids in
-    t.levels.(level) <- Some { tree = S.build (Cso_metric.Points.of_array pts); ids };
+    t.levels.(level) <-
+      Some { tree = S.build (Cso_metric.Points.of_array pts); ids; dead = 0 };
+    Array.iter (fun id -> t.loc.(id) <- level) ids;
     t.n_stored <- t.n_stored + Array.length ids;
     t.s_level_rebuilds <- t.s_level_rebuilds + 1;
     t.s_points_rebuilt <- t.s_points_rebuilt + Array.length ids;
@@ -149,20 +179,19 @@ module Core (S : STATIC) = struct
     Obs.add c_points_rebuilt (Array.length ids)
 
   (* Removes a level, returning its live ids (tombstones are dropped
-     here — a merge is the only place dead points leave the store). *)
+     here — a merge or partial rebuild is where dead points leave the
+     store). *)
   let take_level t i acc =
     match t.levels.(i) with
     | None -> acc
     | Some l ->
         t.levels.(i) <- None;
         t.n_stored <- t.n_stored - Array.length l.ids;
+        t.n_dead_stored <- t.n_dead_stored - l.dead;
         Array.fold_left
           (fun acc id ->
-            if t.alive.(id) then id :: acc
-            else begin
-              t.n_dead_stored <- t.n_dead_stored - 1;
-              acc
-            end)
+            t.loc.(id) <- -1;
+            if t.alive.(id) then id :: acc else acc)
           acc l.ids
 
   let insert t p =
@@ -189,28 +218,29 @@ module Core (S : STATIC) = struct
     set_level t !j ids;
     id
 
-  (* Rebuild everything from the survivors into the single smallest
-     level that fits them; lower levels reopen for future inserts. *)
-  let full_rebuild t =
-    for i = 0 to Array.length t.levels - 1 do
-      match t.levels.(i) with
-      | None -> ()
-      | Some l ->
-          t.levels.(i) <- None;
-          t.n_stored <- t.n_stored - Array.length l.ids
-    done;
-    t.n_dead_stored <- 0;
-    t.s_full_rebuilds <- t.s_full_rebuilds + 1;
-    Obs.incr c_full_rebuilds;
-    let ids = Array.of_list (live_ids t) in
-    let n = Array.length ids in
-    if n > 0 then begin
-      let j = ref 0 in
-      while 1 lsl !j < n do
-        incr j
-      done;
-      set_level t !j ids
-    end
+  (* Rebuild one level in place from its survivors. The survivors fit
+     the level they came from (survivors <= stored <= 2^i), so rebuilding
+     at the same index preserves the capacity invariant; an empty
+     survivor set just frees the slot. *)
+  let rebuild_level t i =
+    match t.levels.(i) with
+    | None -> ()
+    | Some l ->
+        t.levels.(i) <- None;
+        t.n_stored <- t.n_stored - Array.length l.ids;
+        t.n_dead_stored <- t.n_dead_stored - l.dead;
+        t.s_partial_rebuilds <- t.s_partial_rebuilds + 1;
+        Obs.incr c_partial_rebuilds;
+        let survivors =
+          Array.of_list
+            (Array.fold_left
+               (fun acc id ->
+                 t.loc.(id) <- -1;
+                 if t.alive.(id) then id :: acc else acc)
+               [] l.ids
+            |> List.rev)
+        in
+        if Array.length survivors > 0 then set_level t i survivors
 
   let delete t id =
     if not (mem t id) then
@@ -220,13 +250,34 @@ module Core (S : STATIC) = struct
     t.n_dead_stored <- t.n_dead_stored + 1;
     t.s_deletes <- t.s_deletes + 1;
     Obs.incr c_deletes;
-    if 2 * t.n_dead_stored >= t.n_stored then full_rebuild t
+    let i = t.loc.(id) in
+    (match t.levels.(i) with
+    | None -> assert false
+    | Some l ->
+        l.dead <- l.dead + 1;
+        (* Weight balance: once the dead fraction of this level reaches
+           [alpha] of its live points, purge it. A level whose points all
+           died ([live = 0]) always trips the trigger and frees its
+           slot. *)
+        let live = Array.length l.ids - l.dead in
+        if float_of_int l.dead >= t.alpha *. float_of_int live then
+          rebuild_level t i)
 
   (* Folds [f] over the non-empty levels in ascending level order. *)
   let fold_levels t ~init ~f =
     let acc = ref init in
     for i = 0 to Array.length t.levels - 1 do
       match t.levels.(i) with None -> () | Some l -> acc := f !acc l.tree l.ids
+    done;
+    !acc
+
+  (* Like [fold_levels] but hands the whole level record to [f], so the
+     instantiations can branch on [dead = 0] (tombstone-free level:
+     counting queries may trust canonical-node counts). *)
+  let fold_levels_ex t ~init ~f =
+    let acc = ref init in
+    for i = 0 to Array.length t.levels - 1 do
+      match t.levels.(i) with None -> () | Some l -> acc := f !acc l
     done;
     !acc
 
@@ -245,10 +296,10 @@ module Ball = struct
     let prefix = "geom.dynbbd"
   end)
 
-  let of_points pts =
+  let of_points ?alpha pts =
     if Array.length pts = 0 then
       invalid_arg "geom.dynbbd.of_points: empty (use create ~dim)";
-    let t = create ~dim:(Array.length pts.(0)) in
+    let t = create ?alpha ~dim:(Array.length pts.(0)) () in
     Array.iter (fun p -> ignore (insert t p)) pts;
     t
 
@@ -277,8 +328,29 @@ module Ball = struct
   (* [eps = 0] turns the sandwich band degenerate, so the canonical
      union is exactly the closed ball: an exact report. *)
   let ball_report t ~center ~radius = ball_points t ~center ~radius ~eps:0.0
+
+  (* With [eps = 0] the canonical nodes of each level exactly partition
+     that level's stored points inside the closed ball, so a level with
+     no tombstone contributes its canonical-node counts directly; only
+     levels holding tombstones materialize and filter points. *)
   let count_in_ball t ~center ~radius =
-    List.length (ball_report t ~center ~radius)
+    if Array.length center <> t.dim then
+      invalid_arg "geom.dynbbd.count_in_ball: wrong dimension";
+    fold_levels_ex t ~init:0 ~f:(fun acc l ->
+        let nodes = Bbd_tree.ball_query l.tree ~center ~radius ~eps:0.0 in
+        if l.dead = 0 then
+          List.fold_left
+            (fun acc node -> acc + Bbd_tree.node_count l.tree node)
+            acc nodes
+        else
+          List.fold_left
+            (fun acc node ->
+              List.fold_left
+                (fun acc local ->
+                  if is_alive t l.ids.(local) then acc + 1 else acc)
+                acc
+                (Bbd_tree.points_of_node l.tree node))
+            acc nodes)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -293,10 +365,10 @@ module Range = struct
     let prefix = "geom.dynrtree"
   end)
 
-  let of_points pts =
+  let of_points ?alpha pts =
     if Array.length pts = 0 then
       invalid_arg "geom.dynrtree.of_points: empty (use create ~dim)";
-    let t = create ~dim:(Array.length pts.(0)) in
+    let t = create ?alpha ~dim:(Array.length pts.(0)) () in
     Array.iter (fun p -> ignore (insert t p)) pts;
     t
 
@@ -313,8 +385,18 @@ module Range = struct
     in
     List.sort compare ids
 
-  (* Tombstones force point-level filtering, so counting costs one
-     report; the canonical-node count shortcut of the static tree would
-     include dead points. *)
-  let count t rect = List.length (report t rect)
+  (* Canonical nodes exactly partition [rect cap stored] per level, so a
+     tombstone-free level answers from [Range_tree.count] (canonical-node
+     counts, no point materialization); only dirty levels pay a report
+     plus a liveness filter. *)
+  let count t rect =
+    if Rect.dim rect <> t.dim then
+      invalid_arg "geom.dynrtree.count: wrong dimension";
+    fold_levels_ex t ~init:0 ~f:(fun acc l ->
+        if l.dead = 0 then acc + Range_tree.count l.tree rect
+        else
+          List.fold_left
+            (fun acc local -> if is_alive t l.ids.(local) then acc + 1 else acc)
+            acc
+            (Range_tree.report l.tree rect))
 end

@@ -5,17 +5,22 @@
     holds at most [2^i] points. {!Ball.insert} merges the occupied
     prefix of levels (plus the new point) into the first free level —
     one static rebuild, amortized O(log n) build-shares per point.
-    {!Ball.delete} tombstones: the point stays in its level tree but is
-    filtered from every answer; when half the stored points are dead,
-    the structure is rebuilt from the survivors, so stored size never
-    exceeds twice the live size.
+    {!Ball.delete} tombstones the point inside the level that stores it
+    and tracks a per-level dead counter; once a level's dead fraction
+    reaches [alpha] of its live points, that single level is rebuilt in
+    place from its survivors (weight-balanced partial rebuild). Every
+    level therefore maintains [dead < alpha * live] between operations,
+    i.e. per-level [stored < (1 + alpha) * live] — no global blowup,
+    and no global stop-the-world rebuild.
 
     Queries union the per-level answers of the underlying static trees
     (same traversal scratch, counters and histograms as the batched
     [balls_all] path) and drop tombstones, returning live point ids
     sorted ascending — directly comparable with a static rebuild over
     the surviving points, and bit-identical across domain counts and
-    with [CSO_OBS=0].
+    with [CSO_OBS=0]. Counting queries ({!Ball.count_in_ball},
+    {!Range.count}) answer tombstone-free levels straight from
+    canonical-node counts without materializing points.
 
     Ids are dense non-negative integers assigned in insertion order and
     never reused. All operations are sequential; a [t] must not be
@@ -25,22 +30,30 @@ type stats = {
   inserts : int;
   deletes : int;
   level_rebuilds : int;
-      (** insert-side merges — one static tree build each *)
+      (** static tree builds: insert-side merges plus partial rebuilds *)
   points_rebuilt : int;
       (** total points fed through static builds (the amortized-cost
           numerator: O(n log n) after n inserts) *)
-  full_rebuilds : int;  (** half-dead global rebuilds *)
+  partial_rebuilds : int;
+      (** dead-fraction-triggered per-level rebuilds (each one also
+          counts in [level_rebuilds] unless the level emptied) *)
 }
+
+val default_alpha : float
+(** Per-level dead-fraction rebuild threshold used when [?alpha] is not
+    given: [0.25]. *)
 
 (** BBD-tree levels: approximate (sandwich-guarantee) and exact ball
     queries under insertions and deletions. *)
 module Ball : sig
   type t
 
-  val create : dim:int -> t
-  (** Empty structure for points of the given dimension ([>= 1]). *)
+  val create : ?alpha:float -> dim:int -> unit -> t
+  (** Empty structure for points of the given dimension ([>= 1]).
+      [alpha] (default {!default_alpha}) is the per-level dead-fraction
+      rebuild threshold, in [(0, 1]]. *)
 
-  val of_points : Cso_metric.Point.t array -> t
+  val of_points : ?alpha:float -> Cso_metric.Point.t array -> t
   (** Point [i] of the (non-empty) array gets id [i]; equivalent to
       [n] inserts in order. *)
 
@@ -49,8 +62,10 @@ module Ball : sig
       dimension mismatch. Amortized O(log n) static-build shares. *)
 
   val delete : t -> int -> unit
-  (** Tombstones the id. Raises [Invalid_argument] if the id is unknown
-      or already deleted. Amortized O(1) plus rebuild shares. *)
+  (** Tombstones the id inside its level; rebuilds that level in place
+      if its dead fraction reaches [alpha] of its live points. Raises
+      [Invalid_argument] if the id is unknown or already deleted.
+      Amortized O(log n) rebuild shares. *)
 
   val mem : t -> int -> bool
   (** True iff the id is live. *)
@@ -60,10 +75,15 @@ module Ball : sig
 
   val dim : t -> int
 
+  val alpha : t -> float
+  (** The per-level rebuild threshold this structure was created with. *)
+
   val live_count : t -> int
   val stored_count : t -> int
-  (** Points held inside level trees, tombstones included;
-      [live_count t <= stored_count t < 2 * max 1 (live_count t)]. *)
+  (** Points held inside level trees, tombstones included. Per level,
+      [stored < (1 + alpha t) * live] (see {!level_stats}), so globally
+      [live_count t <= stored_count t < (1 + alpha t) * live_count t]
+      whenever any point is stored. *)
 
   val next_id : t -> int
   (** Total inserts so far; ids are [0 .. next_id - 1]. *)
@@ -76,6 +96,11 @@ module Ball : sig
 
   val level_sizes : t -> int list
   (** Stored size of each non-empty level, ascending by level index. *)
+
+  val level_stats : t -> (int * int) list
+  (** [(stored, live)] of each non-empty level, ascending by level
+      index; [stored - live] tombstones. Invariant after every
+      operation: [float (stored - live) < alpha t *. float live]. *)
 
   val stats : t -> stats
 
@@ -92,7 +117,9 @@ module Ball : sig
       ascending — bit-identical to a linear scan of the survivors. *)
 
   val count_in_ball : t -> center:Cso_metric.Point.t -> radius:float -> int
-  (** [List.length (ball_report ...)]. *)
+  (** [List.length (ball_report ...)], but tombstone-free levels are
+      answered from canonical-node counts without materializing
+      points. *)
 end
 
 (** Range-tree levels: exact orthogonal range reporting and counting
@@ -100,19 +127,21 @@ end
 module Range : sig
   type t
 
-  val create : dim:int -> t
-  val of_points : Cso_metric.Point.t array -> t
+  val create : ?alpha:float -> dim:int -> unit -> t
+  val of_points : ?alpha:float -> Cso_metric.Point.t array -> t
   val insert : t -> Cso_metric.Point.t -> int
   val delete : t -> int -> unit
   val mem : t -> int -> bool
   val point : t -> int -> Cso_metric.Point.t
   val dim : t -> int
+  val alpha : t -> float
   val live_count : t -> int
   val stored_count : t -> int
   val next_id : t -> int
   val live_ids : t -> int list
   val live_points : t -> (int * Cso_metric.Point.t) list
   val level_sizes : t -> int list
+  val level_stats : t -> (int * int) list
   val stats : t -> stats
 
   val report : t -> Rect.t -> int list
@@ -120,6 +149,8 @@ module Range : sig
       ascending — bit-identical to a static rebuild of the survivors. *)
 
   val count : t -> Rect.t -> int
-  (** [List.length (report ...)] — tombstones force point-level
-      filtering, so counting costs one report. *)
+  (** [List.length (report ...)], but tombstone-free levels are
+      answered from canonical-node counts ([Range_tree.count]) without
+      materializing points; only levels holding tombstones pay a report
+      plus a liveness filter. *)
 end

@@ -11,6 +11,10 @@ let c_visits = Obs.counter "geom.rtree.nodes_visited"
 let c_canonical = Obs.counter "geom.rtree.canonical_nodes"
 let c_canonical_pts = Obs.counter "geom.rtree.canonical_points"
 
+(* Points actually materialized by [node_points] (hence by [report]) —
+   counting paths that stay on canonical-node counts never move it. *)
+let c_reported_pts = Obs.counter "geom.rtree.reported_points"
+
 (* Per-query canonical-set size — the quantity the O(log^d n) bound is
    actually about. *)
 let h_canonical = Obs.Hist.hist "geom.rtree.canonical_per_query"
@@ -265,6 +269,7 @@ let seg_of_global t gid =
 let node_points t gid =
   let seg = seg_of_global t gid in
   let local = gid - seg.base in
+  Obs.add c_reported_pts (seg.s_hi.(local) - seg.s_lo.(local));
   let acc = ref [] in
   for i = seg.s_hi.(local) - 1 downto seg.s_lo.(local) do
     acc := seg.s_pts.(i) :: !acc

@@ -25,6 +25,14 @@ val default_rounds : m:int -> width:float -> eps:float -> int
 (** [O(width * log m / eps^2)] with the constant used in our
     implementation. *)
 
+val min_weight_factor : float
+(** Weight floor as a fraction of uniform: every constraint weight is
+    clamped to at least [min_weight_factor /. m] before renormalizing,
+    each round and on warm-start. Callers seeding fresh constraints at
+    the floor (e.g. incremental re-solves mapping surviving constraint
+    ids) should use this same factor so the warm vector round-trips the
+    clamp bit-identically. *)
+
 val run :
   m:int ->
   width:float ->

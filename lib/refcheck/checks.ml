@@ -1140,7 +1140,7 @@ let dynamic_bbd =
   Fuzz.make ~name:"dynamic.bbd_vs_static_rebuild" ~gen:gen_dyn
     ~shrink:shrink_dyn ~show:show_dyn
     ~prop:(fun s ->
-      let t = Dyn.Ball.create ~dim:s.dy_dim in
+      let t = Dyn.Ball.create ~dim:s.dy_dim () in
       let model =
         apply_dyn ~insert:(Dyn.Ball.insert t) ~delete:(Dyn.Ball.delete t) s
       in
@@ -1152,12 +1152,18 @@ let dynamic_bbd =
           (ints_str (Dyn.Ball.live_ids t))
           (ints_str ids)
       in
-      (* Tombstone policy: at most half the stored points are dead. *)
+      (* Weight-balance policy: every level keeps its dead fraction
+         strictly below alpha of its live points after each op. *)
+      let alpha = Dyn.Ball.alpha t in
       let* () =
-        requiref
-          (Dyn.Ball.stored_count t < 2 * max 1 (Dyn.Ball.live_count t))
-          "stored %d >= 2 * max 1 (live %d)" (Dyn.Ball.stored_count t)
-          (Dyn.Ball.live_count t)
+        List.fold_left
+          (fun acc (stored, live) ->
+            let* () = acc in
+            requiref
+              (float_of_int (stored - live) < alpha *. float_of_int live)
+              "level dead %d >= alpha (%.2f) * live %d" (stored - live) alpha
+              live)
+          (Ok ()) (Dyn.Ball.level_stats t)
       in
       let idarr = Array.of_list ids in
       let static =
@@ -1228,7 +1234,7 @@ let dynamic_rtree =
   Fuzz.make ~name:"dynamic.rtree_vs_static_rebuild" ~gen:gen_dyn
     ~shrink:shrink_dyn ~show:show_dyn
     ~prop:(fun s ->
-      let t = Dyn.Range.create ~dim:s.dy_dim in
+      let t = Dyn.Range.create ~dim:s.dy_dim () in
       let model =
         apply_dyn ~insert:(Dyn.Range.insert t) ~delete:(Dyn.Range.delete t) s
       in
@@ -1337,12 +1343,12 @@ let dynamic_gcso_incremental =
           s
       in
       if model = [] then
-        let rep, _ = Gcso_general.Incremental.query inc in
+        let rep, _, _ = Gcso_general.Incremental.query inc in
         require
           (rep.Gcso_general.solution.Instance.centers = [])
           "empty population produced centers"
       else begin
-        let rep1, ids1 = Gcso_general.Incremental.query inc in
+        let rep1, ids1, _ = Gcso_general.Incremental.query inc in
         let* () =
           requiref
             (Array.to_list ids1 = List.map fst model)
@@ -1363,7 +1369,7 @@ let dynamic_gcso_incremental =
         in
         (* Cache: an immediate repeat re-solves nothing. *)
         let before = Gcso_general.Incremental.re_solves inc in
-        let rep2, _ = Gcso_general.Incremental.query inc in
+        let rep2, _, _ = Gcso_general.Incremental.query inc in
         let* () =
           require
             (Gcso_general.Incremental.re_solves inc = before
@@ -1382,7 +1388,7 @@ let dynamic_gcso_incremental =
         ignore model';
         let expected_resolve = Gcso_general.Incremental.needs_resolve inc in
         let live_now = Gcso_general.Incremental.live_ids inc in
-        let rep3, ids3 = Gcso_general.Incremental.query inc in
+        let rep3, ids3, _ = Gcso_general.Incremental.query inc in
         if expected_resolve then begin
           let* () =
             if live_now = [] then Ok ()
@@ -1408,6 +1414,476 @@ let dynamic_gcso_incremental =
             (rep3.Gcso_general.solution = rep1.Gcso_general.solution)
             "cached query changed without a re-solve"
       end)
+
+(* Delete-heavy scripts: a build phase of pure inserts followed by a
+   churn phase biased 7:3 towards deletes, so per-level dead fractions
+   keep crossing the alpha threshold and partial rebuilds actually
+   fire (the plain [gen_dyn] scripts rarely trigger one). *)
+let gen_churn rng =
+  let dim = int_in rng 1 3 in
+  let build = int_in rng 4 20 in
+  let churn = int_in rng 4 30 in
+  let ops =
+    Array.init (build + churn) (fun i ->
+        if i < build || Random.State.int rng 10 >= 7 then
+          D_ins (Array.init dim (fun _ -> coord rng))
+        else D_del (Random.State.int rng 16))
+  in
+  { dy_dim = dim; dy_ops = ops }
+
+(* Weight-balanced partial rebuilds under churn: replay one script into
+   a Ball and a Range structure in lockstep and pin (a) the per-level
+   invariant [dead < alpha * live] on both, (b) that both structures —
+   sharing one rebuild policy — report identical op statistics, and
+   (c) bit-identity of reports and of the clean-level counting fast
+   paths against a static rebuild / linear scan of the survivors. *)
+let dynamic_partial_rebuild =
+  Fuzz.make ~name:"dynamic.partial_rebuild_vs_static" ~gen:gen_churn
+    ~shrink:shrink_dyn ~show:show_dyn
+    ~prop:(fun s ->
+      let ball = Dyn.Ball.create ~dim:s.dy_dim () in
+      let range = Dyn.Range.create ~dim:s.dy_dim () in
+      let model =
+        apply_dyn
+          ~insert:(fun p ->
+            let id = Dyn.Ball.insert ball p in
+            let id' = Dyn.Range.insert range p in
+            assert (id = id');
+            id)
+          ~delete:(fun id ->
+            Dyn.Ball.delete ball id;
+            Dyn.Range.delete range id)
+          s
+      in
+      let ids = List.map fst model in
+      let* () =
+        require
+          (Dyn.Ball.live_ids ball = ids && Dyn.Range.live_ids range = ids)
+          "live_ids diverged from the model"
+      in
+      let* () =
+        require
+          (Dyn.Ball.stats ball = Dyn.Range.stats range
+          && Dyn.Ball.level_stats ball = Dyn.Range.level_stats range)
+          "Ball and Range replay one policy but report different stats"
+      in
+      let check_levels name alpha stats =
+        List.fold_left
+          (fun acc (stored, live) ->
+            let* () = acc in
+            requiref
+              (float_of_int (stored - live) < alpha *. float_of_int live)
+              "%s level dead %d >= alpha (%.2f) * live %d" name
+              (stored - live) alpha live)
+          (Ok ()) stats
+      in
+      let* () =
+        check_levels "ball" (Dyn.Ball.alpha ball) (Dyn.Ball.level_stats ball)
+      in
+      let* () =
+        check_levels "range" (Dyn.Range.alpha range)
+          (Dyn.Range.level_stats range)
+      in
+      let live = List.length model in
+      (* Clean-level counting fast paths agree with full reports. *)
+      let everywhere = Rect.unbounded s.dy_dim in
+      let* () =
+        requiref
+          (Dyn.Range.count range everywhere = live
+          && Dyn.Range.report range everywhere = ids)
+          "unbounded range count/report misses a survivor"
+      in
+      let origin = Array.make s.dy_dim 0.0 in
+      let dmax =
+        List.fold_left
+          (fun m (_, p) -> Float.max m (Point.l2 origin p))
+          0.0 model
+      in
+      let* () =
+        requiref
+          (Dyn.Ball.count_in_ball ball ~center:origin ~radius:dmax
+           = List.length
+               (Dyn.Ball.ball_report ball ~center:origin ~radius:dmax))
+          "count_in_ball disagrees with ball_report at r=%.17g" dmax
+      in
+      (* Bit-identity against a static rebuild of the survivors. *)
+      if model = [] then Ok ()
+      else begin
+        let idarr = Array.of_list ids in
+        let pts = Array.of_list (List.map snd model) in
+        let st_ball = Bbd.build pts and st_range = Rtree.build pts in
+        let radius = dmax /. 2.0 in
+        let static_ball =
+          Bbd.ball_query st_ball ~center:origin ~radius ~eps:0.0
+          |> List.concat_map (Bbd.points_of_node st_ball)
+          |> List.map (fun l -> idarr.(l))
+          |> List.sort compare
+        in
+        let* () =
+          requiref
+            (Dyn.Ball.ball_report ball ~center:origin ~radius = static_ball)
+            "ball_report r=%.17g differs from static rebuild" radius
+        in
+        let box =
+          let a = pts.(0) and b = pts.(Array.length pts - 1) in
+          Rect.make
+            ~lo:(Array.init s.dy_dim (fun j -> Float.min a.(j) b.(j)))
+            ~hi:(Array.init s.dy_dim (fun j -> Float.max a.(j) b.(j)))
+        in
+        let static_box =
+          Rtree.report st_range box
+          |> List.map (fun l -> idarr.(l))
+          |> List.sort compare
+        in
+        let got = Dyn.Range.report range box in
+        let* () =
+          require (got = static_box)
+            "range report differs from static rebuild"
+        in
+        require
+          (Dyn.Range.count range box = List.length got)
+          "range count differs from its own report"
+      end)
+
+(* Op scripts over the incremental GCSO driver extended with rectangle
+   inserts/deletes. Targets are resolved modulo the current live
+   population at execution time (as in [dyn_script]), so every op
+   subsequence is valid and the drop-one shrinker needs no
+   re-validation. Rect deletes are predicted against the model: the
+   driver must refuse exactly the orphaning ones, with the smallest
+   orphaned live id as witness. *)
+type gcso_op =
+  | G_pt of dyn_op
+  | G_ins_rect of Rect.t
+  | G_del_rect of int  (** index into the live rect list mod its length *)
+
+let show_gop = function
+  | G_pt (D_ins p) -> "+" ^ pt_str p
+  | G_pt (D_del t) -> Printf.sprintf "-%d" t
+  | G_ins_rect r ->
+      Printf.sprintf "+R%s/%s" (pt_str r.Rect.lo) (pt_str r.Rect.hi)
+  | G_del_rect t -> Printf.sprintf "-R%d" t
+
+(* The base rectangle handed to [create]; generated points always lie
+   inside it, so only satellite-rect deletion can orphan — until the
+   base rect itself is deleted (legal once every live point is covered
+   by some satellite), after which uncovered point inserts must be
+   refused. *)
+let gcso_base_rect = Rect.of_intervals [ (-1.0, 6.0); (-1.0, 6.0) ]
+
+let gen_gcso_rect_ops rng =
+  let pt () = Array.init 2 (fun _ -> coord rng) in
+  let n_ops = int_in rng 3 16 in
+  let ops =
+    Array.init n_ops (fun _ ->
+        match Random.State.int rng 10 with
+        | 0 | 1 | 2 | 3 | 4 -> G_pt (D_ins (pt ()))
+        | 5 | 6 -> G_pt (D_del (Random.State.int rng 16))
+        | 7 | 8 ->
+            let c = pt () and w = 0.5 +. Random.State.float rng 1.5 in
+            G_ins_rect
+              (Rect.of_intervals
+                 [ (c.(0) -. w, c.(0) +. w); (c.(1) -. w, c.(1) +. w) ])
+        | _ -> G_del_rect (Random.State.int rng 16))
+  in
+  (ops, int_in rng 1 2, int_in rng 0 1)
+
+let shrink_gcso_rect_ops (ops, k, z) =
+  List.map (fun ops' -> (ops', k, z)) (drop_each ops)
+  @ (if z > 0 then [ (ops, k, z - 1) ] else [])
+  @ if k > 1 then [ (ops, k - 1, z) ] else []
+
+let show_gcso_rect_ops (ops, k, z) =
+  Printf.sprintf "k=%d z=%d ops=[%s]" k z
+    (String.concat "; " (Array.to_list (Array.map show_gop ops)))
+
+(* Replays one pass of the script, keeping the reference model of live
+   points and rects and checking every rect-delete verdict against the
+   model's own orphan prediction. Returns
+   [Ok (points, rects, rects_changed)]. *)
+let apply_gcso_rect_ops inc ~pts ~rcs ops =
+  let rects_changed = ref false in
+  let* () =
+    Array.fold_left
+      (fun acc op ->
+        let* () = acc in
+        match op with
+        | G_pt (D_ins p) ->
+            if List.exists (fun (_, r) -> Rect.contains r p) !rcs then begin
+              let id = Gcso_general.Incremental.insert inc p in
+              pts := !pts @ [ (id, Array.copy p) ];
+              Ok ()
+            end
+            else begin
+              (* Uncovered point: the driver must refuse it. *)
+              match Gcso_general.Incremental.insert inc p with
+              | exception Invalid_argument _ -> Ok ()
+              | id ->
+                  requiref false
+                    "insert %s outside every rect accepted as id %d"
+                    (pt_str p) id
+            end
+        | G_pt (D_del t) -> (
+            match !pts with
+            | [] -> Ok ()
+            | live ->
+                let id, _ = List.nth live (t mod List.length live) in
+                Gcso_general.Incremental.delete inc id;
+                pts := List.filter (fun (i, _) -> i <> id) !pts;
+                Ok ())
+        | G_ins_rect r ->
+            let expect = Gcso_general.Incremental.next_rect_id inc in
+            let rid = Gcso_general.Incremental.insert_rect inc r in
+            let* () =
+              requiref (rid = expect)
+                "insert_rect returned id %d, expected dense id %d" rid
+                expect
+            in
+            rcs := !rcs @ [ (rid, r) ];
+            rects_changed := true;
+            Ok ()
+        | G_del_rect t -> (
+            match !rcs with
+            | [] -> Ok ()
+            | live_rects -> (
+                let rid, doomed =
+                  List.nth live_rects (t mod List.length live_rects)
+                in
+                let others =
+                  List.filter (fun (rid', _) -> rid' <> rid) live_rects
+                in
+                let predicted =
+                  (* Smallest live id inside the doomed rect that no
+                     other rect covers. Every live point is covered by
+                     some rect, so restricting to the doomed rect is a
+                     no-op — kept for clarity. *)
+                  List.find_opt
+                    (fun (_, p) ->
+                      Rect.contains doomed p
+                      && not
+                           (List.exists
+                              (fun (_, r) -> Rect.contains r p)
+                              others))
+                    !pts
+                in
+                match
+                  (Gcso_general.Incremental.delete_rect inc rid, predicted)
+                with
+                | Ok (), None ->
+                    rcs := others;
+                    rects_changed := true;
+                    Ok ()
+                | Error o, Some (wid, _) ->
+                    let* () =
+                      requiref
+                        (o.Gcso_general.Incremental.rect_id = rid
+                        && o.Gcso_general.Incremental.witness = wid)
+                        "delete_rect %d: orphan (%d,%d) <> predicted \
+                         (%d,%d)"
+                        rid o.Gcso_general.Incremental.rect_id
+                        o.Gcso_general.Incremental.witness rid wid
+                    in
+                    requiref
+                      (List.mem_assoc rid
+                         (Gcso_general.Incremental.rects inc))
+                      "refused delete_rect %d still removed the rect" rid
+                | Ok (), Some (wid, _) ->
+                    requiref false
+                      "delete_rect %d succeeded but would orphan %d" rid
+                      wid
+                | Error o, None ->
+                    requiref false
+                      "delete_rect %d refused with witness %d but no \
+                       point is orphaned"
+                      rid o.Gcso_general.Incremental.witness)))
+      (Ok ()) ops
+  in
+  Ok !rects_changed
+
+let gcso_rect_updates =
+  Fuzz.make ~name:"gcso.incremental_rect_updates_vs_scratch"
+    ~gen:gen_gcso_rect_ops ~shrink:shrink_gcso_rect_ops
+    ~show:show_gcso_rect_ops
+    ~prop:(fun (ops, k, z) ->
+      let eps = 0.5 and rounds = 40 in
+      let inc =
+        Gcso_general.Incremental.create ~eps ~rounds
+          ~rects:[| gcso_base_rect |] ~k ~z ()
+      in
+      let pts = ref [] and rcs = ref [ (0, gcso_base_rect) ] in
+      let* _ = apply_gcso_rect_ops inc ~pts ~rcs ops in
+      let rep1, ids1, rids1 = Gcso_general.Incremental.query inc in
+      let* () =
+        requiref
+          (Array.to_list ids1 = List.map fst !pts
+          && Array.to_list rids1 = List.map fst !rcs)
+          "first query ids (%s, rects %s) <> model (%s, rects %s)"
+          (ints_str (Array.to_list ids1))
+          (ints_str (Array.to_list rids1))
+          (ints_str (List.map fst !pts))
+          (ints_str (List.map fst !rcs))
+      in
+      let* () =
+        if !pts = [] then
+          require
+            (rep1.Gcso_general.solution.Instance.centers = [])
+            "empty population produced centers"
+        else
+          (* No solve has happened before, so the re-solve is cold and
+             must be bit-identical to a from-scratch solve over the
+             model's points and rects (same positional order). *)
+          let points = Array.of_list (List.map snd !pts) in
+          let rects = Array.of_list (List.map snd !rcs) in
+          let fresh =
+            Gcso_general.solve ~eps ~rounds
+              (Geo_instance.make ~points ~rects ~k ~z)
+          in
+          require
+            (rep1.Gcso_general.solution = fresh.Gcso_general.solution
+            && rep1.Gcso_general.radius = fresh.Gcso_general.radius)
+            "first query differs from a from-scratch solve"
+      in
+      (* Second pass of the same script (targets re-resolve against the
+         current state), then: any successful rect update must force a
+         re-solve, which lands exactly on the current populations and
+         is structurally valid; with no re-solve due, the cached report
+         is unchanged. *)
+      let* rects_changed = apply_gcso_rect_ops inc ~pts ~rcs ops in
+      let expected_resolve = Gcso_general.Incremental.needs_resolve inc in
+      let* () =
+        require
+          ((not rects_changed) || expected_resolve)
+          "a rect update did not force needs_resolve"
+      in
+      let rep3, ids3, rids3 = Gcso_general.Incremental.query inc in
+      if expected_resolve then begin
+        let* () =
+          requiref
+            (Array.to_list ids3 = List.map fst !pts
+            && Array.to_list rids3 = List.map fst !rcs)
+            "re-solve ids (%s, rects %s) <> model (%s, rects %s)"
+            (ints_str (Array.to_list ids3))
+            (ints_str (Array.to_list rids3))
+            (ints_str (List.map fst !pts))
+            (ints_str (List.map fst !rcs))
+        in
+        if !pts = [] then Ok ()
+        else
+          let g =
+            Geo_instance.make
+              ~points:(Array.of_list (List.map snd !pts))
+              ~rects:(Array.of_list (List.map snd !rcs))
+              ~k ~z
+          in
+          require
+            (Geo_instance.is_valid g rep3.Gcso_general.solution)
+            "warm-started re-solve produced an invalid solution"
+      end
+      else
+        require
+          (rep3.Gcso_general.solution = rep1.Gcso_general.solution)
+          "cached query changed without a re-solve")
+
+(* The warm-weight constraint-id mapping: a point surviving across a
+   re-solve must feed its stored weight back bit-identically; a point
+   first seen at this re-solve must enter at the floor
+   [Mwu.min_weight_factor / prior_m] where [prior_m] is the previous
+   solve's constraint count. *)
+let gcso_warm_map =
+  Fuzz.make ~name:"gcso.warm_weight_id_mapping"
+    ~gen:(fun rng ->
+      let pt () = Array.init 2 (fun _ -> coord rng) in
+      let init = Array.init (int_in rng 2 8) (fun _ -> pt ()) in
+      let dels =
+        Array.init (int_in rng 0 (Array.length init - 1)) (fun _ ->
+            Random.State.int rng 16)
+      in
+      let news = Array.init (int_in rng 0 4) (fun _ -> pt ()) in
+      (init, dels, news, int_in rng 1 2, int_in rng 0 1))
+    ~shrink:(fun (init, dels, news, k, z) ->
+      List.map (fun i -> (i, dels, news, k, z)) (drop_each ~keep:2 init)
+      @ List.map (fun d -> (init, d, news, k, z)) (drop_each dels)
+      @ List.map (fun n -> (init, dels, n, k, z)) (drop_each news)
+      @ (if z > 0 then [ (init, dels, news, k, z - 1) ] else [])
+      @ if k > 1 then [ (init, dels, news, k - 1, z) ] else [])
+    ~show:(fun (init, dels, news, k, z) ->
+      Printf.sprintf "k=%d z=%d init=%s dels=%s news=%s" k z (pts_str init)
+        (ints_str (Array.to_list dels))
+        (pts_str news))
+    ~prop:(fun (init, dels, news, k, z) ->
+      let eps = 0.5 and rounds = 40 in
+      let inc =
+        Gcso_general.Incremental.create ~eps ~rounds
+          ~rects:[| gcso_base_rect |] ~k ~z ()
+      in
+      Array.iter
+        (fun p -> ignore (Gcso_general.Incremental.insert inc p))
+        init;
+      let _ = Gcso_general.Incremental.query inc in
+      let* () =
+        require
+          (Gcso_general.Incremental.last_warm inc = None)
+          "the first (cold) solve fed warm weights"
+      in
+      let stored = Gcso_general.Incremental.stored_weights inc in
+      let prior = Gcso_general.Incremental.prior_constraints inc in
+      let* () =
+        requiref
+          (List.map fst stored
+           = List.init (Array.length init) Fun.id
+          && prior = Array.length init)
+          "cold solve stored %d weights over ids %s (expected all %d \
+           initial ids)"
+          (List.length stored)
+          (ints_str (List.map fst stored))
+          (Array.length init)
+      in
+      (* Churn: delete some survivors (never draining below one live
+         point), add fresh points, and force a re-solve via a rect
+         insert far from every point (changes no coverage). *)
+      Array.iter
+        (fun t ->
+          let live = Gcso_general.Incremental.live_ids inc in
+          if List.length live > 1 then
+            Gcso_general.Incremental.delete inc
+              (List.nth live (t mod List.length live)))
+        dels;
+      Array.iter
+        (fun p -> ignore (Gcso_general.Incremental.insert inc p))
+        news;
+      ignore
+        (Gcso_general.Incremental.insert_rect inc
+           (Rect.of_intervals [ (50.0, 51.0); (50.0, 51.0) ]));
+      let _, ids2, _ = Gcso_general.Incremental.query inc in
+      match Gcso_general.Incremental.last_warm inc with
+      | None -> Error "re-solve after a prior solve fed no warm weights"
+      | Some (wids, ws) ->
+          let* () =
+            require (wids = ids2)
+              "warm vector ids differ from the re-solve's live ids"
+          in
+          let floor_w =
+            Cso_lp.Mwu.min_weight_factor /. float_of_int prior
+          in
+          Array.to_list wids
+          |> List.mapi (fun i id -> (i, id))
+          |> List.fold_left
+               (fun acc (i, id) ->
+                 let* () = acc in
+                 match List.assoc_opt id stored with
+                 | Some w ->
+                     requiref
+                       (Int64.bits_of_float ws.(i) = Int64.bits_of_float w)
+                       "surviving id %d warm weight %.17g <> stored %.17g"
+                       id ws.(i) w
+                 | None ->
+                     requiref
+                       (Int64.bits_of_float ws.(i)
+                       = Int64.bits_of_float floor_w)
+                       "fresh id %d entered at %.17g, expected the floor \
+                        %.17g"
+                       id ws.(i) floor_w)
+               (Ok ()))
 
 (* ------------------------------------------------------------------ *)
 (* relational.*                                                       *)
@@ -1596,22 +2072,22 @@ let gen_wire_id rng =
 let gen_wire_req rng =
   let d = int_in rng 1 3 in
   let pt () = Array.init d (fun _ -> coord rng) in
+  let wrect () =
+    Rect.make
+      ~lo:
+        (Array.init d (fun _ ->
+             if Random.State.int rng 8 = 0 then neg_infinity
+             else -.coord rng))
+      ~hi:
+        (Array.init d (fun _ ->
+             if Random.State.int rng 8 = 0 then infinity
+             else 4.0 +. coord rng))
+  in
   let name = gen_wire_name rng in
-  match Random.State.int rng 12 with
+  match Random.State.int rng 14 with
   | 0 ->
       let points = Array.init (int_in rng 0 4) (fun _ -> pt ()) in
-      let rects =
-        Array.init (int_in rng 1 3) (fun _ ->
-            Rect.make
-              ~lo:
-                (Array.init d (fun _ ->
-                     if Random.State.int rng 8 = 0 then neg_infinity
-                     else -.coord rng))
-              ~hi:
-                (Array.init d (fun _ ->
-                     if Random.State.int rng 8 = 0 then infinity
-                     else 4.0 +. coord rng)))
-      in
+      let rects = Array.init (int_in rng 1 3) (fun _ -> wrect ()) in
       Sproto.Load
         {
           name;
@@ -1638,6 +2114,8 @@ let gen_wire_req rng =
   | 8 -> Sproto.Stats
   | 9 -> Sproto.Metrics
   | 10 -> Sproto.Flight
+  | 11 -> Sproto.Insert_rect { name; rect = wrect () }
+  | 12 -> Sproto.Delete_rect { name; id = gen_wire_id rng }
   | _ -> Sproto.Shutdown
 
 let gen_wire_resp rng =
@@ -1666,7 +2144,7 @@ let gen_wire_resp rng =
       let kinds =
         [| Sproto.Bad_request; Sproto.Unknown_instance; Sproto.Already_loaded;
            Sproto.Not_prepared; Sproto.No_solution; Sproto.Bad_frame;
-           Sproto.Too_large |]
+           Sproto.Too_large; Sproto.Orphaned |]
       in
       Sproto.Error
         (kinds.(Random.State.int rng (Array.length kinds)), gen_wire_name rng)
@@ -1811,6 +2289,9 @@ let all =
     dynamic_bbd;
     dynamic_rtree;
     dynamic_gcso_incremental;
+    dynamic_partial_rebuild;
+    gcso_rect_updates;
+    gcso_warm_map;
     rel_yannakakis;
     rel_semijoin;
     rel_sample;

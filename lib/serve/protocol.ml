@@ -43,6 +43,8 @@ type request =
   | Assign of string
   | Insert of { name : string; point : Point.t }
   | Delete of { name : string; id : int }
+  | Insert_rect of { name : string; rect : Rect.t }
+  | Delete_rect of { name : string; id : int }
   | Stats
   | Metrics
   | Flight
@@ -59,6 +61,8 @@ let request_kind = function
   | Assign _ -> "assign"
   | Insert _ -> "insert"
   | Delete _ -> "delete"
+  | Insert_rect _ -> "insert_rect"
+  | Delete_rect _ -> "delete_rect"
   | Stats -> "stats"
   | Metrics -> "metrics"
   | Flight -> "flight"
@@ -72,6 +76,7 @@ type err_kind =
   | No_solution
   | Bad_frame
   | Too_large
+  | Orphaned
 
 let err_kind_to_string = function
   | Bad_request -> "bad_request"
@@ -81,6 +86,7 @@ let err_kind_to_string = function
   | No_solution -> "no_solution"
   | Bad_frame -> "bad_frame"
   | Too_large -> "too_large"
+  | Orphaned -> "orphaned"
 
 let err_kind_of_string = function
   | "bad_request" -> Some Bad_request
@@ -90,6 +96,7 @@ let err_kind_of_string = function
   | "no_solution" -> Some No_solution
   | "bad_frame" -> Some Bad_frame
   | "too_large" -> Some Too_large
+  | "orphaned" -> Some Orphaned
   | _ -> None
 
 type response =
@@ -270,7 +277,15 @@ let request_to_binary r =
   | Stats -> Buffer.add_uint8 b 9
   | Shutdown -> Buffer.add_uint8 b 10
   | Metrics -> Buffer.add_uint8 b 11
-  | Flight -> Buffer.add_uint8 b 12);
+  | Flight -> Buffer.add_uint8 b 12
+  | Insert_rect { name; rect } ->
+      Buffer.add_uint8 b 13;
+      put_string b name;
+      put_rect b rect
+  | Delete_rect { name; id } ->
+      Buffer.add_uint8 b 14;
+      put_string b name;
+      put_int b id);
   Buffer.contents b
 
 let request_of_binary s =
@@ -313,6 +328,14 @@ let request_of_binary s =
     | 10 -> Shutdown
     | 11 -> Metrics
     | 12 -> Flight
+    | 13 ->
+        let name = get_string c in
+        let rect = get_rect c in
+        Insert_rect { name; rect }
+    | 14 ->
+        let name = get_string c in
+        let id = get_int c in
+        Delete_rect { name; id }
     | t -> fail "unknown request tag %d" t
   in
   get_eof c;
@@ -326,6 +349,7 @@ let err_tag = function
   | No_solution -> 4
   | Bad_frame -> 5
   | Too_large -> 6
+  | Orphaned -> 7
 
 let err_of_tag = function
   | 0 -> Bad_request
@@ -335,6 +359,7 @@ let err_of_tag = function
   | 4 -> No_solution
   | 5 -> Bad_frame
   | 6 -> Too_large
+  | 7 -> Orphaned
   | t -> fail "unknown error kind tag %d" t
 
 let response_to_binary r =
@@ -470,6 +495,12 @@ let request_to_json r =
         (jpoint point)
   | Delete { name; id } ->
       Printf.sprintf "{\"req\":\"delete\",\"name\":%s,\"id\":%d}" (jstr name) id
+  | Insert_rect { name; rect } ->
+      Printf.sprintf "{\"req\":\"insert_rect\",\"name\":%s,\"rect\":%s}"
+        (jstr name) (jrect rect)
+  | Delete_rect { name; id } ->
+      Printf.sprintf "{\"req\":\"delete_rect\",\"name\":%s,\"id\":%d}"
+        (jstr name) id
   | Stats -> "{\"req\":\"stats\"}"
   | Metrics -> "{\"req\":\"metrics\"}"
   | Flight -> "{\"req\":\"flight\"}"
@@ -599,6 +630,18 @@ let request_of_json line =
         }
   | "delete" ->
       Delete
+        {
+          name = jget_str "name" (jmember "name" j);
+          id = jget_int "id" (jmember "id" j);
+        }
+  | "insert_rect" ->
+      Insert_rect
+        {
+          name = jget_str "name" (jmember "name" j);
+          rect = jget_rect "rect" (jmember "rect" j);
+        }
+  | "delete_rect" ->
+      Delete_rect
         {
           name = jget_str "name" (jmember "name" j);
           id = jget_int "id" (jmember "id" j);

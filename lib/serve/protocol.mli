@@ -62,6 +62,13 @@ type request =
           fresh assignments between re-solves, no solve paid. *)
   | Insert of { name : string; point : Cso_metric.Point.t }
   | Delete of { name : string; id : int }
+  | Insert_rect of { name : string; rect : Cso_geom.Rect.t }
+      (** Add an outlier rectangle; replied with [Inserted rect_id]
+          (external rect ids are dense creation order, never reused). *)
+  | Delete_rect of { name : string; id : int }
+      (** Remove an outlier rectangle by external rect id; refused with
+          an [Orphaned] error if some live point would be left in no
+          rectangle. *)
   | Stats
       (** Counter / histogram / span snapshot ([lib/obs]) plus the
           per-instance registry section. *)
@@ -85,6 +92,9 @@ type err_kind =
   | No_solution  (** {!Assign} before any {!Solve}. *)
   | Bad_frame  (** Undecodable payload. *)
   | Too_large  (** Frame above {!max_frame}; the connection closes. *)
+  | Orphaned
+      (** {!Delete_rect} refused: the message names the rect and a
+          witness point that no other rectangle covers. *)
 
 val err_kind_to_string : err_kind -> string
 

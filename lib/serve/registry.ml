@@ -66,6 +66,28 @@ let do_delete e id =
   Obs.incr c_updates;
   P.Ok_reply
 
+let do_insert_rect e r =
+  let rid = Gcso.Incremental.insert_rect e.inc r in
+  (* The point set is untouched, so the prepared static tree stays
+     valid; the cached solution ages like any other update. *)
+  e.centers_age <- e.centers_age + 1;
+  Obs.incr c_updates;
+  P.Inserted rid
+
+let do_delete_rect e rid =
+  match Gcso.Incremental.delete_rect e.inc rid with
+  | Ok () ->
+      e.centers_age <- e.centers_age + 1;
+      Obs.incr c_updates;
+      P.Ok_reply
+  | Error o ->
+      P.Error
+        ( P.Orphaned,
+          Printf.sprintf
+            "deleting rect %d would orphan live point %d (covered by no \
+             other rectangle)"
+            o.Gcso.Incremental.rect_id o.Gcso.Incremental.witness )
+
 let do_prepare e =
   let live = Gcso.Incremental.live_points e.inc in
   let ids = Array.of_list (List.map fst live) in
@@ -76,7 +98,7 @@ let do_prepare e =
 
 let do_solve e =
   let before = Gcso.Incremental.re_solves e.inc in
-  let rep, ids = Gcso.Incremental.query e.inc in
+  let rep, ids, rect_ids = Gcso.Incremental.query e.inc in
   let after = Gcso.Incremental.re_solves e.inc in
   let sol = rep.Gcso.solution in
   let centers =
@@ -96,7 +118,9 @@ let do_solve e =
   P.Solved
     {
       centers = List.map fst centers;
-      outliers = sol.Cso_core.Instance.outliers;
+      (* Outlier indices are instance-relative rect positions; clients
+         see stable external rect ids, valid across rect updates. *)
+      outliers = List.map (fun j -> rect_ids.(j)) sol.Cso_core.Instance.outliers;
       radius = rep.Gcso.radius;
       rounds_per_guess = rep.Gcso.rounds_per_guess;
       guesses = rep.Gcso.guesses;
@@ -204,12 +228,13 @@ let instances_json t =
                    let st = Gcso.Incremental.ball_stats e.inc in
                    Printf.sprintf
                      "\"%s\": {\"live\": %d, \"inserts\": %d, \
-                      \"deletes\": %d, \"re_solves\": %d, \
+                      \"deletes\": %d, \"rects\": %d, \"re_solves\": %d, \
                       \"centers_age\": %d, \"solved\": %b, \
                       \"prepared\": %b}"
                      (Obs.Json.escape name)
                      (Gcso.Incremental.live_count e.inc)
                      st.Cso_geom.Dynamic.inserts st.Cso_geom.Dynamic.deletes
+                     (Gcso.Incremental.rect_count e.inc)
                      (Gcso.Incremental.re_solves e.inc)
                      e.centers_age (e.centers <> None) (e.static <> None))))
       (names t)
@@ -233,6 +258,10 @@ let handle t req =
     | P.Assign name -> with_entry t name do_assign
     | P.Insert { name; point } -> with_entry t name (fun e -> do_insert e point)
     | P.Delete { name; id } -> with_entry t name (fun e -> do_delete e id)
+    | P.Insert_rect { name; rect } ->
+        with_entry t name (fun e -> do_insert_rect e rect)
+    | P.Delete_rect { name; id } ->
+        with_entry t name (fun e -> do_delete_rect e id)
     | P.Stats -> P.Stats_reply (stats_json t)
     | P.Metrics -> P.Metrics_reply (Obs.Metrics.render ())
     | P.Flight -> P.Flight_reply (Obs.Flight.to_jsonl (Obs.Flight.records ()))

@@ -94,3 +94,75 @@ let drifting ?(d = 2) ?(spread = 1.0) ?(churn = 0.3) ?(drift_step = 0.05)
       (Array.init z (fun j -> junk_window ~d j))
   in
   { ops; rects; k; z; dim = d; final_live = live_after ops }
+
+(* Churn-adversarial variant: a build phase of pure inserts, then waves
+   that each delete [wave_del] oldest ids before re-inserting
+   [wave_ins] fresh points. Sustained delete-heavy pressure is the
+   workload where the old global half-dead tombstone scheme let stored
+   size reach 2x live and forced point-filtering on every query; the
+   weight-balanced per-level rebuilds must keep every level's
+   stored < (1 + alpha) * live throughout. *)
+let churn_heavy ?(d = 2) ?(spread = 1.0) ?(build_frac = 0.5)
+    ?(delete_bias = 0.75) rng ~n_ops ~k ~z =
+  if n_ops < 2 then invalid_arg "Drift.churn_heavy: n_ops < 2";
+  if k < 1 then invalid_arg "Drift.churn_heavy: k < 1";
+  if z < 0 then invalid_arg "Drift.churn_heavy: z < 0";
+  if not (build_frac > 0.0 && build_frac < 1.0) then
+    invalid_arg "Drift.churn_heavy: build_frac must be in (0, 1)";
+  if not (delete_bias > 0.0 && delete_bias < 1.0) then
+    invalid_arg "Drift.churn_heavy: delete_bias must be in (0, 1)";
+  let anchors = Gen.separated_anchors rng ~k ~d ~separation:(8.0 *. spread) in
+  let lo = Array.make d infinity and hi = Array.make d neg_infinity in
+  let ops = ref [] in
+  let next_id = ref 0 in
+  let oldest = ref 0 in
+  let emit_insert () =
+    let p =
+      if z > 0 && Random.State.float rng 1.0 < 0.05 then
+        junk_point rng ~d (Random.State.int rng z)
+      else begin
+        let a = anchors.(Random.State.int rng k) in
+        let p = Gen.around rng a ~radius:spread in
+        Array.iteri
+          (fun i x ->
+            if x < lo.(i) then lo.(i) <- x;
+            if x > hi.(i) then hi.(i) <- x)
+          p;
+        p
+      end
+    in
+    ops := Insert p :: !ops;
+    incr next_id
+  in
+  let n_build = max 1 (int_of_float (build_frac *. float_of_int n_ops)) in
+  for _ = 1 to n_build do
+    emit_insert ()
+  done;
+  (* Churn phase: deletes dominate ([delete_bias] of the remaining ops)
+     but never drain the structure below one live point, so every
+     Delete targets a live id and queries stay non-trivial. *)
+  let remaining = n_ops - n_build in
+  for i = 1 to remaining do
+    let live = !next_id - !oldest in
+    let want_delete =
+      live > 1 && float_of_int (i mod 4) < 4.0 *. delete_bias
+    in
+    if want_delete then begin
+      ops := Delete !oldest :: !ops;
+      incr oldest
+    end
+    else emit_insert ()
+  done;
+  let ops = Array.of_list (List.rev !ops) in
+  let cluster_rect =
+    if lo.(0) > hi.(0) then
+      Rect.make ~lo:(Array.make d 0.0) ~hi:(Array.make d 1.0)
+    else
+      Rect.make
+        ~lo:(Array.map (fun x -> x -. 1.0) lo)
+        ~hi:(Array.map (fun x -> x +. 1.0) hi)
+  in
+  let rects =
+    Array.append [| cluster_rect |] (Array.init z (fun j -> junk_window ~d j))
+  in
+  { ops; rects; k; z; dim = d; final_live = live_after ops }

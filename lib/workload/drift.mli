@@ -38,3 +38,14 @@ val drifting : ?d:int -> ?spread:float -> ?churn:float ->
     [junk_rate] (default [0.05], only when [z > 0]), else a point within
     L_inf [spread] (default [1.]) of one of [k] anchors after the anchor
     takes a [drift_step] (default [0.05]) random-walk step. *)
+
+val churn_heavy : ?d:int -> ?spread:float -> ?build_frac:float ->
+  ?delete_bias:float -> Random.State.t -> n_ops:int -> k:int -> z:int -> t
+(** Churn-adversarial (delete-heavy) workload: the first
+    [build_frac * n_ops] operations (default half) are pure inserts,
+    then the remainder alternates FIFO deletes and fresh inserts at a
+    [delete_bias] : [1 - delete_bias] ratio (default 3 deletes per
+    insert), never draining the live population below one. This is the
+    adversary for tombstone schemes: sustained deletes without matching
+    inserts maximize the stored/live ratio the per-level partial
+    rebuilds must keep below [1 + alpha]. *)

@@ -65,7 +65,7 @@ let replay ~dim ~insert ~delete script =
 (* All query answers of the dynamic Ball tree over a script, as one
    comparable value. *)
 let ball_answers ~dim script =
-  let t = Dyn.Ball.create ~dim in
+  let t = Dyn.Ball.create ~dim () in
   let model =
     replay ~dim ~insert:(Dyn.Ball.insert t) ~delete:(Dyn.Ball.delete t) script
   in
@@ -110,7 +110,7 @@ let prop_ball_matches_static =
       let ids, _ = List.hd per_domain in
       (* Rebuild statically from the surviving points and re-ask the
          exact queries. *)
-      let t = Dyn.Ball.create ~dim in
+      let t = Dyn.Ball.create ~dim () in
       let model =
         replay ~dim
           ~insert:(Dyn.Ball.insert t)
@@ -135,7 +135,7 @@ let prop_range_matches_static =
   QCheck.Test.make ~name:"dynamic range = static rebuild (all pool sizes)"
     ~count:120 script_arb (fun (dim, script) ->
       let answers () =
-        let t = Dyn.Range.create ~dim in
+        let t = Dyn.Range.create ~dim () in
         let model =
           replay ~dim
             ~insert:(Dyn.Range.insert t)
@@ -180,7 +180,7 @@ let prop_range_matches_static =
 (* --- unit tests: structure invariants --- *)
 
 let test_levels_and_stats () =
-  let t = Dyn.Ball.create ~dim:2 in
+  let t = Dyn.Ball.create ~dim:2 () in
   for i = 0 to 15 do
     ignore (Dyn.Ball.insert t [| float_of_int i; 0.0 |])
   done;
@@ -191,19 +191,32 @@ let test_levels_and_stats () =
   Alcotest.(check int) "inserts" 16 s.Dyn.inserts;
   Alcotest.(check bool) "amortized build work is O(n log n)" true
     (s.Dyn.points_rebuilt <= 16 * 5);
-  (* Delete 8 of 16: the 8th delete reaches half-dead and rebuilds. *)
+  (* Delete 8 of 16 in id order (alpha = 0.25, one level of 16): the
+     4th delete hits dead=4 >= 0.25*12 and rebuilds the level in place
+     to 12 survivors; the 7th hits dead=3 >= 0.25*9 and rebuilds to 9;
+     the 8th leaves one tombstone (1 < 0.25*8 never fires). *)
   for id = 0 to 7 do
     Dyn.Ball.delete t id
   done;
-  Alcotest.(check bool) "full rebuild happened" true
-    ((Dyn.Ball.stats t).Dyn.full_rebuilds >= 1);
+  Alcotest.(check int) "partial rebuilds" 2
+    (Dyn.Ball.stats t).Dyn.partial_rebuilds;
   Alcotest.(check int) "live after deletes" 8 (Dyn.Ball.live_count t);
-  Alcotest.(check int) "tombstones purged" 8 (Dyn.Ball.stored_count t);
+  Alcotest.(check int) "stored after partial rebuilds" 9
+    (Dyn.Ball.stored_count t);
+  Alcotest.(check (list (pair int int))) "level stats" [ (9, 8) ]
+    (Dyn.Ball.level_stats t);
+  (* The weight-balance invariant the scheme maintains after every op. *)
+  List.iter
+    (fun (stored, live) ->
+      Alcotest.(check bool) "per-level dead < alpha*live" true
+        (float_of_int (stored - live)
+        < Dyn.Ball.alpha t *. float_of_int live))
+    (Dyn.Ball.level_stats t);
   Alcotest.(check (list int)) "live ids" [ 8; 9; 10; 11; 12; 13; 14; 15 ]
     (Dyn.Ball.live_ids t)
 
 let test_delete_errors () =
-  let t = Dyn.Range.create ~dim:1 in
+  let t = Dyn.Range.create ~dim:1 () in
   let id = Dyn.Range.insert t [| 0.0 |] in
   Dyn.Range.delete t id;
   Alcotest.(check bool) "mem false after delete" false (Dyn.Range.mem t id);
@@ -217,7 +230,7 @@ let test_delete_errors () =
 let test_of_points_equals_inserts () =
   let pts = Array.init 9 (fun i -> [| float_of_int i; 1.0 |]) in
   let a = Dyn.Ball.of_points pts in
-  let b = Dyn.Ball.create ~dim:2 in
+  let b = Dyn.Ball.create ~dim:2 () in
   Array.iter (fun p -> ignore (Dyn.Ball.insert b p)) pts;
   Alcotest.(check (list int)) "same ids" (Dyn.Ball.live_ids a)
     (Dyn.Ball.live_ids b);
@@ -226,6 +239,53 @@ let test_of_points_equals_inserts () =
   Alcotest.(check (list int)) "same answer"
     (Dyn.Ball.ball_report a ~center:[| 4.0; 1.0 |] ~radius:2.0)
     (Dyn.Ball.ball_report b ~center:[| 4.0; 1.0 |] ~radius:2.0)
+
+(* Satellite of the partial-rebuild PR: counting on a tombstone-free
+   structure must answer from canonical-node counts, materializing no
+   points — the [geom.*.reported_points] counters (moved only by
+   node_points/points_of_node) pin it. Pre-fix, [count] cost one full
+   [report] even with zero tombstones. *)
+let test_clean_count_counters () =
+  (* 10 inserts leave levels {8,9} and {0..7}, both tombstone-free. *)
+  let t = Dyn.Range.create ~dim:2 () in
+  for i = 0 to 9 do
+    ignore (Dyn.Range.insert t [| float_of_int i; 0.0 |])
+  done;
+  let rect = Rect.of_intervals [ (0.0, 9.0); (-1.0, 1.0) ] in
+  let d0 = Obs.value_of "geom.rtree.reported_points" in
+  Alcotest.(check int) "count over clean levels" 10 (Dyn.Range.count t rect);
+  let d1 = Obs.value_of "geom.rtree.reported_points" in
+  Alcotest.(check int) "clean count materializes no points" 0 (d1 - d0);
+  Alcotest.(check int) "report agrees" 10
+    (List.length (Dyn.Range.report t rect));
+  let d2 = Obs.value_of "geom.rtree.reported_points" in
+  Alcotest.(check bool) "report does materialize points" true (d2 - d1 >= 10);
+  (* One tombstone dirties the {0..7} level (1 dead < alpha*7 leaves it
+     in place): counting there falls back to filtered reporting and
+     stays exact, while the clean {8,9} level still counts for free. *)
+  Dyn.Range.delete t 0;
+  Alcotest.(check (list (pair int int))) "one dirty level" [ (2, 2); (8, 7) ]
+    (Dyn.Range.level_stats t);
+  let d3 = Obs.value_of "geom.rtree.reported_points" in
+  Alcotest.(check int) "count after delete" 9 (Dyn.Range.count t rect);
+  let d4 = Obs.value_of "geom.rtree.reported_points" in
+  Alcotest.(check bool) "dirty level pays the liveness filter" true
+    (d4 - d3 > 0);
+  Alcotest.(check bool) "dirty level alone, not the whole structure" true
+    (d4 - d3 <= 8);
+  (* Symmetric check for the BBD side. *)
+  let b = Dyn.Ball.create ~dim:2 () in
+  for i = 0 to 9 do
+    ignore (Dyn.Ball.insert b [| float_of_int i; 0.0 |])
+  done;
+  let center = [| 4.5; 0.0 |] and radius = 100.0 in
+  let b0 = Obs.value_of "geom.bbd.reported_points" in
+  Alcotest.(check int) "ball count over clean levels" 10
+    (Dyn.Ball.count_in_ball b ~center ~radius);
+  let b1 = Obs.value_of "geom.bbd.reported_points" in
+  Alcotest.(check int) "clean ball count materializes no points" 0 (b1 - b0);
+  Alcotest.(check int) "ball report agrees" 10
+    (List.length (Dyn.Ball.ball_report b ~center ~radius))
 
 (* --- incremental GCSO --- *)
 
@@ -243,10 +303,10 @@ let test_repeat_query_cached () =
       ~k:1 ~z:0 ()
   in
   Array.iter (fun p -> ignore (Gcso.Incremental.insert inc p)) tri;
-  let rep1, _ = Gcso.Incremental.query inc in
+  let rep1, _, _ = Gcso.Incremental.query inc in
   Alcotest.(check int) "one re-solve" 1 (Gcso.Incremental.re_solves inc);
   Alcotest.(check bool) "settled" false (Gcso.Incremental.needs_resolve inc);
-  let rep2, _ = Gcso.Incremental.query inc in
+  let rep2, _, _ = Gcso.Incremental.query inc in
   Alcotest.(check int) "still one re-solve" 1 (Gcso.Incremental.re_solves inc);
   Alcotest.(check bool) "same report" true (rep1 = rep2)
 
@@ -263,7 +323,7 @@ let test_population_doubling_resolves () =
   Array.iter (fun p -> ignore (Gcso.Incremental.insert inc p)) tri;
   Alcotest.(check bool) "doubled -> stale" true
     (Gcso.Incremental.needs_resolve inc);
-  let _, ids = Gcso.Incremental.query inc in
+  let _, ids, _ = Gcso.Incremental.query inc in
   Alcotest.(check int) "two re-solves" 2 (Gcso.Incremental.re_solves inc);
   Alcotest.(check (list int)) "solved over the full population"
     (Gcso.Incremental.live_ids inc)
@@ -285,7 +345,7 @@ let test_drift_workload_replay () =
       if (i + 1) mod 20 = 0 then begin
         incr queries;
         let resolving = Gcso.Incremental.needs_resolve inc in
-        let rep, ids = Gcso.Incremental.query inc in
+        let rep, ids, _ = Gcso.Incremental.query inc in
         (* A cached report is expressed over the population of its own
            solve; only a fresh re-solve must cover the current one. *)
         if resolving then begin
@@ -313,8 +373,10 @@ let suite =
   [
     QCheck_alcotest.to_alcotest prop_ball_matches_static;
     QCheck_alcotest.to_alcotest prop_range_matches_static;
-    Alcotest.test_case "levels, stats and half-dead rebuild" `Quick
+    Alcotest.test_case "levels, stats and partial rebuilds" `Quick
       test_levels_and_stats;
+    Alcotest.test_case "clean-level counting moves no point counters" `Quick
+      test_clean_count_counters;
     Alcotest.test_case "delete errors" `Quick test_delete_errors;
     Alcotest.test_case "of_points = inserts" `Quick
       test_of_points_equals_inserts;

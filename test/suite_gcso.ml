@@ -268,6 +268,148 @@ let test_mwu_on_round_trace () =
        prepared ~r);
   Alcotest.(check int) "one callback per round" 40 !seen
 
+(* --- incremental rect updates --- *)
+
+(* Orphan protection: deleting a rectangle that is the sole cover of a
+   live point must be refused with a typed witness and change nothing.
+   Pins the [insert] invariant (every live point lies in some live
+   rectangle) across the whole rect-update surface. *)
+let test_delete_rect_orphan_witness () =
+  let ra = Rect.of_intervals [ (0.0, 2.0); (0.0, 2.0) ] in
+  let rb = Rect.of_intervals [ (1.0, 4.0); (0.0, 2.0) ] in
+  let inc =
+    Gcso_general.Incremental.create ~eps:0.5 ~rounds:40 ~rects:[| ra; rb |]
+      ~k:1 ~z:0 ()
+  in
+  (* id 0 only in ra, id 1 in both, id 2 only in rb. *)
+  ignore (Gcso_general.Incremental.insert inc [| 0.5; 1.0 |]);
+  ignore (Gcso_general.Incremental.insert inc [| 1.5; 1.0 |]);
+  ignore (Gcso_general.Incremental.insert inc [| 3.0; 1.0 |]);
+  (match Gcso_general.Incremental.delete_rect inc 0 with
+  | Ok () -> Alcotest.fail "deleting rect 0 must orphan point 0"
+  | Error o ->
+      Alcotest.(check int) "offending rect" 0 o.Gcso_general.Incremental.rect_id;
+      Alcotest.(check int) "smallest orphan witness" 0
+        o.Gcso_general.Incremental.witness);
+  Alcotest.(check int) "refused delete changed nothing" 2
+    (Gcso_general.Incremental.rect_count inc);
+  (* Once the orphan is gone the same delete succeeds. *)
+  Gcso_general.Incremental.delete inc 0;
+  (match Gcso_general.Incremental.delete_rect inc 0 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "no orphan left, delete must succeed");
+  Alcotest.(check (list int)) "rect 1 survives" [ 1 ]
+    (List.map fst (Gcso_general.Incremental.rects inc));
+  (* Unknown / already-deleted rect ids raise, mirroring point deletes. *)
+  List.iter
+    (fun bad ->
+      match Gcso_general.Incremental.delete_rect inc bad with
+      | _ -> Alcotest.failf "delete_rect %d should raise" bad
+      | exception Invalid_argument _ -> ())
+    [ 0; 7; -1 ]
+
+(* Regression (satellite of the rect-update PR): the drift trigger is
+   fed by an insert-only point sketch, which cannot see coverage lost
+   to a rect delete — pre-fix, a query after [delete_rect] served the
+   stale cached report whose outliers named the dead rectangle. *)
+let test_rect_update_forces_resolve () =
+  let ra = Rect.of_intervals [ (0.0, 2.0); (0.0, 2.0) ] in
+  let rb = Rect.of_intervals [ (0.0, 4.0); (0.0, 2.0) ] in
+  let inc =
+    Gcso_general.Incremental.create ~eps:0.5 ~rounds:40 ~rects:[| ra; rb |]
+      ~k:1 ~z:1 ()
+  in
+  ignore (Gcso_general.Incremental.insert inc [| 0.5; 1.0 |]);
+  ignore (Gcso_general.Incremental.insert inc [| 1.5; 1.0 |]);
+  ignore (Gcso_general.Incremental.query inc);
+  Alcotest.(check bool) "settled after solve" false
+    (Gcso_general.Incremental.needs_resolve inc);
+  (match Gcso_general.Incremental.delete_rect inc 0 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "rb covers everything, delete must succeed");
+  Alcotest.(check bool) "rect delete -> stale" true
+    (Gcso_general.Incremental.needs_resolve inc);
+  let _, _, rect_ids = Gcso_general.Incremental.query inc in
+  Alcotest.(check int) "re-solved" 2 (Gcso_general.Incremental.re_solves inc);
+  Alcotest.(check (array int)) "rect-id map excludes the dead rect" [| 1 |]
+    rect_ids;
+  (* Same for inserts: a new rectangle can only change the solution via
+     a re-solve. *)
+  let rid =
+    Gcso_general.Incremental.insert_rect inc
+      (Rect.of_intervals [ (10.0, 11.0); (10.0, 11.0) ])
+  in
+  Alcotest.(check int) "fresh external rect id, never reused" 2 rid;
+  Alcotest.(check bool) "rect insert -> stale" true
+    (Gcso_general.Incremental.needs_resolve inc);
+  let _, _, rect_ids = Gcso_general.Incremental.query inc in
+  Alcotest.(check (array int)) "rect-id map gains the new rect" [| 1; 2 |]
+    rect_ids
+
+(* Warm-weight mapping across a rect update: surviving point constraints
+   keep their stored weights bit-identically; the mapping is keyed by
+   stable external id, not position. *)
+let test_warm_weights_stable_ids () =
+  let ra = Rect.of_intervals [ (0.0, 6.0); (0.0, 6.0) ] in
+  let inc =
+    Gcso_general.Incremental.create ~eps:0.5 ~rounds:40 ~rects:[| ra |] ~k:1
+      ~z:0 ()
+  in
+  for i = 0 to 5 do
+    ignore
+      (Gcso_general.Incremental.insert inc
+         [| float_of_int i; Float.rem (float_of_int i) 2.0 |])
+  done;
+  ignore (Gcso_general.Incremental.query inc);
+  Alcotest.(check bool) "first solve runs cold" true
+    (Gcso_general.Incremental.last_warm inc = None);
+  let stored = Gcso_general.Incremental.stored_weights inc in
+  Alcotest.(check int) "one weight per constraint" 6 (List.length stored);
+  let prior_m = Gcso_general.Incremental.prior_constraints inc in
+  Alcotest.(check int) "normalized over 6 constraints" 6 prior_m;
+  (* Delete point 0 and force a re-solve via a rect insert: the warm
+     vector actually fed must be exactly the stored weights of the
+     surviving ids plus the Mwu floor for unseen ones (none here). *)
+  Gcso_general.Incremental.delete inc 0;
+  ignore
+    (Gcso_general.Incremental.insert_rect inc
+       (Rect.of_intervals [ (20.0, 21.0); (20.0, 21.0) ]));
+  ignore (Gcso_general.Incremental.query inc);
+  (match Gcso_general.Incremental.last_warm inc with
+  | None -> Alcotest.fail "second solve must warm-start"
+  | Some (ids, w) ->
+      Alcotest.(check (array int)) "warm ids are the survivors"
+        [| 1; 2; 3; 4; 5 |] ids;
+      Array.iteri
+        (fun i id ->
+          match List.assoc_opt id stored with
+          | None -> Alcotest.failf "id %d missing from stored weights" id
+          | Some sw ->
+              Alcotest.(check (float 0.0))
+                "surviving weight mapped bit-identically" sw w.(i))
+        ids);
+  (* A fresh insert enters the next warm vector at the Mwu floor. *)
+  let stored2 = Gcso_general.Incremental.stored_weights inc in
+  let prior2 = Gcso_general.Incremental.prior_constraints inc in
+  ignore (Gcso_general.Incremental.insert inc [| 2.5; 1.5 |]);
+  ignore
+    (Gcso_general.Incremental.insert_rect inc
+       (Rect.of_intervals [ (30.0, 31.0); (30.0, 31.0) ]));
+  ignore (Gcso_general.Incremental.query inc);
+  match Gcso_general.Incremental.last_warm inc with
+  | None -> Alcotest.fail "third solve must warm-start"
+  | Some (ids, w) ->
+      Array.iteri
+        (fun i id ->
+          match List.assoc_opt id stored2 with
+          | Some sw ->
+              Alcotest.(check (float 0.0)) "survivor weight kept" sw w.(i)
+          | None ->
+              Alcotest.(check (float 0.0)) "fresh constraint enters at floor"
+                (Cso_lp.Mwu.min_weight_factor /. float_of_int prior2)
+                w.(i))
+        ids
+
 let suite =
   [
     Alcotest.test_case "geo instance membership" `Quick
@@ -289,4 +431,10 @@ let suite =
       test_batched_oracle_obs_disabled;
     QCheck_alcotest.to_alcotest prop_batched_oracle_identity;
     Alcotest.test_case "mwu round trace" `Quick test_mwu_on_round_trace;
+    Alcotest.test_case "delete_rect orphan witness" `Quick
+      test_delete_rect_orphan_witness;
+    Alcotest.test_case "rect update forces re-solve (regression)" `Quick
+      test_rect_update_forces_resolve;
+    Alcotest.test_case "warm weights keyed by stable ids" `Quick
+      test_warm_weights_stable_ids;
   ]

@@ -221,6 +221,23 @@ let mirror reqs =
           static := None;
           Gcso.Incremental.delete (the_inc ()) id;
           P.Ok_reply
+      | P.Insert_rect { name = n; _ } when n <> name ->
+          P.Error (P.Unknown_instance, Printf.sprintf "no instance %S" n)
+      | P.Insert_rect { rect; _ } ->
+          (* Point set untouched: the prepared static tree stays valid,
+             matching the registry. *)
+          P.Inserted (Gcso.Incremental.insert_rect (the_inc ()) rect)
+      | P.Delete_rect { id; _ } -> (
+          match Gcso.Incremental.delete_rect (the_inc ()) id with
+          | Ok () -> P.Ok_reply
+          | Error o ->
+              P.Error
+                ( P.Orphaned,
+                  Printf.sprintf
+                    "deleting rect %d would orphan live point %d (covered \
+                     by no other rectangle)"
+                    o.Gcso.Incremental.rect_id o.Gcso.Incremental.witness )
+          | exception Invalid_argument m -> P.Error (P.Bad_request, m))
       | P.Prepare _ ->
           let live = Gcso.Incremental.live_points (the_inc ()) in
           static :=
@@ -233,7 +250,7 @@ let mirror reqs =
       | P.Solve _ ->
           let i = the_inc () in
           let before = Gcso.Incremental.re_solves i in
-          let rep, ids = Gcso.Incremental.query i in
+          let rep, ids, rect_ids = Gcso.Incremental.query i in
           let after = Gcso.Incremental.re_solves i in
           let cs =
             match !centers with
@@ -247,7 +264,10 @@ let mirror reqs =
           P.Solved
             {
               centers = List.map fst cs;
-              outliers = rep.Gcso.solution.Instance.outliers;
+              outliers =
+                List.map
+                  (fun j -> rect_ids.(j))
+                  rep.Gcso.solution.Instance.outliers;
               radius = rep.Gcso.radius;
               rounds_per_guess = rep.Gcso.rounds_per_guess;
               guesses = rep.Gcso.guesses;
@@ -353,6 +373,62 @@ let test_byte_identity mode () =
   let got = without_obs (fun () -> serve_payloads mode reqs) in
   check_payloads "server bytes = library bytes (CSO_OBS=0)" mode reqs expected
     got
+
+(* Set updates over the wire: rect insert/delete interleaved with
+   solves, including an Orphaned refusal, an unknown-rect-id error, an
+   unknown-instance error, and solves whose outlier indices must be
+   translated to stable external rect ids (position 1 of the shrunken
+   instance is external rect 2 by the end). *)
+let rect_script () =
+  let ra = Rect.of_intervals [ (-1.0, 3.0); (-1.0, 3.0) ] in
+  let rb = Rect.of_intervals [ (2.0, 6.0); (-1.0, 3.0) ] in
+  let far = Rect.of_intervals [ (50.0, 52.0); (50.0, 52.0) ] in
+  [
+    P.Load
+      {
+        name;
+        points = [||];
+        rects = [| ra; rb |];
+        k = 1;
+        z = 1;
+        eps = 0.5;
+        rounds = Some 40;
+        drift = 2.0;
+      };
+    P.Insert { name; point = [| 0.0; 0.0 |] } (* id 0: ra only *);
+    P.Insert { name; point = [| 2.5; 0.5 |] } (* id 1: ra and rb *);
+    P.Insert { name; point = [| 5.0; 0.0 |] } (* id 2: rb only *);
+    P.Solve name;
+    P.Delete_rect { name; id = 0 } (* refused: orphans point 0 *);
+    P.Insert_rect { name; rect = far } (* external rect id 2 *);
+    P.Insert { name; point = [| 51.0; 51.0 |] } (* id 3: far only *);
+    P.Solve name (* rect insert forced this re-solve *);
+    P.Delete { name; id = 0 };
+    P.Delete_rect { name; id = 0 } (* now succeeds *);
+    P.Solve name (* outliers in external rect ids: {1, 2} positions {0, 1} *);
+    P.Delete_rect { name; id = 0 } (* already deleted: Bad_request *);
+    P.Delete_rect { name; id = 7 } (* never existed: Bad_request *);
+    P.Insert_rect { name = "missing"; rect = far } (* Unknown_instance *);
+    P.Prepare name;
+    P.Balls_all { name; radius = 1.5; eps = 0.25 };
+    P.Assign name;
+  ]
+
+let test_rect_byte_identity mode () =
+  let reqs = rect_script () in
+  let expected =
+    List.map (fun r -> strip mode (P.encode_response mode r)) (mirror reqs)
+  in
+  List.iter
+    (fun nd ->
+      let got = with_domains nd (fun () -> serve_payloads mode reqs) in
+      check_payloads
+        (Printf.sprintf "rect updates: server = library (%d domains)" nd)
+        mode reqs expected got)
+    domain_counts;
+  let got = without_obs (fun () -> serve_payloads mode reqs) in
+  check_payloads "rect updates: server = library (CSO_OBS=0)" mode reqs
+    expected got
 
 (* ------------------------------------------------------------------ *)
 (* Concurrency: N interleaved clients see the bytes of a serial client *)
@@ -701,6 +777,12 @@ let sample_requests =
     (* 2^53 - 1: the largest magnitude the JSONL number path carries
        exactly (binary takes the full 63 bits, checked separately). *)
     P.Delete { name = "x"; id = (1 lsl 53) - 1 };
+    P.Insert_rect
+      {
+        name = "x";
+        rect = Rect.of_intervals [ (neg_infinity, 0.125); (-3.5, infinity) ];
+      };
+    P.Delete_rect { name = "a b\"c"; id = (1 lsl 53) - 1 };
     P.Stats;
     P.Metrics;
     P.Flight;
@@ -732,6 +814,9 @@ let sample_responses =
       "{\"id\": 0, \"kind\": \"solve\", \"conn\": 1, \"queue_us\": 2, \
        \"exec_us\": 3, \"flush_us\": 4, \"outcome\": \"ok\"}\n";
     P.Error (P.Not_prepared, "instance \"x\" has no prepared static tree");
+    P.Error
+      (P.Orphaned, "deleting rect 1 would orphan live point 0 (covered by \
+                    no other rectangle)");
     P.Overloaded;
     P.Bye;
   ]
@@ -1092,6 +1177,10 @@ let suite =
       (test_byte_identity P.Binary);
     Alcotest.test_case "byte identity: jsonl, drift script, all pools" `Slow
       (test_byte_identity P.Jsonl);
+    Alcotest.test_case "byte identity: binary, rect updates, all pools" `Quick
+      (test_rect_byte_identity P.Binary);
+    Alcotest.test_case "byte identity: jsonl, rect updates, all pools" `Quick
+      (test_rect_byte_identity P.Jsonl);
     Alcotest.test_case "concurrent clients = serial bytes" `Slow
       test_concurrent_matches_serial;
     Alcotest.test_case "concurrent mutation storm linearizes" `Quick
